@@ -1,0 +1,39 @@
+//! # grid-baselines — static comparators for the SLRH heuristics
+//!
+//! * [`maxmax`] — the paper's baseline (§V): an Ibarra–Kim-style **Max-Max**
+//!   static heuristic driven by the same global objective, with per-version
+//!   feasibility and schedule-hole insertion;
+//! * [`greedy`] — the "simple greedy static heuristic" the authors used to
+//!   pick the τ = 34 075 s time constraint (§III), plus the
+//!   [`greedy::calibrate_tau`] helper that reproduces that selection;
+//! * [`simple`] — the classic list heuristics of the heterogeneous
+//!   computing literature (MCT, OLB, Min-Min) as additional context
+//!   baselines;
+//! * [`heft`] — Heterogeneous Earliest Finish Time (Topcuoglu et al.),
+//!   the canonical upward-rank DAG list scheduler, adapted to the grid's
+//!   versioned-energy model;
+//! * [`lr_list`] — a static **Lagrangian relaxation + list scheduling**
+//!   mapper in the spirit of Luh & Hoitomt [LuH93] and the authors' own
+//!   prior work [CaS03]: machine time/energy capacities are priced by a
+//!   subgradient dual, and the relaxed selection's marginal costs order a
+//!   precedence-respecting repair pass.
+//!
+//! Every baseline drives the same [`gridsim::SimState`] as the SLRH and is
+//! checked by the same validator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod heft;
+pub mod lr_list;
+pub mod maxmax;
+pub mod outcome;
+pub mod simple;
+
+pub use greedy::{calibrate_tau, run_greedy};
+pub use heft::run_heft;
+pub use lr_list::{run_lr_list, LrListConfig};
+pub use maxmax::run_maxmax;
+pub use outcome::StaticOutcome;
+pub use simple::{run_mct, run_minmin, run_olb};

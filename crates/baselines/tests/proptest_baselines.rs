@@ -1,0 +1,95 @@
+//! Property tests over the static baselines: every mapper, on every
+//! random scenario and weight setting, produces a physically valid,
+//! deterministic schedule that respects the problem's hard limits.
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use grid_baselines::{
+    run_greedy, run_heft, run_lr_list, run_maxmax, run_minmin, run_olb, LrListConfig,
+};
+use gridsim::validate::validate;
+use lagrange::weights::{Objective, Weights};
+use proptest::prelude::*;
+
+fn weights() -> impl Strategy<Value = Weights> {
+    (0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(a, bf)| Weights::new(a, (1.0 - a) * bf).expect("on simplex"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All six static baselines validate on arbitrary scenarios.
+    #[test]
+    fn all_baselines_validate(
+        w in weights(),
+        case_idx in 0usize..3,
+        etc_id in 0usize..3,
+        dag_id in 0usize..3,
+    ) {
+        let sc = Scenario::generate(
+            &ScenarioParams::paper_scaled(24),
+            GridCase::ALL[case_idx],
+            etc_id,
+            dag_id,
+        );
+        let obj = Objective::paper(w);
+        let lr = LrListConfig { weights: w, ..LrListConfig::default() };
+        let outs = [
+            ("maxmax", run_maxmax(&sc, &obj)),
+            ("greedy", run_greedy(&sc)),
+            ("olb", run_olb(&sc)),
+            ("minmin", run_minmin(&sc)),
+            ("heft", run_heft(&sc)),
+            ("lrlist", run_lr_list(&sc, &lr)),
+        ];
+        for (name, out) in outs {
+            let errs = validate(&out.state);
+            prop_assert!(errs.is_empty(), "{name}: {errs:?}");
+            let m = out.metrics();
+            prop_assert!(m.t100 <= m.mapped);
+            prop_assert!(m.tec.units() <= m.tse.units() + 1e-9, "{name} overdrew energy");
+        }
+    }
+
+    /// Max-Max never schedules past τ (its deadline gate), regardless of
+    /// weights.
+    #[test]
+    fn maxmax_respects_tau(w in weights(), dag_id in 0usize..3) {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(24), GridCase::B, 0, dag_id);
+        let out = run_maxmax(&sc, &Objective::paper(w));
+        prop_assert!(out.metrics().aet <= sc.tau);
+    }
+
+    /// The weightless baselines are deterministic functions of the
+    /// scenario.
+    #[test]
+    fn weightless_baselines_deterministic(etc_id in 0usize..3, dag_id in 0usize..3) {
+        let sc = Scenario::generate(
+            &ScenarioParams::paper_scaled(20),
+            GridCase::A,
+            etc_id,
+            dag_id,
+        );
+        prop_assert_eq!(run_greedy(&sc).metrics(), run_greedy(&sc).metrics());
+        prop_assert_eq!(run_heft(&sc).metrics(), run_heft(&sc).metrics());
+        prop_assert_eq!(run_olb(&sc).metrics(), run_olb(&sc).metrics());
+        prop_assert_eq!(run_minmin(&sc).metrics(), run_minmin(&sc).metrics());
+    }
+
+    /// HEFT's upward ranks strictly decrease along every DAG edge for any
+    /// scenario (the property that makes its priority order topological).
+    #[test]
+    fn heft_ranks_topological(etc_id in 0usize..4, dag_id in 0usize..4) {
+        let sc = Scenario::generate(
+            &ScenarioParams::paper_scaled(32),
+            GridCase::A,
+            etc_id,
+            dag_id,
+        );
+        let rank = grid_baselines::heft::upward_ranks(&sc);
+        for (u, v) in sc.dag.edges() {
+            prop_assert!(rank[u.0] > rank[v.0]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Benchmarks of the Table 3/4 machinery: minimum-ratio statistics and the
+//! equivalent-computing-cycles upper bound at the paper's full scale.
+
+use adhoc_grid::config::{GridCase, GridConfig};
+use adhoc_grid::etc_gen::{self, EtcGenParams};
+use adhoc_grid::units::Time;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid_bounds::{min_ratios, upper_bound, upper_bound_sound};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    let tau = Time::from_seconds(34_075);
+    for case in GridCase::ALL {
+        let etc = etc_gen::generate_for_case(&EtcGenParams::paper(1024), case, 7);
+        let grid = GridConfig::case(case);
+        g.bench_with_input(
+            BenchmarkId::new("min_ratios", case.name()),
+            &etc,
+            |b, etc| b.iter(|| min_ratios(etc)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("paper_bound", case.name()),
+            &(etc.clone(), grid.clone()),
+            |b, (etc, grid)| b.iter(|| upper_bound(etc, grid, tau).t100),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sound_bound", case.name()),
+            &(etc, grid),
+            |b, (etc, grid)| b.iter(|| upper_bound_sound(etc, grid, tau)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

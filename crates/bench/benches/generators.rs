@@ -1,0 +1,31 @@
+//! Benchmarks of the workload generators (ETC matrices, DAGs, full
+//! scenarios) at the paper's full scale — the fixed cost every experiment
+//! pays before any heuristic runs.
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::dag_gen::{self, DagGenParams};
+use adhoc_grid::etc_gen::{self, EtcGenParams};
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    for &tasks in &[256usize, 1024] {
+        let etc_params = EtcGenParams::paper(tasks);
+        g.bench_with_input(BenchmarkId::new("etc", tasks), &etc_params, |b, p| {
+            b.iter(|| etc_gen::generate_case_a(p, 3).mean_seconds())
+        });
+        let dag_params = DagGenParams::paper(tasks);
+        g.bench_with_input(BenchmarkId::new("dag", tasks), &dag_params, |b, p| {
+            b.iter(|| dag_gen::generate(p, 3).edge_count())
+        });
+        let sc_params = ScenarioParams::paper_scaled(tasks);
+        g.bench_with_input(BenchmarkId::new("scenario", tasks), &sc_params, |b, p| {
+            b.iter(|| Scenario::generate(p, GridCase::A, 0, 0).tasks())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

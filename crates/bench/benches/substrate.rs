@@ -1,0 +1,101 @@
+//! Microbenchmarks of the simulator substrate's hot paths: timeline gap
+//! search, candidate-pool construction, and single-mapping planning. These
+//! dominate the SLRH inner loop, so regressions here surface directly in
+//! the Figure 6 execution times.
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::task::Version;
+use adhoc_grid::units::{Dur, Time};
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsim::plan::Placement;
+use gridsim::state::SimState;
+use gridsim::timeline::Timeline;
+use lagrange::weights::{Objective, Weights};
+use slrh::pool::build_pool;
+
+fn bench_timeline_gap_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeline");
+    for &n in &[100usize, 1000] {
+        // A timeline with n busy intervals of 10 ticks with 5-tick holes.
+        let mut tl = Timeline::new();
+        for i in 0..n {
+            tl.insert(Time(15 * i as u64), Dur(10));
+        }
+        g.bench_with_input(BenchmarkId::new("earliest_gap_mid", n), &tl, |b, tl| {
+            // A 7-tick span only fits after the busy prefix.
+            b.iter(|| tl.earliest_gap(Time(0), Dur(7)))
+        });
+        g.bench_with_input(BenchmarkId::new("is_free", n), &tl, |b, tl| {
+            b.iter(|| tl.is_free(Time(15 * (n as u64 / 2) + 10), Dur(5)))
+        });
+    }
+    g.finish();
+}
+
+fn mid_run_state(tasks: usize) -> (Scenario, usize) {
+    (
+        Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0),
+        tasks / 2,
+    )
+}
+
+fn advance<'a>(sc: &'a Scenario, commits: usize) -> SimState<'a> {
+    let mut st = SimState::new(sc);
+    let mut i = 0;
+    while st.mapped_count() < commits {
+        let t = st.ready_tasks()[0];
+        let j = MachineId(i % sc.grid.len());
+        i += 1;
+        if !st.version_feasible(t, Version::Secondary, j) {
+            continue;
+        }
+        let plan = st.plan(t, Version::Secondary, j, Placement::Append {
+            not_before: Time::ZERO,
+        });
+        st.commit(&plan);
+    }
+    st
+}
+
+fn bench_pool_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    for &tasks in &[256usize, 1024] {
+        let (sc, commits) = mid_run_state(tasks);
+        let st = advance(&sc, commits);
+        let obj = Objective::paper(Weights::new(0.5, 0.25).unwrap());
+        let now = st.compute_ready(MachineId(0));
+        g.bench_with_input(BenchmarkId::new("build", tasks), &st, |b, st| {
+            b.iter(|| build_pool(st, &obj, MachineId(1), now).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan");
+    for &tasks in &[256usize, 1024] {
+        let (sc, commits) = mid_run_state(tasks);
+        let st = advance(&sc, commits);
+        let t = st.ready_tasks()[0];
+        let now = st.compute_ready(MachineId(1));
+        g.bench_with_input(BenchmarkId::new("append", tasks), &st, |b, st| {
+            b.iter(|| {
+                st.plan(t, Version::Primary, MachineId(1), Placement::Append { not_before: now })
+                    .finish()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("insert", tasks), &st, |b, st| {
+            b.iter(|| st.plan(t, Version::Primary, MachineId(1), Placement::Insert).finish())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timeline_gap_search,
+    bench_pool_build,
+    bench_plan_mapping
+);
+criterion_main!(benches);

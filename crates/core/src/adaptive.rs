@@ -1,0 +1,206 @@
+//! On-the-fly adjustment of the objective weights (the paper's §VIII
+//! future work).
+//!
+//! The paper concludes that the `T100` multiplier α "requires adjustment
+//! whenever the system environment changes" while the constraint
+//! multipliers may be held nearly constant. This module closes that loop
+//! with a principled controller: the weight triple is interpreted as the
+//! *normalized multiplier vector* of the Lagrangian
+//!
+//! ```text
+//! L = T100/|T| − λ_e · (TEC/TSE − 1) − λ_t · (AET/τ − 1)
+//! ```
+//!
+//! i.e. `(α, β, γ) = (1, λ_e, λ_t) / (1 + λ_e + λ_t)`. Every control
+//! interval the controller linearly extrapolates the run's energy and
+//! time consumption to completion, treats the predicted constraint
+//! violations as subgradients, and takes one projected dual-ascent step
+//! on `(λ_e, λ_t)`. Tight runs drive the penalty weights up (pushing the
+//! heuristic toward cheap secondary versions); slack runs decay them
+//! toward zero, recovering α → 1.
+
+use adhoc_grid::units::{Dur, Time};
+use adhoc_grid::workload::Scenario;
+use gridsim::state::SimState;
+use lagrange::multipliers::MultiplierVector;
+use lagrange::step::StepRule;
+use lagrange::weights::Weights;
+
+use crate::config::SlrhConfig;
+use crate::mapper::{drive, RunStats};
+
+/// Configuration of an adaptive SLRH run.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct AdaptiveConfig {
+    /// The underlying SLRH configuration; its weights are the starting
+    /// point and are overwritten by the controller as the run progresses.
+    pub base: SlrhConfig,
+    /// Ticks between controller invocations.
+    pub control_interval: Dur,
+    /// Multiplier step rule (constant steps suit the drifting target).
+    pub rule: StepRule,
+}
+
+impl AdaptiveConfig {
+    /// Reasonable defaults: adjust every 500 ticks (50 s) with constant
+    /// steps of 0.25.
+    pub fn new(base: SlrhConfig) -> AdaptiveConfig {
+        AdaptiveConfig {
+            base,
+            control_interval: Dur(500),
+            rule: StepRule::Constant { a: 0.25 },
+        }
+    }
+}
+
+/// The result of an adaptive run.
+#[derive(Debug)]
+pub struct AdaptiveOutcome<'a> {
+    /// Final simulation state.
+    pub state: SimState<'a>,
+    /// Work counters (all segments summed).
+    pub stats: RunStats,
+    /// `(clock, weights)` at every controller invocation, starting with
+    /// the initial weights at time zero.
+    pub weight_trace: Vec<(Time, Weights)>,
+}
+
+impl AdaptiveOutcome<'_> {
+    /// The weights in force when the run ended.
+    pub fn final_weights(&self) -> Weights {
+        self.weight_trace.last().expect("trace is never empty").1
+    }
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> gridsim::metrics::Metrics {
+        self.state.metrics()
+    }
+}
+
+/// Convert multipliers `(λ_e, λ_t)` to simplex weights
+/// `(1, λ_e, λ_t) / (1 + λ_e + λ_t)`.
+fn weights_from_multipliers(lambda: &[f64]) -> Weights {
+    let denom = 1.0 + lambda[0] + lambda[1];
+    Weights::new(1.0 / denom, lambda[0] / denom).expect("normalized multipliers lie on simplex")
+}
+
+/// Recover multipliers from weights: `λ_e = β/α`, `λ_t = γ/α`. Degenerate
+/// α = 0 starts are clamped to a large finite multiplier.
+fn multipliers_from_weights(w: &Weights) -> Vec<f64> {
+    let alpha = w.alpha().max(1e-3);
+    vec![w.beta() / alpha, w.gamma() / alpha]
+}
+
+/// Predicted constraint violations from a mid-run snapshot: consumption
+/// fractions linearly extrapolated to full mapping.
+fn predicted_violations(state: &SimState<'_>, now: Time) -> [f64; 2] {
+    let m = state.metrics();
+    let progress = m.mapped as f64 / m.tasks as f64;
+    if progress <= 0.0 {
+        return [0.0, 0.0];
+    }
+    let e_pred = m.tec_fraction() / progress;
+    let t_pred = (now.as_seconds() / m.tau.as_seconds()) / progress;
+    [e_pred - 1.0, t_pred - 1.0]
+}
+
+/// Run SLRH with online weight adaptation.
+pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> AdaptiveOutcome<'a> {
+    assert!(
+        !cfg.control_interval.is_zero(),
+        "control interval must be positive"
+    );
+    let mut state = SimState::new(scenario);
+    let mut stats = RunStats::default();
+    let mut config = cfg.base;
+    let mut lambda = MultiplierVector::from_values(multipliers_from_weights(&config.objective.weights));
+    let mut trace = vec![(Time::ZERO, config.objective.weights)];
+
+    let mut now = Time::ZERO;
+    loop {
+        let stop = now.saturating_add(cfg.control_interval);
+        now = drive(&mut state, &config, &mut stats, now, Some(stop));
+        if state.all_mapped() || now > scenario.tau {
+            break;
+        }
+        // One projected dual-ascent step on the predicted violations.
+        let g = predicted_violations(&state, now);
+        lambda.ascend(&cfg.rule, 0.0, &g);
+        config.objective.weights = weights_from_multipliers(lambda.values());
+        trace.push((now, config.objective.weights));
+    }
+
+    AdaptiveOutcome {
+        state,
+        stats,
+        weight_trace: trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlrhVariant;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::ScenarioParams;
+    use gridsim::validate::validate;
+
+    fn scenario(tasks: usize) -> Scenario {
+        Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
+    }
+
+    #[test]
+    fn multiplier_weight_roundtrip() {
+        let w = Weights::new(0.5, 0.3).unwrap();
+        let l = multipliers_from_weights(&w);
+        let back = weights_from_multipliers(&l);
+        assert!((back.alpha() - 0.5).abs() < 1e-9);
+        assert!((back.beta() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_multipliers_give_pure_t100_objective() {
+        let w = weights_from_multipliers(&[0.0, 0.0]);
+        assert_eq!(w.alpha(), 1.0);
+        assert_eq!(w.beta(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_run_completes_and_validates() {
+        let sc = scenario(64);
+        let base = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap());
+        let out = run_adaptive_slrh(&sc, &AdaptiveConfig::new(base));
+        assert!(out.metrics().fully_mapped());
+        let errs = validate(&out.state);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(!out.weight_trace.is_empty());
+    }
+
+    #[test]
+    fn slack_run_decays_penalties() {
+        // Plenty of time and energy: predicted violations are negative,
+        // so λ decays and α grows toward 1.
+        let params = ScenarioParams::paper_scaled(48)
+            .with_tau(Time::from_seconds(1_000_000));
+        let sc = Scenario::generate(&params, GridCase::A, 0, 0);
+        let base = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.4, 0.4).unwrap());
+        let mut cfg = AdaptiveConfig::new(base);
+        cfg.control_interval = Dur(100);
+        let out = run_adaptive_slrh(&sc, &cfg);
+        let w = out.final_weights();
+        if out.weight_trace.len() > 1 {
+            assert!(
+                w.alpha() >= 0.4 - 1e-9,
+                "alpha should not shrink in a slack run, got {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_prediction_extrapolates() {
+        let sc = scenario(32);
+        let state = SimState::new(&sc);
+        // Nothing mapped: no signal.
+        assert_eq!(predicted_violations(&state, Time::ZERO), [0.0, 0.0]);
+    }
+}

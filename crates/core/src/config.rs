@@ -1,0 +1,206 @@
+//! SLRH configuration: variant, clock step ΔT, horizon H, objective.
+
+use adhoc_grid::units::Dur;
+use lagrange::weights::{Objective, Weights};
+
+/// The three SLRH variants of §V.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SlrhVariant {
+    /// Baseline: at most one subtask/version pair per machine per timestep.
+    V1,
+    /// Keeps assigning pairs from the *same* candidate pool to a machine
+    /// until the pool is exhausted or nothing can start within the
+    /// horizon; the pool is not re-evaluated between assignments.
+    V2,
+    /// Like V2 but the pool is recreated and re-evaluated after every
+    /// assignment, immediately admitting newly-ready children.
+    V3,
+}
+
+impl SlrhVariant {
+    /// All variants in paper order.
+    pub const ALL: [SlrhVariant; 3] = [SlrhVariant::V1, SlrhVariant::V2, SlrhVariant::V3];
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlrhVariant::V1 => "SLRH-1",
+            SlrhVariant::V2 => "SLRH-2",
+            SlrhVariant::V3 => "SLRH-3",
+        }
+    }
+}
+
+impl std::fmt::Display for SlrhVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When the heuristic re-runs (§IV: "the heuristic is executed at
+/// specified time intervals as opposed to whenever a machine becomes
+/// available" — this knob implements both sides of that sentence).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Trigger {
+    /// The paper's design: a fixed clock step ΔT.
+    #[default]
+    Clock,
+    /// The alternative the paper names and rejects: jump the clock to the
+    /// next instant a machine becomes available (falling back to ΔT when
+    /// every machine is already idle, e.g. while waiting out a horizon
+    /// miss).
+    MachineAvailable,
+}
+
+/// The order in which the per-tick loop visits machines (§IV: "the
+/// machines were checked in simple numerical order" — with fast machines
+/// first by the grid convention, numerical order is fast-first).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MachineOrder {
+    /// The paper's choice: machine ids ascending (fast machines first).
+    #[default]
+    Numerical,
+    /// Machine ids descending (slow machines first).
+    Reversed,
+    /// Rotate the starting machine by one position each tick, so no
+    /// machine is structurally favoured for the pool's best candidates.
+    Rotating,
+}
+
+impl MachineOrder {
+    /// The visit order for a grid of `n` machines at clock-tick index
+    /// `tick` (0-based count of heuristic invocations).
+    pub fn order(self, n: usize, tick: u64) -> Vec<usize> {
+        match self {
+            MachineOrder::Numerical => (0..n).collect(),
+            MachineOrder::Reversed => (0..n).rev().collect(),
+            MachineOrder::Rotating => {
+                let shift = (tick % n.max(1) as u64) as usize;
+                (0..n).map(|i| (i + shift) % n).collect()
+            }
+        }
+    }
+}
+
+/// Full configuration of one SLRH run.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SlrhConfig {
+    /// Which variant to run.
+    pub variant: SlrhVariant,
+    /// The objective function (weights + AET sign).
+    pub objective: Objective,
+    /// When the heuristic re-runs.
+    pub trigger: Trigger,
+    /// Machine visit order per invocation.
+    pub machine_order: MachineOrder,
+    /// Clock step ΔT between heuristic invocations, in ticks
+    /// (paper: 10 clock cycles = 1 s, established by the Figure 2 sweep).
+    pub dt: Dur,
+    /// Receding horizon H: a candidate must be able to *start* within
+    /// `H` of the current clock (paper: 100 clock cycles = 10 s).
+    pub horizon: Dur,
+    /// Whether secondary versions may be mapped (paper: yes). Disabling
+    /// them is the secondary-availability ablation: the pool's
+    /// feasibility gate then requires the *primary* version to fit.
+    pub allow_secondary: bool,
+}
+
+impl SlrhConfig {
+    /// Paper defaults: ΔT = 10 cycles, H = 100 cycles, secondaries on.
+    pub fn paper(variant: SlrhVariant, weights: Weights) -> SlrhConfig {
+        SlrhConfig {
+            variant,
+            objective: Objective::paper(weights),
+            trigger: Trigger::Clock,
+            machine_order: MachineOrder::Numerical,
+            dt: Dur(10),
+            horizon: Dur(100),
+            allow_secondary: true,
+        }
+    }
+
+    /// Override the machine visit order (order ablation).
+    pub fn with_machine_order(mut self, order: MachineOrder) -> SlrhConfig {
+        self.machine_order = order;
+        self
+    }
+
+    /// Switch to the event-driven trigger (trigger-mode ablation).
+    pub fn event_driven(mut self) -> SlrhConfig {
+        self.trigger = Trigger::MachineAvailable;
+        self
+    }
+
+    /// Disable secondary versions (ablation A5).
+    pub fn primary_only(mut self) -> SlrhConfig {
+        self.allow_secondary = false;
+        self
+    }
+
+    /// Override ΔT (Figure 2 sweep).
+    pub fn with_dt(mut self, dt: Dur) -> SlrhConfig {
+        assert!(!dt.is_zero(), "ΔT must be at least one tick");
+        self.dt = dt;
+        self
+    }
+
+    /// Override the horizon (ablation A3).
+    pub fn with_horizon(mut self, horizon: Dur) -> SlrhConfig {
+        self.horizon = horizon;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap());
+        assert_eq!(c.dt, Dur(10));
+        assert_eq!(c.horizon, Dur(100));
+        assert_eq!(c.variant, SlrhVariant::V1);
+        assert_eq!(c.trigger, Trigger::Clock);
+        assert!(c.allow_secondary);
+    }
+
+    #[test]
+    fn machine_orders() {
+        assert_eq!(MachineOrder::Numerical.order(4, 7), vec![0, 1, 2, 3]);
+        assert_eq!(MachineOrder::Reversed.order(4, 7), vec![3, 2, 1, 0]);
+        assert_eq!(MachineOrder::Rotating.order(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(MachineOrder::Rotating.order(4, 1), vec![1, 2, 3, 0]);
+        assert_eq!(MachineOrder::Rotating.order(4, 6), vec![2, 3, 0, 1]);
+        assert_eq!(MachineOrder::Rotating.order(1, 9), vec![0]);
+    }
+
+    #[test]
+    fn event_driven_builder() {
+        let c = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap())
+            .event_driven();
+        assert_eq!(c.trigger, Trigger::MachineAvailable);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SlrhConfig::paper(SlrhVariant::V3, Weights::new(0.5, 0.2).unwrap())
+            .with_dt(Dur(1))
+            .with_horizon(Dur(500));
+        assert_eq!(c.dt, Dur(1));
+        assert_eq!(c.horizon, Dur(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_dt_rejected() {
+        let _ = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap())
+            .with_dt(Dur::ZERO);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SlrhVariant::V1.to_string(), "SLRH-1");
+        assert_eq!(SlrhVariant::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,537 @@
+//! Ad hoc machine loss during a run, with on-the-fly remapping.
+//!
+//! The paper's motivation (§I) is a grid whose assets "appear and
+//! disappear ... at unanticipated times", but its study freezes the grid
+//! per case; this module implements the dynamic behaviour the SLRH was
+//! designed for. When machine `j` is lost at time `a`:
+//!
+//! 1. every execution on `j` that has not *finished* by `a` is killed;
+//! 2. a subtask that did finish on `j` is kept only if all of its output
+//!    obligations were already discharged — every child mapped and every
+//!    cross-machine transfer completed before `a` (partial results on a
+//!    vanished machine are unreachable; the paper judges recovering them
+//!    "too costly");
+//! 3. any transfer from `j` still in flight (or in the future) at `a`
+//!    starves its consumer;
+//! 4. invalidation cascades to all mapped descendants of an invalidated
+//!    subtask: a re-executed parent re-produces *all* its outputs, so its
+//!    consumers re-run too.
+//!
+//! Invalidated subtasks are unmapped (in reverse dependency order, with
+//! full energy refunds — see the crate docs for the accounting
+//! simplification) and the ordinary SLRH clock loop simply continues on
+//! the surviving grid, remapping them as they re-enter the ready set.
+//!
+//! Events are processed on the heuristic's clock: a loss at time `a`
+//! takes effect at the first clock tick `>= a` (granularity ΔT), matching
+//! the paper's clock-driven design.
+
+use std::collections::HashSet;
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::task::TaskId;
+use adhoc_grid::units::Time;
+use adhoc_grid::workload::Scenario;
+use gridsim::state::SimState;
+
+use crate::config::SlrhConfig;
+use crate::mapper::{drive, RunStats};
+
+/// A machine disappearing from the grid.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct MachineLossEvent {
+    /// The vanishing machine.
+    pub machine: MachineId,
+    /// When it vanishes.
+    pub at: Time,
+}
+
+/// A machine joining the grid mid-run. The machine must be part of the
+/// scenario's grid (and its ETC columns); before `at` it accepts no work.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct MachineArrivalEvent {
+    /// The joining machine.
+    pub machine: MachineId,
+    /// When it becomes usable.
+    pub at: Time,
+}
+
+/// The result of a dynamic run.
+#[derive(Debug)]
+pub struct DynamicOutcome<'a> {
+    /// Final simulation state.
+    pub state: SimState<'a>,
+    /// Work counters across all segments.
+    pub stats: RunStats,
+    /// Per event: `(effective time, subtasks invalidated)`.
+    pub disruptions: Vec<(Time, usize)>,
+}
+
+impl DynamicOutcome<'_> {
+    /// The run's metrics.
+    pub fn metrics(&self) -> gridsim::metrics::Metrics {
+        self.state.metrics()
+    }
+}
+
+/// Run SLRH on `scenario` while losing machines per `events`.
+///
+/// # Panics
+/// Panics if two events name the same machine.
+pub fn run_slrh_dynamic<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    events: &[MachineLossEvent],
+) -> DynamicOutcome<'a> {
+    run_slrh_churn(scenario, config, events, &[])
+}
+
+/// Run SLRH on `scenario` with full churn: machines joining (`arrivals`)
+/// and leaving (`losses`) at arbitrary times.
+///
+/// Arriving machines are scenario members whose timelines are blocked
+/// until their arrival instant — they contribute no capacity before it
+/// and the mapper's availability check excludes them naturally. The same
+/// machine may arrive and later be lost (arrival strictly first).
+///
+/// # Panics
+/// Panics on duplicate machines within either event list, on losing every
+/// machine, or on a machine lost before it arrives.
+pub fn run_slrh_churn<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    losses: &[MachineLossEvent],
+    arrivals: &[MachineArrivalEvent],
+) -> DynamicOutcome<'a> {
+    let mut arrivals = arrivals.to_vec();
+    arrivals.sort_by_key(|e| (e.machine, e.at));
+    for w in arrivals.windows(2) {
+        assert_ne!(w[0].machine, w[1].machine, "machine arrives twice");
+    }
+    for a in &arrivals {
+        if let Some(l) = losses.iter().find(|l| l.machine == a.machine) {
+            assert!(
+                a.at < l.at,
+                "{} lost at {} before arriving at {}",
+                a.machine,
+                l.at,
+                a.at
+            );
+        }
+    }
+    let mut events = losses.to_vec();
+    events.sort_by_key(|e| (e.at, e.machine));
+    for w in events.windows(2) {
+        assert_ne!(w[0].machine, w[1].machine, "machine lost twice");
+    }
+    assert!(
+        events.len() < scenario.grid.len(),
+        "cannot lose every machine"
+    );
+
+    let mut state = SimState::new(scenario);
+    for a in &arrivals {
+        if a.at > Time::ZERO {
+            state.block_until(a.machine, a.at);
+        }
+    }
+    let mut stats = RunStats::default();
+    let mut disruptions = Vec::new();
+    let mut now = Time::ZERO;
+
+    for ev in &events {
+        now = drive(&mut state, config, &mut stats, now, Some(ev.at));
+        if state.all_mapped() && state.aet() <= ev.at {
+            // Everything finished executing before the loss: the event
+            // cannot disrupt anything (assignments with finish <= at keep).
+        }
+        if now > scenario.tau {
+            break;
+        }
+        // The loss takes effect at the clock tick the driver stopped on.
+        let effective = now.max(ev.at);
+        let n = apply_loss(&mut state, ev.machine, effective);
+        disruptions.push((effective, n));
+    }
+    drive(&mut state, config, &mut stats, now, None);
+
+    DynamicOutcome {
+        state,
+        stats,
+        disruptions,
+    }
+}
+
+/// Invalidate everything machine `j`'s disappearance at `at` disrupts and
+/// unmap it. Returns the number of invalidated subtasks.
+pub fn apply_loss(state: &mut SimState<'_>, j: MachineId, at: Time) -> usize {
+    state.mark_lost(j, at);
+    let sc = state.scenario();
+    let invalid = invalidation_closure(state, sc, j, at);
+
+    // Unmap children-first. `unmap` can report parents that can no longer
+    // afford their restored worst-case reservations; those cascade.
+    let mut pending: HashSet<TaskId> = invalid;
+    let mut total = pending.iter().filter(|&&t| state.is_mapped(t)).count();
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let snapshot: Vec<TaskId> = pending.iter().copied().collect();
+        for t in snapshot {
+            if !state.is_mapped(t) {
+                pending.remove(&t);
+                progressed = true;
+                continue;
+            }
+            // Unmap only once every mapped child has been unmapped first
+            // (children that are themselves pending will clear this later).
+            if sc.dag.children(t).iter().all(|&c| !state.is_mapped(c)) {
+                let starved = state.unmap(t);
+                pending.remove(&t);
+                for p in starved {
+                    // A starved parent must re-run, so everything mapped
+                    // downstream of it must re-run too.
+                    total += add_with_mapped_descendants(state, sc, &mut pending, p);
+                }
+                progressed = true;
+            }
+        }
+        assert!(progressed, "invalidation closure failed to make progress");
+    }
+    total
+}
+
+/// Add `root` and every mapped descendant to `pending`; returns how many
+/// newly-added tasks were mapped. (A mapped task's ancestors are always
+/// mapped, so recursion can stop at the first unmapped node.)
+fn add_with_mapped_descendants(
+    state: &SimState<'_>,
+    sc: &Scenario,
+    pending: &mut HashSet<TaskId>,
+    root: TaskId,
+) -> usize {
+    let mut added = 0;
+    let mut stack = vec![root];
+    while let Some(t) = stack.pop() {
+        if state.is_mapped(t) && pending.insert(t) {
+            added += 1;
+            stack.extend(sc.dag.children(t).iter().copied());
+        }
+    }
+    added
+}
+
+/// The fixpoint of the invalidation rules (see module docs).
+fn invalidation_closure(
+    state: &SimState<'_>,
+    sc: &Scenario,
+    j: MachineId,
+    at: Time,
+) -> HashSet<TaskId> {
+    let schedule = state.schedule();
+    let transfer_finish = |p: TaskId, c: TaskId| -> Option<Time> {
+        schedule
+            .transfers()
+            .iter()
+            .find(|tr| tr.parent == p && tr.child == c)
+            .map(|tr| tr.finish())
+    };
+
+    let mut invalid: HashSet<TaskId> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for a in schedule.assignments() {
+            let t = a.task;
+            if invalid.contains(&t) {
+                continue;
+            }
+            let mut bad = false;
+
+            // Rule 1: killed mid-execution (or before starting) on j.
+            if a.machine == j && a.finish() > at {
+                bad = true;
+            }
+
+            // Rule 2/3: finished on j but with undischarged outputs.
+            if !bad && a.machine == j {
+                for &c in sc.dag.children(t) {
+                    match schedule.assignment(c) {
+                        None => bad = true, // data can never leave j now
+                        Some(ca) => {
+                            if invalid.contains(&c) {
+                                bad = true; // will need the data again
+                            } else if ca.machine != j {
+                                match transfer_finish(t, c) {
+                                    Some(f) if f <= at => {}
+                                    _ => bad = true, // transfer died
+                                }
+                            }
+                            // Same-machine child: covered by its own rules.
+                        }
+                    }
+                    if bad {
+                        break;
+                    }
+                }
+            }
+
+            // Rule 3 (consumer side): an incoming transfer from j died.
+            if !bad {
+                for &p in sc.dag.parents(t) {
+                    if let Some(pa) = schedule.assignment(p) {
+                        if pa.machine == j && a.machine != j {
+                            match transfer_finish(p, t) {
+                                Some(f) if f <= at => {}
+                                _ => {
+                                    bad = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Rule 4: any parent invalid => this must re-run too.
+            if !bad && sc.dag.parents(t).iter().any(|p| invalid.contains(p)) {
+                bad = true;
+            }
+
+            if bad {
+                invalid.insert(t);
+                changed = true;
+            }
+        }
+        if !changed {
+            return invalid;
+        }
+    }
+}
+
+/// Extra validation for churn runs: nothing may execute on, transmit
+/// from, or receive at a machine before its arrival time.
+pub fn validate_arrivals(state: &SimState<'_>, events: &[MachineArrivalEvent]) -> Vec<String> {
+    let mut errs = Vec::new();
+    for ev in events {
+        let (j, at) = (ev.machine, ev.at);
+        for a in state.schedule().assignments() {
+            if a.machine == j && a.start < at {
+                errs.push(format!(
+                    "{} starts on {j} at {} before its arrival at {at}",
+                    a.task, a.start
+                ));
+            }
+        }
+        for tr in state.schedule().transfers() {
+            if (tr.from == j || tr.to == j) && tr.start < at {
+                errs.push(format!(
+                    "transfer {}->{} touches {j} at {} before its arrival at {at}",
+                    tr.parent, tr.child, tr.start
+                ));
+            }
+        }
+    }
+    errs
+}
+
+/// Extra validation for dynamic runs: nothing may execute on, transmit
+/// from, or receive at a machine after its loss time.
+pub fn validate_loss(state: &SimState<'_>, events: &[MachineLossEvent]) -> Vec<String> {
+    let mut errs = Vec::new();
+    for ev in events {
+        let (j, at) = (ev.machine, ev.at);
+        let effective = state.lost_at(j).unwrap_or(at);
+        for a in state.schedule().assignments() {
+            if a.machine == j && a.finish() > effective {
+                errs.push(format!(
+                    "{} finishes on lost machine {j} at {} after loss at {effective}",
+                    a.task,
+                    a.finish()
+                ));
+            }
+        }
+        for tr in state.schedule().transfers() {
+            if (tr.from == j || tr.to == j) && tr.finish() > effective {
+                errs.push(format!(
+                    "transfer {}->{} touches lost machine {j} until {} after loss at {effective}",
+                    tr.parent,
+                    tr.child,
+                    tr.finish()
+                ));
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlrhVariant;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::ScenarioParams;
+    use gridsim::validate::validate;
+    use lagrange::weights::Weights;
+
+    fn scenario(tasks: usize) -> Scenario {
+        Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
+    }
+
+    fn config() -> SlrhConfig {
+        SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap())
+    }
+
+    #[test]
+    fn losing_a_machine_midway_still_yields_valid_schedule() {
+        let sc = scenario(64);
+        // Lose slow machine 3 a quarter of the way into the deadline.
+        let at = Time(sc.tau.0 / 4);
+        let events = [MachineLossEvent {
+            machine: MachineId(3),
+            at,
+        }];
+        let out = run_slrh_dynamic(&sc, &config(), &events);
+        let errs = validate(&out.state);
+        assert!(errs.is_empty(), "{errs:?}");
+        let loss_errs = validate_loss(&out.state, &events);
+        assert!(loss_errs.is_empty(), "{loss_errs:?}");
+        // Nothing may be assigned to the lost machine after the loss.
+        for a in out.state.schedule().assignments() {
+            if a.machine == MachineId(3) {
+                assert!(a.finish() <= out.state.lost_at(MachineId(3)).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_before_start_reduces_to_smaller_grid() {
+        let sc = scenario(48);
+        let events = [MachineLossEvent {
+            machine: MachineId(1),
+            at: Time::ZERO,
+        }];
+        let out = run_slrh_dynamic(&sc, &config(), &events);
+        assert!(validate(&out.state).is_empty());
+        assert!(out
+            .state
+            .schedule()
+            .assignments()
+            .all(|a| a.machine != MachineId(1)));
+        assert_eq!(out.disruptions[0].1, 0, "nothing to invalidate at t=0");
+    }
+
+    #[test]
+    fn losing_a_fast_machine_costs_t100() {
+        let sc = scenario(64);
+        let baseline = crate::mapper::run_slrh(&sc, &config());
+        let events = [MachineLossEvent {
+            machine: MachineId(0),
+            at: Time(sc.tau.0 / 8),
+        }];
+        let out = run_slrh_dynamic(&sc, &config(), &events);
+        assert!(validate(&out.state).is_empty());
+        assert!(
+            out.metrics().t100 <= baseline.metrics().t100,
+            "losing a fast machine should not improve T100"
+        );
+    }
+
+    #[test]
+    fn late_loss_disrupts_nothing_already_finished() {
+        let sc = scenario(32);
+        let baseline = crate::mapper::run_slrh(&sc, &config());
+        let aet = baseline.metrics().aet;
+        // Lose a machine long after everything finished.
+        let events = [MachineLossEvent {
+            machine: MachineId(2),
+            at: aet + adhoc_grid::units::Dur(1_000),
+        }];
+        let out = run_slrh_dynamic(&sc, &config(), &events);
+        assert_eq!(out.metrics().t100, baseline.metrics().t100);
+        assert_eq!(out.metrics().mapped, baseline.metrics().mapped);
+    }
+
+    #[test]
+    fn late_arrival_contributes_after_joining() {
+        let sc = scenario(64);
+        // Machine 1 (fast) joins a third of the way in.
+        let at = Time(sc.tau.0 / 3);
+        let arrivals = [MachineArrivalEvent {
+            machine: MachineId(1),
+            at,
+        }];
+        let out = run_slrh_churn(&sc, &config(), &[], &arrivals);
+        assert!(validate(&out.state).is_empty());
+        let arr_errs = validate_arrivals(&out.state, &arrivals);
+        assert!(arr_errs.is_empty(), "{arr_errs:?}");
+        // The late machine still ends up doing work after joining.
+        assert!(out
+            .state
+            .schedule()
+            .assignments()
+            .any(|a| a.machine == MachineId(1) && a.start >= at));
+    }
+
+    #[test]
+    fn churn_arrival_then_loss_round_trip() {
+        let sc = scenario(48);
+        let arrivals = [MachineArrivalEvent {
+            machine: MachineId(3),
+            at: Time(sc.tau.0 / 8),
+        }];
+        let losses = [MachineLossEvent {
+            machine: MachineId(3),
+            at: Time(sc.tau.0 / 2),
+        }];
+        let out = run_slrh_churn(&sc, &config(), &losses, &arrivals);
+        assert!(validate(&out.state).is_empty());
+        assert!(validate_arrivals(&out.state, &arrivals).is_empty());
+        assert!(validate_loss(&out.state, &losses).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lost at")]
+    fn loss_before_arrival_rejected() {
+        let sc = scenario(16);
+        let arrivals = [MachineArrivalEvent {
+            machine: MachineId(2),
+            at: Time(1_000),
+        }];
+        let losses = [MachineLossEvent {
+            machine: MachineId(2),
+            at: Time(500),
+        }];
+        let _ = run_slrh_churn(&sc, &config(), &losses, &arrivals);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine lost twice")]
+    fn duplicate_events_rejected() {
+        let sc = scenario(16);
+        let events = [
+            MachineLossEvent {
+                machine: MachineId(0),
+                at: Time(10),
+            },
+            MachineLossEvent {
+                machine: MachineId(0),
+                at: Time(20),
+            },
+        ];
+        let _ = run_slrh_dynamic(&sc, &config(), &events);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lose every machine")]
+    fn losing_all_machines_rejected() {
+        let sc = scenario(16);
+        let events: Vec<MachineLossEvent> = sc
+            .grid
+            .ids()
+            .map(|machine| MachineLossEvent {
+                machine,
+                at: Time(10),
+            })
+            .collect();
+        let _ = run_slrh_dynamic(&sc, &config(), &events);
+    }
+}

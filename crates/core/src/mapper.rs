@@ -1,0 +1,351 @@
+//! The SLRH clock loop (Figure 1) and its three variants.
+//!
+//! The heuristic is clock-driven: it runs at fixed intervals of ΔT ticks
+//! rather than whenever a machine frees up. At each invocation it walks
+//! the machines in numerical order; for every machine that is *available*
+//! (no computation scheduled at or beyond the current clock) it builds the
+//! candidate pool, walks it in decreasing objective order, and commits the
+//! first candidate able to start within the horizon `H`. The variants
+//! differ only in how many pairs a machine may receive per invocation —
+//! see [`crate::config::SlrhVariant`].
+//!
+//! The loop ends when every subtask is mapped, when the clock passes the
+//! deadline τ, or — a pure optimization, unreachable in the paper's
+//! configurations — when provably no future invocation can make progress
+//! (all machines already available, every pool empty: the pools depend
+//! only on energy and precedence state, which only mappings can change).
+
+use adhoc_grid::units::{Dur, Time};
+use adhoc_grid::workload::Scenario;
+use gridsim::metrics::Metrics;
+use gridsim::state::SimState;
+
+use crate::config::{SlrhConfig, SlrhVariant, Trigger};
+use adhoc_grid::config::MachineId;
+use crate::pool::{build_pool_with, PoolEntry};
+
+/// Counters describing one run's work (the paper's "heuristic execution
+/// time" proxy that is independent of the host machine).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Clock-loop iterations executed.
+    pub clock_steps: u64,
+    /// Candidate pools built.
+    pub pool_builds: u64,
+    /// Candidate (task, version) pairs evaluated against the objective.
+    pub candidates_evaluated: u64,
+    /// Mappings committed.
+    pub commits: u64,
+}
+
+/// The result of an SLRH run: the final simulation state plus counters.
+#[derive(Debug)]
+pub struct SlrhOutcome<'a> {
+    /// Final state (schedule, ledger, metrics).
+    pub state: SimState<'a>,
+    /// Work counters.
+    pub stats: RunStats,
+}
+
+impl SlrhOutcome<'_> {
+    /// The run's metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.state.metrics()
+    }
+}
+
+/// Run the configured SLRH variant to completion on `scenario`.
+///
+/// ```
+/// use adhoc_grid::workload::{Scenario, ScenarioParams};
+/// use adhoc_grid::config::GridCase;
+/// use lagrange::weights::Weights;
+/// use slrh::{run_slrh, SlrhConfig, SlrhVariant};
+///
+/// let params = ScenarioParams::paper_scaled(16);
+/// let scenario = Scenario::generate(&params, GridCase::A, 0, 0);
+/// let config = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap());
+/// let outcome = run_slrh(&scenario, &config);
+/// let m = outcome.metrics();
+/// assert!(m.mapped > 0);
+/// assert!(m.t100 <= m.mapped);
+/// ```
+pub fn run_slrh<'a>(scenario: &'a Scenario, config: &SlrhConfig) -> SlrhOutcome<'a> {
+    let mut state = SimState::new(scenario);
+    let mut stats = RunStats::default();
+    drive(&mut state, config, &mut stats, Time::ZERO, None);
+    SlrhOutcome { state, stats }
+}
+
+/// Advance the SLRH clock loop on an existing state from `start_clock`
+/// until completion, τ, or `stop_at` (exclusive). Returns the clock value
+/// at which the loop stopped. This is the building block shared by the
+/// plain, adaptive and dynamic drivers.
+pub(crate) fn drive(
+    state: &mut SimState<'_>,
+    config: &SlrhConfig,
+    stats: &mut RunStats,
+    start_clock: Time,
+    stop_at: Option<Time>,
+) -> Time {
+    let tau = state.scenario().tau;
+    let mut now = start_clock;
+    loop {
+        if state.all_mapped() || now > tau {
+            return now;
+        }
+        if let Some(stop) = stop_at {
+            if now >= stop {
+                return now;
+            }
+        }
+        let tick = stats.clock_steps;
+        stats.clock_steps += 1;
+        let mut any_commit = false;
+        let mut every_live_machine_available = true;
+
+        let order = config
+            .machine_order
+            .order(state.scenario().grid.len(), tick);
+        for j in order.into_iter().map(MachineId) {
+            if state.all_mapped() {
+                break;
+            }
+            if !state.is_alive(j) {
+                continue;
+            }
+            if state.compute_ready(j) > now {
+                every_live_machine_available = false;
+                continue;
+            }
+            if map_on_machine(state, config, stats, j, now) > 0 {
+                any_commit = true;
+            }
+        }
+
+        // Early exit (pure optimization): nothing was mapped although every
+        // live machine was idle. If on top of that every pool is empty, the
+        // blocker is energy infeasibility — pools depend only on energy and
+        // precedence, neither of which the clock can change — so no future
+        // invocation can make progress. (A non-empty pool here means a
+        // horizon miss, which the advancing clock *can* resolve.)
+        if !any_commit && every_live_machine_available && !state.all_mapped() {
+            let stuck = state.scenario().grid.ids().all(|j| {
+                !state.is_alive(j)
+                    || build_pool_with(state, &config.objective, j, now, config.allow_secondary)
+                        .is_empty()
+            });
+            if stuck {
+                return now;
+            }
+        }
+
+        now = match config.trigger {
+            Trigger::Clock => now + config.dt,
+            Trigger::MachineAvailable => {
+                // Jump to the next instant a machine frees up; fall back
+                // to the clock step when every machine is already idle
+                // (waiting out a horizon miss only time can resolve).
+                state
+                    .scenario()
+                    .grid
+                    .ids()
+                    .filter(|&j| state.is_alive(j))
+                    .map(|j| state.compute_ready(j))
+                    .filter(|&t| t > now)
+                    .min()
+                    .unwrap_or(now + config.dt)
+            }
+        };
+    }
+}
+
+/// Map candidates onto one available machine at the current clock,
+/// following the variant's repetition rule. Returns the number of commits.
+fn map_on_machine(
+    state: &mut SimState<'_>,
+    config: &SlrhConfig,
+    stats: &mut RunStats,
+    j: MachineId,
+    now: Time,
+) -> u64 {
+    let horizon_end = now.saturating_add(config.horizon);
+    let mut commits = 0u64;
+
+    match config.variant {
+        SlrhVariant::V1 => {
+            let pool = build_and_count(state, config, stats, j, now);
+            if let Some(e) = first_startable(&pool, horizon_end) {
+                state.commit(&e.plan);
+                stats.commits += 1;
+                commits += 1;
+            }
+        }
+        SlrhVariant::V2 => {
+            // One pool, consumed in its original order; plans are re-made
+            // per entry because earlier commits shift the machine's
+            // availability, but membership, version choice and ordering
+            // are frozen — the defining simplification of SLRH-2.
+            let pool = build_and_count(state, config, stats, j, now);
+            for e in &pool {
+                if state.is_mapped(e.task) {
+                    continue;
+                }
+                if !state.version_feasible(e.task, e.version, j) {
+                    continue;
+                }
+                let plan = state.plan(
+                    e.task,
+                    e.version,
+                    j,
+                    gridsim::plan::Placement::Append { not_before: now },
+                );
+                if plan.start <= horizon_end {
+                    state.commit(&plan);
+                    stats.commits += 1;
+                    commits += 1;
+                }
+            }
+        }
+        SlrhVariant::V3 => {
+            // Recreate and re-evaluate the pool after every assignment,
+            // admitting newly-ready children immediately.
+            loop {
+                let pool = build_and_count(state, config, stats, j, now);
+                let Some(e) = first_startable(&pool, horizon_end) else {
+                    break;
+                };
+                state.commit(&e.plan);
+                stats.commits += 1;
+                commits += 1;
+            }
+        }
+    }
+    commits
+}
+
+fn build_and_count(
+    state: &SimState<'_>,
+    config: &SlrhConfig,
+    stats: &mut RunStats,
+    j: MachineId,
+    now: Time,
+) -> Vec<PoolEntry> {
+    let pool = build_pool_with(state, &config.objective, j, now, config.allow_secondary);
+    stats.pool_builds += 1;
+    stats.candidates_evaluated += pool.len() as u64;
+    pool
+}
+
+/// First pool entry (maximum objective first) able to start within the
+/// horizon.
+fn first_startable(pool: &[PoolEntry], horizon_end: Time) -> Option<&PoolEntry> {
+    pool.iter().find(|e| e.plan.start <= horizon_end)
+}
+
+/// Convenience: ΔT expressed in ticks for a given number of clock cycles
+/// (1 cycle = 1 tick = 0.1 s).
+pub fn cycles(n: u64) -> Dur {
+    Dur(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::{Scenario, ScenarioParams};
+    use gridsim::validate::validate;
+    use lagrange::weights::Weights;
+
+    fn scenario(tasks: usize) -> Scenario {
+        Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
+    }
+
+    fn config(variant: SlrhVariant) -> SlrhConfig {
+        SlrhConfig::paper(variant, Weights::new(0.5, 0.2).unwrap())
+    }
+
+    #[test]
+    fn slrh1_maps_everything_at_some_weights() {
+        // Whether a fixed (α, β) maps every subtask within the scaled
+        // energy budget is exactly what the Figure 3 search explores; a
+        // small grid must contain a fully-mapping, compliant pair.
+        let sc = scenario(64);
+        let mut found = false;
+        for (a, b) in [(0.5, 0.25), (0.25, 0.25), (0.5, 0.5), (1.0, 0.0)] {
+            let cfg = SlrhConfig::paper(SlrhVariant::V1, Weights::new(a, b).unwrap());
+            let out = run_slrh(&sc, &cfg);
+            let errs = validate(&out.state);
+            assert!(errs.is_empty(), "(α={a}, β={b}): {errs:?}");
+            let m = out.metrics();
+            assert!(out.stats.clock_steps > 0);
+            if m.constraints_met() {
+                found = true;
+                assert_eq!(out.stats.commits, 64);
+            }
+        }
+        assert!(found, "no grid point fully maps the scenario");
+    }
+
+    #[test]
+    fn slrh3_produces_valid_schedules_across_weights() {
+        let sc = scenario(64);
+        for (a, b) in [(0.5, 0.25), (0.25, 0.25)] {
+            let cfg = SlrhConfig::paper(SlrhVariant::V3, Weights::new(a, b).unwrap());
+            let out = run_slrh(&sc, &cfg);
+            let errs = validate(&out.state);
+            assert!(errs.is_empty(), "{errs:?}");
+            assert!(out.metrics().mapped > 0);
+        }
+    }
+
+    #[test]
+    fn slrh2_produces_a_valid_schedule() {
+        // SLRH-2 rarely maps everything (the paper dropped it for that);
+        // whatever it maps must still be physically valid.
+        let sc = scenario(64);
+        let out = run_slrh(&sc, &config(SlrhVariant::V2));
+        let errs = validate(&out.state);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn slrh1_one_commit_per_machine_per_step() {
+        let sc = scenario(48);
+        let out = run_slrh(&sc, &config(SlrhVariant::V1));
+        // V1 commits at most |M| pairs per clock step.
+        assert!(out.stats.commits <= out.stats.clock_steps * sc.grid.len() as u64);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sc = scenario(48);
+        let a = run_slrh(&sc, &config(SlrhVariant::V1));
+        let b = run_slrh(&sc, &config(SlrhVariant::V1));
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn smaller_dt_never_hurts_t100_much() {
+        // Figure 2's premise: T100 is insensitive to mid-range ΔT but
+        // degrades for very large ΔT. Compare 1 vs 400 cycles.
+        let sc = scenario(64);
+        let fine = run_slrh(&sc, &config(SlrhVariant::V1).with_dt(Dur(1)));
+        let coarse = run_slrh(&sc, &config(SlrhVariant::V1).with_dt(Dur(2000)));
+        assert!(fine.metrics().t100 >= coarse.metrics().t100);
+        // Coarse steps do fewer clock iterations.
+        assert!(coarse.stats.clock_steps < fine.stats.clock_steps);
+    }
+
+    #[test]
+    fn respects_tau_cutoff() {
+        // With a tiny tau nothing (or almost nothing) can be mapped.
+        let params = ScenarioParams::paper_scaled(64).with_tau(adhoc_grid::units::Time(5));
+        let sc = Scenario::generate(&params, GridCase::A, 0, 0);
+        let out = run_slrh(&sc, &config(SlrhVariant::V1));
+        assert!(!out.metrics().fully_mapped());
+        let errs = validate(&out.state);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+}

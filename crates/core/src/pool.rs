@@ -1,0 +1,221 @@
+//! The candidate pool `U` (§IV).
+//!
+//! For a target machine `j` at clock `now`, the pool contains every
+//! unmapped subtask that
+//!
+//! 1. has all parents mapped, and
+//! 2. passes the conservative energy feasibility test: `j` can afford the
+//!    subtask's **secondary** execution plus the worst-case shipment of
+//!    all its output data items over the grid's lowest-bandwidth link.
+//!
+//! Each pool member is then evaluated at both versions against the global
+//! objective and keeps only the better version ("the other version was no
+//! longer considered during this iteration"), with the restriction —
+//! implicit in the paper, necessary for physical soundness — that the
+//! primary version is only considered if it, too, fits the machine's
+//! remaining energy. Finally the pool is ordered by objective value from
+//! maximum to minimum (ties broken toward the lower task id for
+//! determinism).
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::task::{TaskId, Version};
+use adhoc_grid::units::Time;
+use gridsim::plan::{MappingPlan, Placement};
+use gridsim::state::SimState;
+use lagrange::weights::{Objective, ObjectiveInputs};
+
+/// One evaluated pool member: the chosen version, its ready-to-commit
+/// plan, and its objective value.
+#[derive(Clone, Debug)]
+pub struct PoolEntry {
+    /// The candidate subtask.
+    pub task: TaskId,
+    /// The objective-maximizing (feasible) version.
+    pub version: Version,
+    /// The plan whose commitment realises this entry.
+    pub plan: MappingPlan,
+    /// The global objective value after the hypothetical commit.
+    pub objective: f64,
+}
+
+/// Evaluate the global objective a plan would produce.
+pub fn plan_objective(state: &SimState<'_>, objective: &Objective, plan: &MappingPlan) -> f64 {
+    let m = state.metrics();
+    objective.evaluate(&ObjectiveInputs {
+        t100_frac: plan.t100_after as f64 / m.tasks as f64,
+        tec_frac: plan.tec_after / m.tse,
+        aet_frac: plan.aet_after.as_seconds() / m.tau.as_seconds(),
+    })
+}
+
+/// Build the ordered candidate pool for machine `j` at clock `now`.
+///
+/// `placement` is [`Placement::Append`]`{ not_before: now }` — the SLRH
+/// never looks backward in time.
+pub fn build_pool(
+    state: &SimState<'_>,
+    objective: &Objective,
+    j: MachineId,
+    now: Time,
+) -> Vec<PoolEntry> {
+    build_pool_with(state, objective, j, now, true)
+}
+
+/// [`build_pool`] with the secondary version optionally disabled
+/// (ablation A5). With `allow_secondary = false` the feasibility gate
+/// requires the *primary* version to fit, and only primaries are
+/// evaluated.
+pub fn build_pool_with(
+    state: &SimState<'_>,
+    objective: &Objective,
+    j: MachineId,
+    now: Time,
+    allow_secondary: bool,
+) -> Vec<PoolEntry> {
+    let placement = Placement::Append { not_before: now };
+    let mut pool: Vec<PoolEntry> = Vec::new();
+
+    for &t in state.ready_tasks() {
+        // Feasibility gate (§IV): at least the cheapest admissible
+        // version must fit.
+        let gate_version = if allow_secondary {
+            Version::Secondary
+        } else {
+            Version::Primary
+        };
+        if !state.version_feasible(t, gate_version, j) {
+            continue;
+        }
+        let gated = state.plan(t, gate_version, j, placement);
+        let gated_obj = plan_objective(state, objective, &gated);
+
+        // The primary is considered only when it fits the battery too.
+        let best = if allow_secondary && state.version_feasible(t, Version::Primary, j) {
+            let primary = state.plan(t, Version::Primary, j, placement);
+            let primary_obj = plan_objective(state, objective, &primary);
+            // Ties go to the primary: T100 is the study's objective.
+            if primary_obj >= gated_obj {
+                PoolEntry {
+                    task: t,
+                    version: Version::Primary,
+                    plan: primary,
+                    objective: primary_obj,
+                }
+            } else {
+                PoolEntry {
+                    task: t,
+                    version: Version::Secondary,
+                    plan: gated,
+                    objective: gated_obj,
+                }
+            }
+        } else {
+            PoolEntry {
+                task: t,
+                version: gate_version,
+                plan: gated,
+                objective: gated_obj,
+            }
+        };
+        pool.push(best);
+    }
+
+    // Maximum objective first; deterministic tie-break on task id.
+    pool.sort_by(|a, b| {
+        b.objective
+            .partial_cmp(&a.objective)
+            .expect("objective values are finite")
+            .then(a.task.cmp(&b.task))
+    });
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::{Scenario, ScenarioParams};
+    use lagrange::weights::Weights;
+
+    fn scenario() -> Scenario {
+        Scenario::generate(&ScenarioParams::paper_scaled(32), GridCase::A, 0, 0)
+    }
+
+    fn obj(alpha: f64, beta: f64) -> Objective {
+        Objective::paper(Weights::new(alpha, beta).unwrap())
+    }
+
+    #[test]
+    fn pool_contains_only_ready_tasks() {
+        let sc = scenario();
+        let state = SimState::new(&sc);
+        let pool = build_pool(&state, &obj(0.6, 0.2), MachineId(0), Time::ZERO);
+        assert!(!pool.is_empty());
+        for e in &pool {
+            assert!(sc.dag.parents(e.task).is_empty(), "only roots are ready");
+        }
+        assert_eq!(pool.len(), state.ready_tasks().len());
+    }
+
+    #[test]
+    fn pool_is_sorted_by_objective_desc() {
+        let sc = scenario();
+        let state = SimState::new(&sc);
+        let pool = build_pool(&state, &obj(0.6, 0.2), MachineId(2), Time::ZERO);
+        for w in pool.windows(2) {
+            assert!(w[0].objective >= w[1].objective);
+        }
+    }
+
+    #[test]
+    fn high_alpha_selects_primaries() {
+        let sc = scenario();
+        let state = SimState::new(&sc);
+        // α = 1: only T100 matters, primary always wins when feasible.
+        let pool = build_pool(&state, &obj(1.0, 0.0), MachineId(0), Time::ZERO);
+        assert!(pool.iter().all(|e| e.version == Version::Primary));
+    }
+
+    #[test]
+    fn high_beta_selects_secondaries() {
+        let sc = scenario();
+        let state = SimState::new(&sc);
+        // β = 1: only energy matters, the 10x cheaper secondary wins on
+        // the energy-expensive fast machine.
+        let pool = build_pool(&state, &obj(0.0, 1.0), MachineId(0), Time::ZERO);
+        assert!(pool.iter().all(|e| e.version == Version::Secondary));
+    }
+
+    #[test]
+    fn plans_respect_now() {
+        let sc = scenario();
+        let state = SimState::new(&sc);
+        let now = Time::from_seconds(50);
+        let pool = build_pool(&state, &obj(0.6, 0.2), MachineId(1), now);
+        for e in &pool {
+            assert!(e.plan.start >= now);
+        }
+    }
+
+    #[test]
+    fn energy_gate_empties_pool_on_drained_machine() {
+        let sc = scenario();
+        let mut state = SimState::new(&sc);
+        // Drain machine 2 (slow, 58 eu) by mapping primaries onto it until
+        // the pool rejects everything.
+        let mut guard = 0;
+        loop {
+            let pool = build_pool(&state, &obj(1.0, 0.0), MachineId(2), Time::ZERO);
+            let Some(e) = pool.first() else { break };
+            state.commit(&e.plan);
+            guard += 1;
+            assert!(guard < 64, "drain did not terminate");
+        }
+        // Either all tasks mapped (energy was ample) or the gate closed.
+        if !state.all_mapped() {
+            let pool = build_pool(&state, &obj(1.0, 0.0), MachineId(2), Time::ZERO);
+            assert!(pool.is_empty());
+            assert!(!state.ready_tasks().is_empty());
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Directed acyclic graphs of subtask dependencies (§III).
+//!
+//! Subtask dependencies are given by a DAG: a subtask becomes *available*
+//! for mapping once all its parents are mapped, and it cannot *start
+//! executing* until all its input data has been received from the machines
+//! its parents ran on (§III assumption (d)).
+
+use crate::task::TaskId;
+
+/// An immutable DAG over `n` subtasks.
+///
+/// Stores both adjacency directions so heuristics can walk parents
+/// (precedence checks) and children (worst-case communication-energy
+/// reservations) without re-deriving either.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dag {
+    parents: Vec<Vec<TaskId>>,
+    children: Vec<Vec<TaskId>>,
+}
+
+impl Dag {
+    /// Build a DAG over `n` tasks from an edge list (`parent -> child`).
+    ///
+    /// Duplicate edges are collapsed. Returns an error message if any
+    /// endpoint is out of range, an edge is a self-loop, or the edges form
+    /// a cycle.
+    pub fn from_edges(n: usize, edges: &[(TaskId, TaskId)]) -> Result<Dag, String> {
+        let mut parents = vec![Vec::new(); n];
+        let mut children = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u.0 >= n || v.0 >= n {
+                return Err(format!("edge {u}->{v} out of range for n={n}"));
+            }
+            if u == v {
+                return Err(format!("self-loop on {u}"));
+            }
+            if !children[u.0].contains(&v) {
+                children[u.0].push(v);
+                parents[v.0].push(u);
+            }
+        }
+        for list in parents.iter_mut().chain(children.iter_mut()) {
+            list.sort_unstable();
+        }
+        let dag = Dag { parents, children };
+        if dag.topological_order().is_none() {
+            return Err("edge list contains a cycle".into());
+        }
+        Ok(dag)
+    }
+
+    /// An empty DAG (no edges) over `n` independent tasks.
+    pub fn independent(n: usize) -> Dag {
+        Dag {
+            parents: vec![Vec::new(); n],
+            children: vec![Vec::new(); n],
+        }
+    }
+
+    /// A simple chain `t0 -> t1 -> ... -> t(n-1)` (useful in tests).
+    pub fn chain(n: usize) -> Dag {
+        let edges: Vec<_> = (1..n).map(|i| (TaskId(i - 1), TaskId(i))).collect();
+        Dag::from_edges(n, &edges).expect("chain is acyclic")
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Parents of `t` (its data sources), in ascending id order.
+    pub fn parents(&self, t: TaskId) -> &[TaskId] {
+        &self.parents[t.0]
+    }
+
+    /// Children of `t` (its data sinks), in ascending id order.
+    pub fn children(&self, t: TaskId) -> &[TaskId] {
+        &self.children[t.0]
+    }
+
+    /// All task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + Clone {
+        (0..self.len()).map(TaskId)
+    }
+
+    /// Edges as `(parent, child)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.children
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (TaskId(u), v)))
+    }
+
+    /// Tasks with no parents.
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|&t| self.parents(t).is_empty())
+    }
+
+    /// Tasks with no children.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|&t| self.children(t).is_empty())
+    }
+
+    /// A topological order (Kahn's algorithm), or `None` if cyclic.
+    /// `from_edges` guarantees constructed DAGs are acyclic, so on a valid
+    /// `Dag` this always returns `Some`.
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.len();
+        let mut indegree: Vec<usize> = (0..n).map(|t| self.parents[t].len()).collect();
+        let mut queue: Vec<TaskId> = (0..n)
+            .filter(|&t| indegree[t] == 0)
+            .map(TaskId)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop() {
+            order.push(t);
+            for &c in self.children(t) {
+                indegree[c.0] -= 1;
+                if indegree[c.0] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Length (in edges) of the longest path — the DAG's depth minus one.
+    pub fn critical_path_edges(&self) -> usize {
+        let order = self.topological_order().expect("Dag is acyclic");
+        let mut depth = vec![0usize; self.len()];
+        let mut best = 0;
+        for &t in &order {
+            for &c in self.children(t) {
+                depth[c.0] = depth[c.0].max(depth[t.0] + 1);
+                best = best.max(depth[c.0]);
+            }
+        }
+        best
+    }
+
+    /// Maximum number of parents over all tasks (bounds per-task fan-in).
+    pub fn max_fan_in(&self) -> usize {
+        self.parents.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn diamond() {
+        //   0
+        //  / \
+        // 1   2
+        //  \ /
+        //   3
+        let d = Dag::from_edges(4, &[(t(0), t(1)), (t(0), t(2)), (t(1), t(3)), (t(2), t(3))])
+            .unwrap();
+        assert_eq!(d.parents(t(3)), &[t(1), t(2)]);
+        assert_eq!(d.children(t(0)), &[t(1), t(2)]);
+        assert_eq!(d.roots().collect::<Vec<_>>(), vec![t(0)]);
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![t(3)]);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.critical_path_edges(), 2);
+        assert_eq!(d.max_fan_in(), 2);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let d = Dag::from_edges(5, &[(t(0), t(2)), (t(1), t(2)), (t(2), t(3)), (t(2), t(4))])
+            .unwrap();
+        let order = d.topological_order().unwrap();
+        let pos = |x: TaskId| order.iter().position(|&y| y == x).unwrap();
+        for (u, v) in d.edges() {
+            assert!(pos(u) < pos(v), "{u} must precede {v}");
+        }
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Dag::from_edges(2, &[(t(0), t(1)), (t(1), t(0))]).unwrap_err();
+        assert!(err.contains("cycle"));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(Dag::from_edges(1, &[(t(0), t(0))]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Dag::from_edges(2, &[(t(0), t(5))]).is_err());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let d = Dag::from_edges(2, &[(t(0), t(1)), (t(0), t(1))]).unwrap();
+        assert_eq!(d.edge_count(), 1);
+    }
+
+    #[test]
+    fn independent_and_chain() {
+        let ind = Dag::independent(3);
+        assert_eq!(ind.edge_count(), 0);
+        assert_eq!(ind.roots().count(), 3);
+        let ch = Dag::chain(4);
+        assert_eq!(ch.edge_count(), 3);
+        assert_eq!(ch.critical_path_edges(), 3);
+        assert_eq!(ch.roots().collect::<Vec<_>>(), vec![t(0)]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Subtasks and their primary/secondary versions (§III).
+//!
+//! Every subtask can be executed in one of two versions:
+//!
+//! * the **primary** ("full", "100 %") version, and
+//! * a **secondary** version that "used 10 % of the energy and time of the
+//!   primary ... and transferred 10 % of the data output to subsequent child
+//!   subtasks" — a reduced-fidelity fallback that gives the resource manager
+//!   room to satisfy tight energy/time constraints.
+//!
+//! The experiment's objective is to maximise `T100`, the number of subtasks
+//! executed at the primary level.
+
+use std::fmt;
+
+/// Index of a subtask within a workload (`0 .. |T|`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Fraction of primary time/energy/output used by the secondary version.
+pub const SECONDARY_FRACTION: f64 = 0.1;
+
+/// Which version of a subtask is executed.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Version {
+    /// The full-fidelity version.
+    Primary,
+    /// The reduced version: 10 % time, 10 % energy, 10 % output data.
+    Secondary,
+}
+
+impl Version {
+    /// Both versions, primary first.
+    pub const BOTH: [Version; 2] = [Version::Primary, Version::Secondary];
+
+    /// Multiplier applied to the primary execution time (and hence energy).
+    pub fn time_factor(self) -> f64 {
+        match self {
+            Version::Primary => 1.0,
+            Version::Secondary => SECONDARY_FRACTION,
+        }
+    }
+
+    /// Multiplier applied to the primary output data size.
+    pub fn data_factor(self) -> f64 {
+        match self {
+            Version::Primary => 1.0,
+            Version::Secondary => SECONDARY_FRACTION,
+        }
+    }
+
+    /// True for [`Version::Primary`]; `T100` counts these.
+    pub fn is_primary(self) -> bool {
+        matches!(self, Version::Primary)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Version::Primary => "primary",
+            Version::Secondary => "secondary",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secondary_is_ten_percent() {
+        assert_eq!(Version::Primary.time_factor(), 1.0);
+        assert_eq!(Version::Secondary.time_factor(), 0.1);
+        assert_eq!(Version::Primary.data_factor(), 1.0);
+        assert_eq!(Version::Secondary.data_factor(), 0.1);
+    }
+
+    #[test]
+    fn primary_flag() {
+        assert!(Version::Primary.is_primary());
+        assert!(!Version::Secondary.is_primary());
+        assert_eq!(Version::BOTH[0], Version::Primary);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(Version::Secondary.to_string(), "secondary");
+    }
+}

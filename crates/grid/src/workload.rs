@@ -1,0 +1,267 @@
+//! Scenario assembly: one fully-specified experiment input.
+//!
+//! The paper's test suite crosses **ten ETC matrices × ten DAGs = 100
+//! scenarios**, each run on the three grid cases (§III). A [`Scenario`]
+//! bundles a grid configuration, the projected ETC matrix, the DAG, the
+//! per-edge data sizes and the deadline τ. [`ScenarioSet`] enumerates the
+//! full cross product deterministically from one master seed.
+
+use crate::config::{GridCase, GridConfig};
+use crate::dag::Dag;
+use crate::dag_gen::{self, DagGenParams};
+use crate::data::{DataGenParams, DataSizes};
+use crate::etc::EtcMatrix;
+use crate::etc_gen::{self, EtcGenParams};
+use crate::machine::paper_constants;
+use crate::seed::{self, stream};
+use crate::units::Time;
+
+/// Everything needed to generate a scenario suite.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct ScenarioParams {
+    /// Number of subtasks `|T|`.
+    pub tasks: usize,
+    /// ETC generator parameters.
+    pub etc: EtcGenParams,
+    /// DAG generator parameters.
+    pub dag: DagGenParams,
+    /// Data item size parameters.
+    pub data: DataGenParams,
+    /// Completion deadline τ.
+    pub tau: Time,
+    /// Battery scale applied to every machine (reduced-scale suites keep
+    /// the full-scale energy-per-subtask regime by scaling batteries with
+    /// the task count).
+    pub battery_scale: f64,
+    /// Master seed of the suite.
+    pub master_seed: u64,
+}
+
+impl ScenarioParams {
+    /// The paper's full-scale suite: |T| = 1024, τ = 34 075 s.
+    pub fn paper() -> ScenarioParams {
+        ScenarioParams::paper_scaled(paper_constants::NUM_SUBTASKS)
+    }
+
+    /// A paper-shaped suite at reduced task count, with τ *and the
+    /// machine batteries* scaled proportionally so both constraints stay
+    /// exactly as binding per subtask as at full scale.
+    pub fn paper_scaled(tasks: usize) -> ScenarioParams {
+        assert!(tasks > 0);
+        let factor = tasks as f64 / paper_constants::NUM_SUBTASKS as f64;
+        let tau_secs = (paper_constants::TAU_SECONDS as f64 * factor).ceil() as u64;
+        ScenarioParams {
+            tasks,
+            etc: EtcGenParams::paper(tasks),
+            dag: DagGenParams::paper(tasks),
+            data: DataGenParams::paper(),
+            tau: Time::from_seconds(tau_secs),
+            battery_scale: factor,
+            master_seed: seed::MASTER_SEED,
+        }
+    }
+
+    /// Replace the master seed (for independent replications).
+    pub fn with_seed(mut self, master_seed: u64) -> ScenarioParams {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Replace the deadline.
+    pub fn with_tau(mut self, tau: Time) -> ScenarioParams {
+        self.tau = tau;
+        self
+    }
+}
+
+/// One fully-specified experiment input.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which paper case (machine mix) this scenario runs on.
+    pub case: GridCase,
+    /// The machines.
+    pub grid: GridConfig,
+    /// Primary-version execution times, projected onto this case's machines.
+    pub etc: EtcMatrix,
+    /// Subtask precedence.
+    pub dag: Dag,
+    /// Per-edge data item sizes.
+    pub data: DataSizes,
+    /// Completion deadline τ.
+    pub tau: Time,
+    /// Which ETC suite member generated [`Scenario::etc`].
+    pub etc_id: usize,
+    /// Which DAG suite member generated [`Scenario::dag`].
+    pub dag_id: usize,
+}
+
+impl Scenario {
+    /// Generate the scenario for `(case, etc_id, dag_id)` under `params`.
+    ///
+    /// The DAG and data sizes depend only on `dag_id`; the ETC matrix
+    /// depends only on `etc_id` (projected per case) — matching the paper's
+    /// reuse of the same artifacts across cases.
+    pub fn generate(
+        params: &ScenarioParams,
+        case: GridCase,
+        etc_id: usize,
+        dag_id: usize,
+    ) -> Scenario {
+        let etc_seed = seed::derive2(params.master_seed, stream::ETC, etc_id as u64);
+        let dag_seed = seed::derive2(params.master_seed, stream::DAG, dag_id as u64);
+        let data_seed = seed::derive2(params.master_seed, stream::DATA, dag_id as u64);
+
+        let etc = etc_gen::generate_for_case(&params.etc, case, etc_seed);
+        let dag = dag_gen::generate(&params.dag, dag_seed);
+        let data = DataSizes::generate(&dag, &params.data, data_seed);
+        Scenario {
+            case,
+            grid: GridConfig::case(case).scale_batteries(params.battery_scale),
+            etc,
+            dag,
+            data,
+            tau: params.tau,
+            etc_id,
+            dag_id,
+        }
+    }
+
+    /// Number of subtasks `|T|`.
+    pub fn tasks(&self) -> usize {
+        self.dag.len()
+    }
+}
+
+/// A deterministic enumeration of the ETC × DAG cross product for one case.
+#[derive(Clone, Debug)]
+pub struct ScenarioSet {
+    params: ScenarioParams,
+    etc_count: usize,
+    dag_count: usize,
+}
+
+impl ScenarioSet {
+    /// The paper's 10 × 10 suite at full scale.
+    pub fn paper() -> ScenarioSet {
+        ScenarioSet::new(ScenarioParams::paper(), 10, 10)
+    }
+
+    /// A suite with explicit counts.
+    pub fn new(params: ScenarioParams, etc_count: usize, dag_count: usize) -> ScenarioSet {
+        assert!(etc_count > 0 && dag_count > 0);
+        ScenarioSet {
+            params,
+            etc_count,
+            dag_count,
+        }
+    }
+
+    /// The suite's generation parameters.
+    pub fn params(&self) -> &ScenarioParams {
+        &self.params
+    }
+
+    /// Number of ETC suite members.
+    pub fn etc_count(&self) -> usize {
+        self.etc_count
+    }
+
+    /// Number of DAG suite members.
+    pub fn dag_count(&self) -> usize {
+        self.dag_count
+    }
+
+    /// Total scenarios per case.
+    pub fn len(&self) -> usize {
+        self.etc_count * self.dag_count
+    }
+
+    /// Always false (counts are validated positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All `(etc_id, dag_id)` pairs, ETC-major.
+    pub fn ids(&self) -> impl Iterator<Item = (usize, usize)> + Clone {
+        let dags = self.dag_count;
+        (0..self.etc_count).flat_map(move |e| (0..dags).map(move |d| (e, d)))
+    }
+
+    /// Generate the scenario for `(case, etc_id, dag_id)`.
+    pub fn scenario(&self, case: GridCase, etc_id: usize, dag_id: usize) -> Scenario {
+        assert!(etc_id < self.etc_count && dag_id < self.dag_count);
+        Scenario::generate(&self.params, case, etc_id, dag_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineId;
+    use crate::task::TaskId;
+
+    #[test]
+    fn paper_params() {
+        let p = ScenarioParams::paper();
+        assert_eq!(p.tasks, 1024);
+        assert_eq!(p.tau, Time::from_seconds(34_075));
+    }
+
+    #[test]
+    fn scaled_tau_is_proportional() {
+        let p = ScenarioParams::paper_scaled(256);
+        // 34075 * 256/1024 = 8518.75 -> ceil 8519 s.
+        assert_eq!(p.tau, Time::from_seconds(8519));
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let params = ScenarioParams::paper_scaled(64);
+        let a = Scenario::generate(&params, GridCase::A, 2, 3);
+        let b = Scenario::generate(&params, GridCase::A, 2, 3);
+        assert_eq!(a.etc, b.etc);
+        assert_eq!(a.dag, b.dag);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn artifacts_depend_on_the_right_ids() {
+        let params = ScenarioParams::paper_scaled(64);
+        let base = Scenario::generate(&params, GridCase::A, 0, 0);
+        let other_etc = Scenario::generate(&params, GridCase::A, 1, 0);
+        let other_dag = Scenario::generate(&params, GridCase::A, 0, 1);
+        assert_ne!(base.etc, other_etc.etc);
+        assert_eq!(base.dag, other_etc.dag, "DAG fixed when only etc_id varies");
+        assert_eq!(base.etc, other_dag.etc, "ETC fixed when only dag_id varies");
+        assert_ne!(base.dag, other_dag.dag);
+    }
+
+    #[test]
+    fn cases_share_task_rows() {
+        let params = ScenarioParams::paper_scaled(32);
+        let a = Scenario::generate(&params, GridCase::A, 4, 4);
+        let c = Scenario::generate(&params, GridCase::C, 4, 4);
+        assert_eq!(a.dag, c.dag);
+        assert_eq!(c.grid.len(), 3);
+        // Case C machine 0 is Case A machine 0 (fast reference).
+        for i in 0..32 {
+            assert_eq!(
+                a.etc.seconds(TaskId(i), MachineId(0)),
+                c.etc.seconds(TaskId(i), MachineId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_set_enumerates_cross_product() {
+        let set = ScenarioSet::new(ScenarioParams::paper_scaled(16), 3, 4);
+        assert_eq!(set.len(), 12);
+        let ids: Vec<_> = set.ids().collect();
+        assert_eq!(ids.len(), 12);
+        assert_eq!(ids[0], (0, 0));
+        assert_eq!(ids[11], (2, 3));
+        let s = set.scenario(GridCase::B, 2, 3);
+        assert_eq!((s.etc_id, s.dag_id), (2, 3));
+        assert_eq!(s.grid.len(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the workload generators.
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::dag_gen::{self, DagGenParams};
+use adhoc_grid::data::{DataGenParams, DataSizes};
+use adhoc_grid::etc_gen::{self, EtcGenParams};
+use adhoc_grid::gamma::Gamma;
+use adhoc_grid::task::TaskId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated DAGs are structurally sound for any size/seed: acyclic,
+    /// bounded fan-in, roots confined to the first layer.
+    #[test]
+    fn dag_generator_invariants(tasks in 1usize..400, seed in any::<u64>()) {
+        let p = DagGenParams::paper(tasks);
+        let d = dag_gen::generate(&p, seed);
+        prop_assert_eq!(d.len(), tasks);
+        prop_assert!(d.topological_order().is_some());
+        prop_assert!(d.max_fan_in() <= p.max_fan_in);
+        // Roots only in layer 0 (ids below max_width).
+        for r in d.roots() {
+            prop_assert!(r.0 < p.max_width, "root {r} outside first layer");
+        }
+        // Edges respect id order (layered construction).
+        for (u, v) in d.edges() {
+            prop_assert!(u < v, "edge {u}->{v} goes backwards");
+        }
+    }
+
+    /// ETC matrices are positive, finite, and slow columns dominate fast
+    /// columns on average for any seed.
+    #[test]
+    fn etc_generator_invariants(tasks in 16usize..256, seed in any::<u64>()) {
+        let m = etc_gen::generate_case_a(&EtcGenParams::paper(tasks), seed);
+        prop_assert_eq!(m.tasks(), tasks);
+        prop_assert_eq!(m.machines(), 4);
+        let mut fast_sum = 0.0;
+        let mut slow_sum = 0.0;
+        for i in 0..tasks {
+            for j in 0..4 {
+                let v = m.seconds(TaskId(i), MachineId(j));
+                prop_assert!(v > 0.0 && v.is_finite());
+                if j < 2 { fast_sum += v } else { slow_sum += v }
+            }
+        }
+        prop_assert!(slow_sum > fast_sum, "slow class must be slower in aggregate");
+    }
+
+    /// Data sizes respect the configured range on every edge.
+    #[test]
+    fn data_sizes_in_range(tasks in 2usize..128, seed in any::<u64>(), lo in 0.05f64..0.5, extra in 0.1f64..2.0) {
+        let dag = dag_gen::generate(&DagGenParams::paper(tasks), seed);
+        let params = DataGenParams { size_mb: (lo, lo + extra) };
+        let data = DataSizes::generate(&dag, &params, seed ^ 0xD47A);
+        for (u, v) in dag.edges() {
+            let g = data.edge(&dag, u, v).value();
+            prop_assert!(g >= lo - 1e-12 && g <= lo + extra + 1e-12);
+        }
+    }
+
+    /// The Gamma sampler is always positive and finite, for any shape
+    /// regime (both the Marsaglia–Tsang branch and the boost branch).
+    #[test]
+    fn gamma_samples_positive(mean in 0.01f64..1e4, cv in 0.05f64..3.0, seed in any::<u64>()) {
+        let g = Gamma::from_mean_cv(mean, cv);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = g.sample(&mut rng);
+            prop_assert!(x > 0.0 && x.is_finite(), "bad sample {x}");
+        }
+    }
+
+    /// Seed determinism: the full generation pipeline is a pure function
+    /// of its seed.
+    #[test]
+    fn generation_is_pure(tasks in 8usize..64, seed in any::<u64>()) {
+        let p = DagGenParams::paper(tasks);
+        prop_assert_eq!(dag_gen::generate(&p, seed), dag_gen::generate(&p, seed));
+        let e = EtcGenParams::paper(tasks);
+        prop_assert_eq!(
+            etc_gen::generate_case_a(&e, seed),
+            etc_gen::generate_case_a(&e, seed)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Lagrangian relaxation of separable selection problems.
+//!
+//! This is the structure underlying Lagrangian scheduling in the style of
+//! Luh & Hoitomt [LuH93]: a set of *items* (subtasks) must each select one
+//! *option* (a machine/version placement, or "skip"), options carry a
+//! value and per-resource usages, and coupling capacity constraints tie
+//! the items together. Pricing the capacities with multipliers λ makes the
+//! problem **separable** — each item independently picks the option with
+//! the best reduced value — which is what makes the dual cheap to
+//! evaluate and the relaxation practical:
+//!
+//! ```text
+//! maximize   Σ_i value(x_i)
+//! subject to Σ_i usage_k(x_i) <= cap_k          for every resource k
+//!
+//! q(λ) = Σ_i max_o [ value(o) − Σ_k λ_k·usage_k(o) ] + Σ_k λ_k·cap_k
+//! ```
+//!
+//! `q(λ) >= optimum` for every λ >= 0, so minimizing `q` over λ yields the
+//! tightest Lagrangian **upper bound**; the relaxed selections along the
+//! way are typically infeasible and are repaired downstream by list
+//! scheduling (see the `grid-baselines` crate).
+
+use crate::subgradient::{SubgradientResult, SubgradientSolver};
+
+/// One selectable option of an item.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Choice {
+    /// Objective contribution if selected.
+    pub value: f64,
+    /// Resource usage per capacity constraint (same length as the
+    /// problem's `capacities`).
+    pub usage: Vec<f64>,
+}
+
+/// A selection: the chosen option index for every item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Selection(pub Vec<usize>);
+
+/// A separable capacity-constrained selection problem.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SeparableProblem {
+    options: Vec<Vec<Choice>>,
+    capacities: Vec<f64>,
+}
+
+/// The outcome of dual optimization.
+#[derive(Clone, Debug)]
+pub struct DualOutcome {
+    /// The multipliers achieving the best (lowest) upper bound.
+    pub lambda: Vec<f64>,
+    /// The Lagrangian upper bound `min_λ q(λ)` over the iterates seen.
+    pub upper_bound: f64,
+    /// The relaxed selection at [`DualOutcome::lambda`] (may be
+    /// infeasible — marginal-cost prices for a downstream repair stage).
+    pub selection: Selection,
+    /// Raw solver diagnostics.
+    pub solver: SubgradientResult,
+}
+
+impl SeparableProblem {
+    /// Build a problem.
+    ///
+    /// # Panics
+    /// Panics if any item has no options or an option's usage vector does
+    /// not match the number of capacities.
+    pub fn new(options: Vec<Vec<Choice>>, capacities: Vec<f64>) -> SeparableProblem {
+        for (i, opts) in options.iter().enumerate() {
+            assert!(!opts.is_empty(), "item {i} has no options");
+            for o in opts {
+                assert_eq!(
+                    o.usage.len(),
+                    capacities.len(),
+                    "item {i}: usage dimension mismatch"
+                );
+            }
+        }
+        SeparableProblem {
+            options,
+            capacities,
+        }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Number of coupling constraints.
+    pub fn resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// The capacities.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// The options of item `i`.
+    pub fn options_of(&self, i: usize) -> &[Choice] {
+        &self.options[i]
+    }
+
+    /// The relaxed (per-item independent) selection at prices λ: every
+    /// item picks the option maximizing `value − λ·usage`, ties broken
+    /// toward the lower option index.
+    pub fn relaxed_selection(&self, lambda: &[f64]) -> Selection {
+        assert_eq!(lambda.len(), self.capacities.len());
+        Selection(
+            self.options
+                .iter()
+                .map(|opts| {
+                    let mut best = 0usize;
+                    let mut best_v = f64::NEG_INFINITY;
+                    for (o, c) in opts.iter().enumerate() {
+                        let reduced = c.value
+                            - c.usage
+                                .iter()
+                                .zip(lambda)
+                                .map(|(u, l)| u * l)
+                                .sum::<f64>();
+                        if reduced > best_v {
+                            best_v = reduced;
+                            best = o;
+                        }
+                    }
+                    best
+                })
+                .collect(),
+        )
+    }
+
+    /// Total objective value of a selection.
+    pub fn total_value(&self, sel: &Selection) -> f64 {
+        sel.0
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| self.options[i][o].value)
+            .sum()
+    }
+
+    /// Total usage of a selection, per resource.
+    pub fn total_usage(&self, sel: &Selection) -> Vec<f64> {
+        let mut usage = vec![0.0; self.capacities.len()];
+        for (i, &o) in sel.0.iter().enumerate() {
+            for (u, c) in usage.iter_mut().zip(&self.options[i][o].usage) {
+                *u += c;
+            }
+        }
+        usage
+    }
+
+    /// True when the selection respects every capacity.
+    pub fn is_feasible(&self, sel: &Selection) -> bool {
+        self.total_usage(sel)
+            .iter()
+            .zip(&self.capacities)
+            .all(|(u, c)| *u <= *c + 1e-9)
+    }
+
+    /// The dual value and the constraint violations `usage − cap` of the
+    /// relaxed maximizer at λ (a subgradient of `q`, negated, as needed by
+    /// the minimization).
+    pub fn dual(&self, lambda: &[f64]) -> (f64, Vec<f64>) {
+        let sel = self.relaxed_selection(lambda);
+        let usage = self.total_usage(&sel);
+        let relaxed_value: f64 = self.total_value(&sel)
+            - usage
+                .iter()
+                .zip(lambda)
+                .map(|(u, l)| u * l)
+                .sum::<f64>()
+            + self
+                .capacities
+                .iter()
+                .zip(lambda)
+                .map(|(c, l)| c * l)
+                .sum::<f64>();
+        let violations: Vec<f64> = usage
+            .iter()
+            .zip(&self.capacities)
+            .map(|(u, c)| u - c)
+            .collect();
+        (relaxed_value, violations)
+    }
+
+    /// Minimize the dual upper bound `q(λ)` with projected subgradient
+    /// descent from `lambda0`.
+    pub fn solve_dual(&self, solver: &SubgradientSolver, lambda0: Vec<f64>) -> DualOutcome {
+        // Our solver maximizes; minimize q by maximizing −q. The
+        // subgradient of −q at λ is `usage − cap` of the relaxed
+        // maximizer, which is exactly the ascent direction for λ.
+        let mut oracle = |lambda: &[f64]| {
+            let (q, viol) = self.dual(lambda);
+            (-q, viol)
+        };
+        let result = solver.maximize(&mut oracle, lambda0);
+        let lambda = result.best_lambda.clone();
+        let upper_bound = -result.best_value;
+        let selection = self.relaxed_selection(&lambda);
+        DualOutcome {
+            lambda,
+            upper_bound,
+            selection,
+            solver: result,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::StepRule;
+
+    /// Two items, one resource of capacity 1. Each item may take the
+    /// resource (value 3 or 2, usage 1) or skip (value 0). Optimum: item 0
+    /// takes, item 1 skips — value 3.
+    fn contention() -> SeparableProblem {
+        let take = |v: f64| Choice {
+            value: v,
+            usage: vec![1.0],
+        };
+        let skip = Choice {
+            value: 0.0,
+            usage: vec![0.0],
+        };
+        SeparableProblem::new(
+            vec![vec![take(3.0), skip.clone()], vec![take(2.0), skip]],
+            vec![1.0],
+        )
+    }
+
+    #[test]
+    fn zero_prices_pick_max_value_and_violate() {
+        let p = contention();
+        let sel = p.relaxed_selection(&[0.0]);
+        assert_eq!(sel.0, vec![0, 0], "both grab the resource");
+        assert!(!p.is_feasible(&sel));
+        assert_eq!(p.total_value(&sel), 5.0);
+        let (q, viol) = p.dual(&[0.0]);
+        assert_eq!(q, 5.0);
+        assert_eq!(viol, vec![1.0]);
+    }
+
+    #[test]
+    fn high_prices_push_everyone_off() {
+        let p = contention();
+        let sel = p.relaxed_selection(&[10.0]);
+        assert_eq!(sel.0, vec![1, 1]);
+        assert!(p.is_feasible(&sel));
+    }
+
+    #[test]
+    fn dual_bound_dominates_optimum() {
+        let p = contention();
+        for l in [0.0, 1.0, 2.0, 2.5, 3.0, 5.0] {
+            let (q, _) = p.dual(&[l]);
+            assert!(q >= 3.0 - 1e-9, "q({l}) = {q} below optimum 3");
+        }
+        // At λ = 2 the bound is tight: q = (3-2) + 0 + 2·1 = 3.
+        let (q, _) = p.dual(&[2.0]);
+        assert!((q - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgradient_finds_near_tight_bound() {
+        let p = contention();
+        let solver = SubgradientSolver {
+            rule: StepRule::Diminishing { a: 1.0 },
+            max_iters: 500,
+            tol: 1e-12,
+        };
+        let out = p.solve_dual(&solver, vec![0.0]);
+        assert!(
+            out.upper_bound < 3.3,
+            "bound {} not near optimum 3",
+            out.upper_bound
+        );
+        assert!(out.upper_bound >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn bigger_instance_bound_and_prices() {
+        // Five items, two resources; "skip" always available.
+        let mk = |v: f64, u0: f64, u1: f64| Choice {
+            value: v,
+            usage: vec![u0, u1],
+        };
+        let skip = Choice {
+            value: 0.0,
+            usage: vec![0.0, 0.0],
+        };
+        let items: Vec<Vec<Choice>> = (0..5)
+            .map(|i| {
+                vec![
+                    mk(4.0 + i as f64, 2.0, 1.0),
+                    mk(2.0, 1.0, 0.0),
+                    skip.clone(),
+                ]
+            })
+            .collect();
+        let p = SeparableProblem::new(items, vec![5.0, 2.0]);
+        let solver = SubgradientSolver {
+            rule: StepRule::Diminishing { a: 2.0 },
+            max_iters: 800,
+            tol: 1e-12,
+        };
+        let out = p.solve_dual(&solver, vec![0.0, 0.0]);
+        // A feasible hand solution: items 3 and 4 take big (usage 4,2),
+        // one more item takes small (usage 1,0) -> value 7+8+2 = 17, usage (5,2).
+        assert!(out.upper_bound >= 17.0 - 1e-6);
+        assert!(out.upper_bound <= 19.5, "bound {} too loose", out.upper_bound);
+        // Prices should be meaningfully positive for the scarce resources.
+        assert!(out.lambda.iter().any(|&l| l > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no options")]
+    fn empty_item_rejected() {
+        let _ = SeparableProblem::new(vec![vec![]], vec![]);
+    }
+}

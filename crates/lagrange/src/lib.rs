@@ -1,0 +1,48 @@
+//! # lagrange — the Lagrangian optimization substrate
+//!
+//! The paper's heuristic is "simplified" in that its Lagrange multipliers
+//! — the objective weights α, β, γ — are held constant during a run (§IV),
+//! and its summary calls for "on-the-fly adjustment of the Lagrangian
+//! parameters" as future work (§VIII). This crate provides the machinery
+//! both halves need, hand-coded because no suitable optimization crate is
+//! in the approved dependency set:
+//!
+//! * [`weights`] — the constrained weight triple `(α, β, γ)` on the unit
+//!   simplex and the paper's global objective function
+//!   `ObjFn = α·T100/|T| − β·TEC/TSE + γ·AET/τ`;
+//! * [`step`] — classic subgradient step-size rules (constant,
+//!   diminishing `a/√k`, Polyak);
+//! * [`multipliers`] — projected multiplier vectors `λ ≥ 0` with
+//!   subgradient updates, the building block of dual ascent and of the
+//!   online weight controller;
+//! * [`subgradient`] — a projected subgradient solver for concave dual
+//!   functions exposed through the [`subgradient::DualOracle`] trait;
+//! * [`dual`] — Lagrangian relaxation of *separable* selection problems
+//!   (each item independently picks one option once the coupling
+//!   capacity constraints are priced), the structure used by the
+//!   [LuH93]-style static scheduling baseline;
+//! * [`surrogate`] — the surrogate subgradient method (Zhao, Luh &
+//!   Wang): multiplier updates after re-optimizing only a rotating
+//!   subset of subproblems, the standard large-scale acceleration of
+//!   Lagrangian scheduling;
+//! * [`lrnn`] — the Lagrangian relaxation neural network dynamics of
+//!   [LuZ00]: coupled gradient descent on the primal and ascent on the
+//!   dual variables of a Lagrangian.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dual;
+pub mod lrnn;
+pub mod multipliers;
+pub mod step;
+pub mod subgradient;
+pub mod surrogate;
+pub mod weights;
+
+pub use dual::{SeparableProblem, Selection};
+pub use multipliers::MultiplierVector;
+pub use step::StepRule;
+pub use subgradient::{DualOracle, SubgradientResult, SubgradientSolver};
+pub use surrogate::{SurrogateOutcome, SurrogateSolver};
+pub use weights::{AetSign, Objective, ObjectiveInputs, WeightError, Weights};

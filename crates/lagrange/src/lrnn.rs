@@ -1,0 +1,251 @@
+//! Lagrangian relaxation neural network (LRNN) dynamics.
+//!
+//! Luh, Zhao & Thakur [LuZ00] recast Lagrangian relaxation as a
+//! continuous-time "neural network": the primal variables follow gradient
+//! *descent* on the Lagrangian while the multipliers follow projected
+//! gradient *ascent*,
+//!
+//! ```text
+//! x' = −η_x · ∂L/∂x        λ' = +η_λ · g(x),   λ >= 0
+//! ```
+//!
+//! and prove convergence to a saddle point (the constrained optimum for
+//! convex problems) without differentiability or continuity requirements
+//! on the decision variables. The paper under reproduction cites this as
+//! the machinery that would adjust its multipliers online; here we provide
+//! a forward-Euler discretization of the dynamics over any
+//! [`LagrangianSystem`].
+
+/// A problem expressed through its Lagrangian
+/// `L(x, λ) = f(x) + Σ_k λ_k · g_k(x)` with inequality constraints
+/// `g_k(x) <= 0`.
+pub trait LagrangianSystem {
+    /// Dimension of the primal variable x.
+    fn primal_dim(&self) -> usize;
+    /// Number of constraints (dimension of λ).
+    fn dual_dim(&self) -> usize;
+    /// Objective `f(x)` (minimized).
+    fn objective(&self, x: &[f64]) -> f64;
+    /// Constraint values `g(x)` (feasible when all `<= 0`).
+    fn constraints(&self, x: &[f64]) -> Vec<f64>;
+    /// Gradient `∂L/∂x` at `(x, λ)`.
+    fn grad_x(&self, x: &[f64], lambda: &[f64]) -> Vec<f64>;
+
+    /// The Lagrangian itself (default: `f + λ·g`).
+    fn lagrangian(&self, x: &[f64], lambda: &[f64]) -> f64 {
+        self.objective(x)
+            + self
+                .constraints(x)
+                .iter()
+                .zip(lambda)
+                .map(|(g, l)| g * l)
+                .sum::<f64>()
+    }
+}
+
+/// Integration parameters for the LRNN dynamics.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct LrnnConfig {
+    /// Primal step `η_x`.
+    pub eta_x: f64,
+    /// Dual step `η_λ`.
+    pub eta_lambda: f64,
+    /// Maximum Euler steps.
+    pub max_iters: usize,
+    /// Stop when both the primal gradient and the complementarity
+    /// residual norms fall below this.
+    pub tol: f64,
+}
+
+impl Default for LrnnConfig {
+    fn default() -> LrnnConfig {
+        LrnnConfig {
+            eta_x: 0.05,
+            eta_lambda: 0.05,
+            max_iters: 20_000,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// The terminal state of an LRNN run.
+#[derive(Clone, Debug)]
+pub struct LrnnResult {
+    /// Final primal iterate.
+    pub x: Vec<f64>,
+    /// Final multipliers.
+    pub lambda: Vec<f64>,
+    /// Objective at the final iterate.
+    pub objective: f64,
+    /// Constraint values at the final iterate.
+    pub constraints: Vec<f64>,
+    /// True when the stationarity tolerance was met.
+    pub converged: bool,
+    /// Number of Euler steps taken.
+    pub iterations: usize,
+}
+
+/// Integrate the LRNN dynamics from `(x0, lambda0)`.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn run(
+    system: &dyn LagrangianSystem,
+    x0: Vec<f64>,
+    lambda0: Vec<f64>,
+    cfg: &LrnnConfig,
+) -> LrnnResult {
+    assert_eq!(x0.len(), system.primal_dim(), "x0 dimension mismatch");
+    assert_eq!(lambda0.len(), system.dual_dim(), "lambda0 dimension mismatch");
+    let mut x = x0;
+    let mut lambda = lambda0;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let gx = system.grad_x(&x, &lambda);
+        let g = system.constraints(&x);
+
+        // Stationarity: ∂L/∂x ≈ 0 and complementarity residual ≈ 0
+        // (violated constraints count fully; satisfied ones only through
+        // their still-positive multipliers).
+        let grad_norm = gx.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let comp_norm = g
+            .iter()
+            .zip(&lambda)
+            .map(|(gi, li)| {
+                let r = if *gi > 0.0 { *gi } else { gi * li };
+                r * r
+            })
+            .sum::<f64>()
+            .sqrt();
+        if grad_norm <= cfg.tol && comp_norm <= cfg.tol {
+            converged = true;
+            break;
+        }
+
+        for (xi, gi) in x.iter_mut().zip(&gx) {
+            *xi -= cfg.eta_x * gi;
+        }
+        for (li, gi) in lambda.iter_mut().zip(&g) {
+            *li = (*li + cfg.eta_lambda * gi).max(0.0);
+        }
+    }
+
+    LrnnResult {
+        objective: system.objective(&x),
+        constraints: system.constraints(&x),
+        x,
+        lambda,
+        converged,
+        iterations,
+    }
+}
+
+/// A convex quadratic test/demo system: minimize `‖x − c‖²` subject to
+/// `a·x − b <= 0`.
+#[derive(Clone, Debug)]
+pub struct QuadraticWithHalfspace {
+    /// The unconstrained minimizer.
+    pub c: Vec<f64>,
+    /// Constraint normal.
+    pub a: Vec<f64>,
+    /// Constraint offset.
+    pub b: f64,
+}
+
+impl LagrangianSystem for QuadraticWithHalfspace {
+    fn primal_dim(&self) -> usize {
+        self.c.len()
+    }
+    fn dual_dim(&self) -> usize {
+        1
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.c).map(|(xi, ci)| (xi - ci).powi(2)).sum()
+    }
+    fn constraints(&self, x: &[f64]) -> Vec<f64> {
+        vec![x.iter().zip(&self.a).map(|(xi, ai)| xi * ai).sum::<f64>() - self.b]
+    }
+    fn grad_x(&self, x: &[f64], lambda: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.c)
+            .zip(&self.a)
+            .map(|((xi, ci), ai)| 2.0 * (xi - ci) + lambda[0] * ai)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_constraint_saddle_point() {
+        // min (x−3)² s.t. x <= 1: saddle at x = 1, λ = 4.
+        let sys = QuadraticWithHalfspace {
+            c: vec![3.0],
+            a: vec![1.0],
+            b: 1.0,
+        };
+        let r = run(&sys, vec![0.0], vec![0.0], &LrnnConfig::default());
+        assert!(r.converged, "did not converge in {} iters", r.iterations);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.lambda[0] - 4.0).abs() < 1e-2, "λ = {:?}", r.lambda);
+        assert!((r.objective - 4.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn inactive_constraint_multiplier_vanishes() {
+        // min (x−0.5)² s.t. x <= 1: interior optimum, λ -> 0.
+        let sys = QuadraticWithHalfspace {
+            c: vec![0.5],
+            a: vec![1.0],
+            b: 1.0,
+        };
+        let r = run(&sys, vec![5.0], vec![2.0], &LrnnConfig::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 0.5).abs() < 1e-3);
+        assert!(r.lambda[0] < 1e-3);
+        assert!(r.constraints[0] < 0.0);
+    }
+
+    #[test]
+    fn two_dimensional_kkt_point() {
+        // min (x1−2)² + (x2+1)² s.t. x1 + x2 <= 0:
+        // KKT: λ = 1, x = (1.5, −1.5).
+        let sys = QuadraticWithHalfspace {
+            c: vec![2.0, -1.0],
+            a: vec![1.0, 1.0],
+            b: 0.0,
+        };
+        let r = run(&sys, vec![0.0, 0.0], vec![0.0], &LrnnConfig::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 1.5).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] + 1.5).abs() < 1e-3);
+        assert!((r.lambda[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lagrangian_default_formula() {
+        let sys = QuadraticWithHalfspace {
+            c: vec![0.0],
+            a: vec![1.0],
+            b: 0.0,
+        };
+        // L(x=2, λ=3) = 4 + 3·2 = 10.
+        assert!((sys.lagrangian(&[2.0], &[3.0]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked() {
+        let sys = QuadraticWithHalfspace {
+            c: vec![0.0],
+            a: vec![1.0],
+            b: 0.0,
+        };
+        let _ = run(&sys, vec![0.0, 0.0], vec![0.0], &LrnnConfig::default());
+    }
+}

@@ -1,0 +1,111 @@
+//! Subgradient step-size rules.
+//!
+//! Subgradient methods do not descend monotonically, so the step-size
+//! schedule *is* the algorithm. The three classic rules are provided:
+//!
+//! * **Constant** — converges to within a ball of the optimum whose radius
+//!   scales with the step; the right choice for a non-stationary target
+//!   (e.g. the online weight controller, where the "problem" drifts as the
+//!   grid changes);
+//! * **Diminishing** `a/√k` — the textbook divergent-sum,
+//!   square-summable-ratio schedule guaranteeing convergence for concave
+//!   duals;
+//! * **Polyak** — `(f̂ − f_k)/‖g_k‖²` given an estimate `f̂` of the optimal
+//!   value; the fastest rule when a bound (such as a feasible primal
+//!   value) is available.
+
+/// A step-size schedule for subgradient iterations.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum StepRule {
+    /// Fixed step `a`.
+    Constant {
+        /// The step size.
+        a: f64,
+    },
+    /// `a / sqrt(k)` at iteration `k >= 1`.
+    Diminishing {
+        /// The numerator.
+        a: f64,
+    },
+    /// Polyak's rule: `(target − value) / ‖g‖²`, clamped to
+    /// `[0, max_step]` so a bad target estimate cannot explode the
+    /// iterates.
+    Polyak {
+        /// Estimate of the optimal (maximal) dual value.
+        target: f64,
+        /// Upper clamp on the step.
+        max_step: f64,
+    },
+}
+
+impl StepRule {
+    /// The step to take at iteration `k` (1-based), given the current
+    /// objective `value` and subgradient norm-squared `grad_norm_sq`.
+    ///
+    /// Returns 0 when the subgradient vanishes (already optimal).
+    pub fn step(&self, k: usize, value: f64, grad_norm_sq: f64) -> f64 {
+        assert!(k >= 1, "iterations are 1-based");
+        if grad_norm_sq <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            StepRule::Constant { a } => a,
+            StepRule::Diminishing { a } => a / (k as f64).sqrt(),
+            StepRule::Polyak { target, max_step } => {
+                ((target - value) / grad_norm_sq).clamp(0.0, max_step)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_iteration() {
+        let r = StepRule::Constant { a: 0.5 };
+        assert_eq!(r.step(1, 0.0, 1.0), 0.5);
+        assert_eq!(r.step(100, -3.0, 9.0), 0.5);
+    }
+
+    #[test]
+    fn diminishing_decays_like_inverse_sqrt() {
+        let r = StepRule::Diminishing { a: 2.0 };
+        assert_eq!(r.step(1, 0.0, 1.0), 2.0);
+        assert_eq!(r.step(4, 0.0, 1.0), 1.0);
+        assert_eq!(r.step(100, 0.0, 1.0), 0.2);
+    }
+
+    #[test]
+    fn polyak_scales_with_gap() {
+        let r = StepRule::Polyak {
+            target: 10.0,
+            max_step: 100.0,
+        };
+        // gap 4, |g|^2 = 2 -> step 2.
+        assert_eq!(r.step(1, 6.0, 2.0), 2.0);
+        // Past the target: no step backwards.
+        assert_eq!(r.step(1, 11.0, 2.0), 0.0);
+        // Clamped.
+        let r = StepRule::Polyak {
+            target: 10.0,
+            max_step: 0.1,
+        };
+        assert_eq!(r.step(1, 0.0, 1.0), 0.1);
+    }
+
+    #[test]
+    fn zero_gradient_means_zero_step() {
+        for r in [
+            StepRule::Constant { a: 1.0 },
+            StepRule::Diminishing { a: 1.0 },
+            StepRule::Polyak {
+                target: 1.0,
+                max_step: 1.0,
+            },
+        ] {
+            assert_eq!(r.step(3, 0.0, 0.0), 0.0);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A projected subgradient solver for concave dual functions.
+//!
+//! Lagrangian relaxation turns a constrained primal into an unconstrained
+//! *dual*: `q(λ) = max_x L(x, λ)`, which is concave in λ but generally
+//! non-differentiable — at each λ the constraint violation of the
+//! maximizing `x` is a subgradient. The solver runs projected subgradient
+//! ascent `λ <- max(0, λ + s·g)` under a [`StepRule`] and tracks the best
+//! dual value seen (subgradient ascent is not monotone).
+
+use crate::multipliers::MultiplierVector;
+use crate::step::StepRule;
+
+/// A problem exposed to the solver: evaluate the dual at λ.
+pub trait DualOracle {
+    /// Return `(q(λ), g)` where `g` is a subgradient of the dual at λ —
+    /// for relaxed constraints `g_k <= 0`, the violation `g_k(x*)` of the
+    /// inner maximizer.
+    fn evaluate(&mut self, lambda: &[f64]) -> (f64, Vec<f64>);
+}
+
+impl<F> DualOracle for F
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    fn evaluate(&mut self, lambda: &[f64]) -> (f64, Vec<f64>) {
+        self(lambda)
+    }
+}
+
+/// Result of a subgradient run.
+#[derive(Clone, Debug)]
+pub struct SubgradientResult {
+    /// Multipliers achieving the best dual value seen.
+    pub best_lambda: Vec<f64>,
+    /// The best (smallest upper bound) dual value seen.
+    pub best_value: f64,
+    /// The final iterate (useful as a warm start even when not the best).
+    pub last_lambda: Vec<f64>,
+    /// Dual value per iteration, for convergence diagnostics.
+    pub history: Vec<f64>,
+    /// True when the subgradient norm or the step fell below tolerance
+    /// before the iteration budget ran out.
+    pub converged: bool,
+}
+
+/// The solver configuration.
+///
+/// ```
+/// use lagrange::step::StepRule;
+/// use lagrange::subgradient::SubgradientSolver;
+///
+/// // Dual of: minimize x^2 subject to x >= 1. Optimum: q* = 1 at l* = 2.
+/// let mut oracle = |l: &[f64]| {
+///     let x = l[0] / 2.0;
+///     (x * x + l[0] * (1.0 - x), vec![1.0 - x])
+/// };
+/// let solver = SubgradientSolver::with_rule(StepRule::Polyak { target: 1.0, max_step: 10.0 });
+/// let r = solver.maximize(&mut oracle, vec![0.0]);
+/// assert!((r.best_value - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct SubgradientSolver {
+    /// Step-size schedule.
+    pub rule: StepRule,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Stop when `‖g‖ <= tol` (the relaxed solution is primal-feasible
+    /// and complementary) or the taken step is below `tol`.
+    pub tol: f64,
+}
+
+impl SubgradientSolver {
+    /// A sensible default: diminishing steps, 200 iterations.
+    pub fn with_rule(rule: StepRule) -> SubgradientSolver {
+        SubgradientSolver {
+            rule,
+            max_iters: 200,
+            tol: 1e-9,
+        }
+    }
+
+    /// Run projected subgradient ascent from `lambda0`.
+    ///
+    /// For *minimization* duals (upper bounds from relaxed minimization
+    /// problems, as in [LuH93] scheduling) the convention is unchanged:
+    /// the oracle returns the dual value to be **maximized** over λ.
+    pub fn maximize(&self, oracle: &mut dyn DualOracle, lambda0: Vec<f64>) -> SubgradientResult {
+        let mut m = MultiplierVector::from_values(lambda0);
+        let mut history = Vec::with_capacity(self.max_iters);
+        let (mut best_value, mut best_lambda) = (f64::NEG_INFINITY, m.values().to_vec());
+        let mut converged = false;
+
+        for _ in 0..self.max_iters {
+            let (value, grad) = oracle.evaluate(m.values());
+            history.push(value);
+            if value > best_value {
+                best_value = value;
+                best_lambda = m.values().to_vec();
+            }
+            let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm <= self.tol {
+                converged = true;
+                break;
+            }
+            let step = m.ascend(&self.rule, value, &grad);
+            if step * norm <= self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        SubgradientResult {
+            best_lambda,
+            best_value,
+            last_lambda: m.values().to_vec(),
+            history,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dual of: minimize x² subject to x >= 1 (i.e. 1 - x <= 0).
+    /// q(λ) = min_x x² + λ(1-x) = λ - λ²/4 at x* = λ/2.
+    /// Optimum: λ* = 2, q* = 1, x* = 1.
+    fn toy_oracle(lambda: &[f64]) -> (f64, Vec<f64>) {
+        let l = lambda[0];
+        let x = l / 2.0;
+        let value = x * x + l * (1.0 - x);
+        (value, vec![1.0 - x])
+    }
+
+    #[test]
+    fn converges_on_quadratic_dual_with_diminishing_steps() {
+        let solver = SubgradientSolver {
+            rule: StepRule::Diminishing { a: 1.0 },
+            max_iters: 2000,
+            tol: 1e-10,
+        };
+        let r = solver.maximize(&mut toy_oracle, vec![0.0]);
+        assert!((r.best_value - 1.0).abs() < 1e-3, "best {}", r.best_value);
+        assert!((r.best_lambda[0] - 2.0).abs() < 0.05, "λ {}", r.best_lambda[0]);
+    }
+
+    #[test]
+    fn polyak_rule_is_faster() {
+        let polyak = SubgradientSolver {
+            rule: StepRule::Polyak {
+                target: 1.0,
+                max_step: 10.0,
+            },
+            max_iters: 100,
+            tol: 1e-12,
+        };
+        let r = polyak.maximize(&mut toy_oracle, vec![0.0]);
+        assert!(r.converged);
+        assert!((r.best_value - 1.0).abs() < 1e-6);
+        assert!(r.history.len() < 60, "took {} iters", r.history.len());
+    }
+
+    #[test]
+    fn history_is_recorded_and_best_tracked() {
+        let solver = SubgradientSolver {
+            rule: StepRule::Constant { a: 0.4 },
+            max_iters: 50,
+            tol: 0.0,
+        };
+        let r = solver.maximize(&mut toy_oracle, vec![0.0]);
+        assert_eq!(r.history.len(), 50);
+        let max_hist = r.history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((r.best_value - max_hist).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_optimal_start_converges_immediately() {
+        let solver = SubgradientSolver::with_rule(StepRule::Constant { a: 0.1 });
+        let r = solver.maximize(&mut toy_oracle, vec![2.0]);
+        assert!(r.converged);
+        assert_eq!(r.history.len(), 1);
+        assert!((r.best_value - 1.0).abs() < 1e-12);
+    }
+}

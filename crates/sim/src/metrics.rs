@@ -1,0 +1,96 @@
+//! Run metrics: the quantities the paper's evaluation reports.
+
+use adhoc_grid::units::{Energy, Time};
+
+/// Snapshot of a (possibly partial) mapping run.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Metrics {
+    /// Total number of subtasks `|T|`.
+    pub tasks: usize,
+    /// Number of mapped subtasks.
+    pub mapped: usize,
+    /// Number of primary-version mappings — the paper's `T100`.
+    pub t100: usize,
+    /// Application execution time: finish of the last mapped subtask.
+    pub aet: Time,
+    /// Total energy consumed (committed) across the grid — the paper's
+    /// `TEC`, including execution and actual communication.
+    pub tec: Energy,
+    /// Total system energy `TSE = Σ B(j)`.
+    pub tse: Energy,
+    /// The deadline τ.
+    pub tau: Time,
+}
+
+impl Metrics {
+    /// True when every subtask was mapped.
+    pub fn fully_mapped(&self) -> bool {
+        self.mapped == self.tasks
+    }
+
+    /// True when the run respected the paper's hard constraints: all
+    /// subtasks mapped, `AET <= τ`, `TEC <= TSE`.
+    pub fn constraints_met(&self) -> bool {
+        self.fully_mapped() && self.aet <= self.tau && self.tec.units() <= self.tse.units() + 1e-9
+    }
+
+    /// `T100 / |T|` — the objective's reward term.
+    pub fn t100_fraction(&self) -> f64 {
+        self.t100 as f64 / self.tasks as f64
+    }
+
+    /// `TEC / TSE` — the objective's energy term.
+    pub fn tec_fraction(&self) -> f64 {
+        self.tec / self.tse
+    }
+
+    /// `AET / τ` — the objective's time term.
+    pub fn aet_fraction(&self) -> f64 {
+        self.aet.as_seconds() / self.tau.as_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Metrics {
+        Metrics {
+            tasks: 1024,
+            mapped: 1024,
+            t100: 512,
+            aet: Time::from_seconds(30_000),
+            tec: Energy(900.0),
+            tse: Energy(1276.0),
+            tau: Time::from_seconds(34_075),
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let m = m();
+        assert_eq!(m.t100_fraction(), 0.5);
+        assert!((m.tec_fraction() - 900.0 / 1276.0).abs() < 1e-12);
+        assert!((m.aet_fraction() - 30_000.0 / 34_075.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_checks() {
+        let ok = m();
+        assert!(ok.fully_mapped());
+        assert!(ok.constraints_met());
+
+        let mut late = m();
+        late.aet = Time::from_seconds(40_000);
+        assert!(!late.constraints_met());
+
+        let mut partial = m();
+        partial.mapped = 1000;
+        assert!(!partial.fully_mapped());
+        assert!(!partial.constraints_met());
+
+        let mut hungry = m();
+        hungry.tec = Energy(1276.1);
+        assert!(!hungry.constraints_met());
+    }
+}

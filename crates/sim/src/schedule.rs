@@ -1,0 +1,227 @@
+//! The schedule produced by a heuristic: subtask assignments and the data
+//! transfers that feed them.
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::task::{TaskId, Version};
+use adhoc_grid::units::{Dur, Energy, Megabits, Time};
+
+/// One mapped subtask.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Assignment {
+    /// Which subtask.
+    pub task: TaskId,
+    /// Which version was mapped.
+    pub version: Version,
+    /// Which machine executes it.
+    pub machine: MachineId,
+    /// Execution start.
+    pub start: Time,
+    /// Execution duration.
+    pub dur: Dur,
+    /// Energy committed for the execution.
+    pub energy: Energy,
+}
+
+impl Assignment {
+    /// First tick after execution completes.
+    pub fn finish(&self) -> Time {
+        self.start + self.dur
+    }
+}
+
+/// One scheduled cross-machine data transfer.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Transfer {
+    /// Producing subtask.
+    pub parent: TaskId,
+    /// Consuming subtask.
+    pub child: TaskId,
+    /// Sending machine (pays the energy).
+    pub from: MachineId,
+    /// Receiving machine.
+    pub to: MachineId,
+    /// Item size actually shipped (after the parent's version factor).
+    pub size: Megabits,
+    /// Transfer start.
+    pub start: Time,
+    /// Transfer duration.
+    pub dur: Dur,
+    /// Energy charged to the sender.
+    pub energy: Energy,
+}
+
+impl Transfer {
+    /// First tick after the data has fully arrived.
+    pub fn finish(&self) -> Time {
+        self.start + self.dur
+    }
+}
+
+/// The complete output of a mapping run.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    assignments: Vec<Option<Assignment>>,
+    transfers: Vec<Transfer>,
+}
+
+impl Schedule {
+    /// An empty schedule over `tasks` subtasks.
+    pub fn new(tasks: usize) -> Schedule {
+        Schedule {
+            assignments: vec![None; tasks],
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Number of subtasks the schedule covers (mapped or not).
+    pub fn tasks(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The assignment of `t`, if mapped.
+    pub fn assignment(&self, t: TaskId) -> Option<&Assignment> {
+        self.assignments[t.0].as_ref()
+    }
+
+    /// True when `t` has been mapped.
+    pub fn is_mapped(&self, t: TaskId) -> bool {
+        self.assignments[t.0].is_some()
+    }
+
+    /// Record an assignment.
+    ///
+    /// # Panics
+    /// Panics if `t` is already mapped (remapping requires
+    /// [`Schedule::unmap`] first) or the record is for a different task.
+    pub fn assign(&mut self, a: Assignment) {
+        assert!(
+            self.assignments[a.task.0].is_none(),
+            "{} is already mapped",
+            a.task
+        );
+        self.assignments[a.task.0] = Some(a);
+    }
+
+    /// Remove the assignment of `t` (used by the dynamic remapping
+    /// extension when a machine is lost). Associated transfers must be
+    /// removed by the caller via [`Schedule::retain_transfers`].
+    pub fn unmap(&mut self, t: TaskId) -> Option<Assignment> {
+        self.assignments[t.0].take()
+    }
+
+    /// Record a transfer.
+    pub fn add_transfer(&mut self, tr: Transfer) {
+        self.transfers.push(tr);
+    }
+
+    /// All recorded transfers, in commit order.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Keep only transfers satisfying the predicate.
+    pub fn retain_transfers(&mut self, f: impl FnMut(&Transfer) -> bool) {
+        self.transfers.retain(f);
+    }
+
+    /// All assignments present, in task-id order.
+    pub fn assignments(&self) -> impl Iterator<Item = &Assignment> {
+        self.assignments.iter().filter_map(Option::as_ref)
+    }
+
+    /// Number of mapped subtasks.
+    pub fn mapped_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Number of subtasks mapped at the primary level — the paper's `T100`.
+    pub fn t100(&self) -> usize {
+        self.assignments()
+            .filter(|a| a.version.is_primary())
+            .count()
+    }
+
+    /// The application execution time `AET`: the finish of the last
+    /// assignment (`Time::ZERO` when nothing is mapped).
+    pub fn aet(&self) -> Time {
+        self.assignments()
+            .map(Assignment::finish)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(task: usize, version: Version, start: u64, dur: u64) -> Assignment {
+        Assignment {
+            task: TaskId(task),
+            version,
+            machine: MachineId(0),
+            start: Time(start),
+            dur: Dur(dur),
+            energy: Energy(1.0),
+        }
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new(3);
+        assert_eq!(s.tasks(), 3);
+        assert_eq!(s.mapped_count(), 0);
+        assert_eq!(s.t100(), 0);
+        assert_eq!(s.aet(), Time::ZERO);
+        assert!(!s.is_mapped(TaskId(0)));
+    }
+
+    #[test]
+    fn counting_and_aet() {
+        let mut s = Schedule::new(3);
+        s.assign(asg(0, Version::Primary, 0, 10));
+        s.assign(asg(2, Version::Secondary, 5, 20));
+        assert_eq!(s.mapped_count(), 2);
+        assert_eq!(s.t100(), 1);
+        assert_eq!(s.aet(), Time(25));
+        assert_eq!(s.assignment(TaskId(2)).unwrap().finish(), Time(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_assign_panics() {
+        let mut s = Schedule::new(1);
+        s.assign(asg(0, Version::Primary, 0, 1));
+        s.assign(asg(0, Version::Secondary, 0, 1));
+    }
+
+    #[test]
+    fn unmap_then_reassign() {
+        let mut s = Schedule::new(1);
+        s.assign(asg(0, Version::Primary, 0, 10));
+        let old = s.unmap(TaskId(0)).unwrap();
+        assert_eq!(old.version, Version::Primary);
+        s.assign(asg(0, Version::Secondary, 0, 1));
+        assert_eq!(s.t100(), 0);
+    }
+
+    #[test]
+    fn transfers_roundtrip() {
+        let mut s = Schedule::new(2);
+        let tr = Transfer {
+            parent: TaskId(0),
+            child: TaskId(1),
+            from: MachineId(0),
+            to: MachineId(1),
+            size: Megabits(1.0),
+            start: Time(4),
+            dur: Dur(3),
+            energy: Energy(0.06),
+        };
+        s.add_transfer(tr);
+        assert_eq!(s.transfers().len(), 1);
+        assert_eq!(s.transfers()[0].finish(), Time(7));
+        s.retain_transfers(|t| t.child != TaskId(1));
+        assert!(s.transfers().is_empty());
+    }
+}

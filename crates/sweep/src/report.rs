@@ -1,0 +1,207 @@
+//! Fixed-width text tables shaped like the paper's.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A simple fixed-width table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[c] - cell.chars().count();
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', pad));
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A labelled horizontal ASCII bar chart — the textual rendition of the
+/// paper's bar figures (4–7).
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Start a chart.
+    pub fn new(title: impl Into<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Append one bar.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite values.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut BarChart {
+        assert!(value >= 0.0 && value.is_finite(), "bad bar value {value}");
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Render with bars scaled to `width` columns at the maximum value.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "chart width must be positive");
+        let max = self
+            .bars
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, value) in &self.bars {
+            let n = ((value / max) * width as f64).round() as usize;
+            let pad = label_w - label.chars().count();
+            let _ = writeln!(
+                out,
+                "  {label}{} |{}{} {value:.1}",
+                " ".repeat(pad),
+                "█".repeat(n),
+                " ".repeat(width - n),
+            );
+        }
+        out
+    }
+}
+
+/// Human-friendly duration: `12.3ms`, `4.56s`.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// `x.yz` with three significant decimals.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["Case", "T100"]);
+        t.row(["A", "612"]).row(["B", "41"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Case"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("A"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(4.5)), "4.50s");
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let mut c = BarChart::new("T100");
+        c.bar("Case A", 200.0).bar("Case C", 50.0);
+        let s = c.render(20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].matches('█').count(), 20, "max bar fills width");
+        assert_eq!(lines[2].matches('█').count(), 5);
+        assert!(lines[2].contains("50.0"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zeros() {
+        let mut c = BarChart::new("empty");
+        c.bar("none", 0.0);
+        let s = c.render(10);
+        assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bar value")]
+    fn bar_chart_rejects_negative() {
+        let mut c = BarChart::new("bad");
+        c.bar("x", -1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Summary statistics for sweep results.
+
+/// Mean / sample-std / min / max over a sample.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for singletons).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-finite values.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        for &v in values {
+            assert!(v.is_finite(), "non-finite sample value {v}");
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            mean,
+            std,
+            min,
+            max,
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} [{:.3}, {:.3}] (n={})",
+            self.mean, self.std, self.min, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+}

@@ -1,0 +1,279 @@
+//! `lrh-grid` — the command-line interface to the resource manager.
+//!
+//! ```text
+//! lrh-grid run    [--case A|B|C] [--tasks N] [--etc I] [--dag I]
+//!                 [--heuristic NAME] [--alpha X] [--beta Y] [--gantt]
+//! lrh-grid tune   [--case A|B|C] [--tasks N] [--etc I] [--dag I]
+//!                 [--heuristic NAME]
+//! lrh-grid export [--case A|B|C] [--tasks N] [--etc I] [--dag I] --out FILE
+//! lrh-grid replay --in FILE [--heuristic NAME] [--alpha X] [--beta Y]
+//! lrh-grid churn  [--case A|B|C] [--tasks N] [--lose M@T ...] [--join M@T ...]
+//! ```
+//!
+//! `export` writes the generated workload to the versioned text format of
+//! `adhoc_grid::io`; `replay` maps a previously exported workload, so
+//! results can be exchanged and re-examined without sharing seeds.
+
+use std::process::exit;
+
+use lrh_grid::grid::io;
+use lrh_grid::grid::{GridCase, MachineId, Scenario, ScenarioParams, Time};
+use lrh_grid::lagrange::weights::Weights;
+use lrh_grid::sim::trace::Trace;
+use lrh_grid::sim::validate::validate_schedule;
+use lrh_grid::slrh::dynamic::{validate_arrivals, validate_loss};
+use lrh_grid::slrh::{
+    run_slrh_churn, MachineArrivalEvent, MachineLossEvent, SlrhConfig, SlrhVariant,
+};
+use lrh_grid::sweep::heuristic::Heuristic;
+use lrh_grid::sweep::weight_search::optimal_weights_with_steps;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn multi(&self, name: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.0.get(i + 1))
+            .map(String::as_str)
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lrh-grid <run|tune|export|replay|churn> [options]\n\
+         \n\
+         common options:\n\
+           --case A|B|C       grid case (default A)\n\
+           --tasks N          subtask count (default 256; tau/batteries scale)\n\
+           --etc I --dag I    suite member ids (default 0, 0)\n\
+           --heuristic NAME   slrh1|slrh2|slrh3|maxmax|greedy|olb|minmin|heft|lrlist\n\
+           --alpha X --beta Y objective weights (default 0.5, 0.3)\n\
+         run:    map the workload, print metrics (--gantt for a chart)\n\
+         tune:   search the compliant (alpha, beta) maximizing T100\n\
+         export: write the workload to --out FILE\n\
+         replay: map a workload read from --in FILE\n\
+         churn:  SLRH-1 with --lose M@T / --join M@T events (T in seconds)"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn parse_case(args: &Args) -> GridCase {
+    match args.flag("--case").unwrap_or("A") {
+        "A" | "a" => GridCase::A,
+        "B" | "b" => GridCase::B,
+        "C" | "c" => GridCase::C,
+        other => fail(&format!("unknown case {other:?}")),
+    }
+}
+
+fn parse_usize(args: &Args, name: &str, default: usize) -> usize {
+    args.flag(name)
+        .map(|v| v.parse().unwrap_or_else(|_| fail(&format!("bad {name} value {v:?}"))))
+        .unwrap_or(default)
+}
+
+fn parse_weights(args: &Args) -> Weights {
+    let a = args
+        .flag("--alpha")
+        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --alpha")))
+        .unwrap_or(0.5);
+    let b = args
+        .flag("--beta")
+        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --beta")))
+        .unwrap_or(0.3);
+    Weights::new(a, b).unwrap_or_else(|e| fail(&format!("invalid weights: {e}")))
+}
+
+fn parse_heuristic(args: &Args) -> Heuristic {
+    match args.flag("--heuristic").unwrap_or("slrh1") {
+        "slrh1" => Heuristic::Slrh1,
+        "slrh2" => Heuristic::Slrh2,
+        "slrh3" => Heuristic::Slrh3,
+        "maxmax" => Heuristic::MaxMax,
+        "greedy" => Heuristic::Greedy,
+        "olb" => Heuristic::Olb,
+        "minmin" => Heuristic::MinMin,
+        "heft" => Heuristic::Heft,
+        "lrlist" => Heuristic::LrList,
+        other => fail(&format!("unknown heuristic {other:?}")),
+    }
+}
+
+fn scenario_from_args(args: &Args) -> Scenario {
+    let tasks = parse_usize(args, "--tasks", 256);
+    let params = ScenarioParams::paper_scaled(tasks);
+    Scenario::generate(
+        &params,
+        parse_case(args),
+        parse_usize(args, "--etc", 0),
+        parse_usize(args, "--dag", 0),
+    )
+}
+
+fn parse_event(spec: &str) -> (MachineId, Time) {
+    let (m, t) = spec
+        .split_once('@')
+        .unwrap_or_else(|| fail(&format!("event {spec:?} must be M@SECONDS")));
+    let machine = MachineId(m.parse().unwrap_or_else(|_| fail("bad event machine")));
+    let secs: u64 = t.parse().unwrap_or_else(|_| fail("bad event time"));
+    (machine, Time::from_seconds(secs))
+}
+
+fn report(sc: &Scenario, h: Heuristic, w: Weights, gantt: bool) {
+    let r = h.run(sc, w);
+    if !r.valid {
+        fail("heuristic produced an invalid schedule (bug — please report)");
+    }
+    let m = r.metrics;
+    println!(
+        "{h} on {} (|T| = {}, tau = {:.0}s) at {w}:",
+        sc.case,
+        sc.tasks(),
+        sc.tau.as_seconds()
+    );
+    println!(
+        "  mapped {}/{}  T100 {}  AET {:.0}s  TEC {:.1}/{:.1} eu  [{}]",
+        m.mapped,
+        m.tasks,
+        m.t100,
+        m.aet.as_seconds(),
+        m.tec.units(),
+        m.tse.units(),
+        if m.constraints_met() {
+            "constraints met"
+        } else {
+            "CONSTRAINTS VIOLATED"
+        }
+    );
+    println!(
+        "  heuristic time {:?}, {} candidates evaluated",
+        r.wall, r.work
+    );
+    if gantt {
+        // RunResult carries metrics only; re-run to get the schedule. The
+        // chart is supported for the SLRH variants (the heuristics whose
+        // drivers expose their final state here).
+        let variant = match h {
+            Heuristic::Slrh1 => Some(SlrhVariant::V1),
+            Heuristic::Slrh2 => Some(SlrhVariant::V2),
+            Heuristic::Slrh3 => Some(SlrhVariant::V3),
+            _ => None,
+        };
+        match variant {
+            Some(v) => {
+                let out = lrh_grid::slrh::run_slrh(sc, &SlrhConfig::paper(v, w));
+                let trace = Trace::from_state(&out.state);
+                print!("{}", trace.render_gantt(out.state.schedule(), 64));
+            }
+            None => eprintln!("(--gantt is available for the SLRH heuristics)"),
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else { usage() };
+    let args = Args(argv[1..].to_vec());
+
+    match cmd.as_str() {
+        "run" => {
+            let sc = scenario_from_args(&args);
+            report(&sc, parse_heuristic(&args), parse_weights(&args), args.has("--gantt"));
+        }
+        "tune" => {
+            let sc = scenario_from_args(&args);
+            let h = parse_heuristic(&args);
+            match optimal_weights_with_steps(h, &sc, 0.1, 0.02) {
+                Some(o) => {
+                    println!(
+                        "{h} on {}: best compliant weights {} -> T100 = {} ({} runs searched)",
+                        sc.case, o.weights, o.t100, o.evaluations
+                    );
+                }
+                None => println!("{h} on {}: no compliant (alpha, beta) pair found", sc.case),
+            }
+        }
+        "export" => {
+            let sc = scenario_from_args(&args);
+            let out = args.flag("--out").unwrap_or_else(|| fail("--out FILE required"));
+            std::fs::write(out, io::write(&sc))
+                .unwrap_or_else(|e| fail(&format!("writing {out}: {e}")));
+            println!(
+                "wrote {} ({} tasks, {} machines, case {})",
+                out,
+                sc.tasks(),
+                sc.grid.len(),
+                sc.case
+            );
+        }
+        "replay" => {
+            let path = args.flag("--in").unwrap_or_else(|| fail("--in FILE required"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+            let sc = io::read(&text).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")));
+            report(&sc, parse_heuristic(&args), parse_weights(&args), args.has("--gantt"));
+        }
+        "churn" => {
+            let sc = scenario_from_args(&args);
+            let losses: Vec<MachineLossEvent> = args
+                .multi("--lose")
+                .into_iter()
+                .map(|s| {
+                    let (machine, at) = parse_event(s);
+                    MachineLossEvent { machine, at }
+                })
+                .collect();
+            let arrivals: Vec<MachineArrivalEvent> = args
+                .multi("--join")
+                .into_iter()
+                .map(|s| {
+                    let (machine, at) = parse_event(s);
+                    MachineArrivalEvent { machine, at }
+                })
+                .collect();
+            let cfg = SlrhConfig::paper(SlrhVariant::V1, parse_weights(&args));
+            let out = run_slrh_churn(&sc, &cfg, &losses, &arrivals);
+            let m = out.metrics();
+            println!(
+                "churn run on {}: mapped {}/{}, T100 = {}, {} mappings invalidated",
+                sc.case,
+                m.mapped,
+                m.tasks,
+                m.t100,
+                out.disruptions.iter().map(|&(_, n)| n).sum::<usize>()
+            );
+            let phys = validate_schedule(&sc, out.state.schedule());
+            let loss = validate_loss(&out.state, &losses);
+            let arr = validate_arrivals(&out.state, &arrivals);
+            if phys.is_empty() && loss.is_empty() && arr.is_empty() {
+                println!("validated: physical model + churn timeline OK");
+            } else {
+                fail(&format!("validation failed: {phys:?} {loss:?} {arr:?}"));
+            }
+            let trace = Trace::from_state(&out.state);
+            print!("{}", trace.render_gantt(out.state.schedule(), 64));
+        }
+        _ => usage(),
+    }
+}

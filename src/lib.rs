@@ -1,0 +1,47 @@
+//! # lrh-grid — Lagrangian receding-horizon resource management for ad hoc grids
+//!
+//! A production-quality Rust reproduction of Castain, Saylor & Siegel,
+//! *"Application of Lagrangian Receding Horizon Techniques to Resource
+//! Management in Ad Hoc Grid Environments"* (IPDPS 2004).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`grid`] — the ad hoc grid model: machines, DAG workloads, ETC
+//!   matrices and their deterministic generators;
+//! * [`sim`] — the clock-driven grid simulator: timelines, communication
+//!   links, the energy ledger, schedules, validation and metrics;
+//! * [`lagrange`] — the Lagrangian optimization substrate: multiplier
+//!   state, subgradient methods, dual decomposition, LRNN dynamics;
+//! * [`slrh`] — the paper's core contribution: the SLRH-1/2/3 heuristics
+//!   plus the adaptive-multiplier and dynamic-remapping extensions;
+//! * [`baselines`] — static comparators: Max-Max, greedy, MCT/OLB/Min-Min
+//!   and a Lagrangian-relaxation list scheduler;
+//! * [`bounds`] — the equivalent-computing-cycles upper bound;
+//! * [`sweep`] — the experiment harness regenerating every paper table
+//!   and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lrh_grid::grid::{GridCase, ScenarioParams, Scenario};
+//! use lrh_grid::slrh::{SlrhConfig, SlrhVariant, run_slrh};
+//! use lrh_grid::lagrange::Weights;
+//!
+//! // A reduced-scale paper scenario: Case A grid, 64 subtasks.
+//! let params = ScenarioParams::paper_scaled(64);
+//! let scenario = Scenario::generate(&params, GridCase::A, 0, 0);
+//!
+//! // Map it with the baseline SLRH-1 heuristic.
+//! let config = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.6, 0.2).unwrap());
+//! let outcome = run_slrh(&scenario, &config);
+//! let m = outcome.metrics();
+//! println!("mapped {} of {} subtasks at the primary level", m.t100, scenario.tasks());
+//! ```
+
+pub use adhoc_grid as grid;
+pub use grid_baselines as baselines;
+pub use grid_bounds as bounds;
+pub use grid_sweep as sweep;
+pub use gridsim as sim;
+pub use lagrange;
+pub use slrh;
