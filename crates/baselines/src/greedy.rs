@@ -57,7 +57,9 @@ pub fn run_greedy(scenario: &Scenario) -> StaticOutcome<'_> {
             }
         }
         match best {
-            Some((_, plan)) => state.commit(&plan),
+            Some((_, plan)) => {
+                state.commit(&plan);
+            }
             None => break, // energy-infeasible everywhere: leave unmapped
         }
     }

@@ -115,7 +115,9 @@ pub fn run_heft(scenario: &Scenario) -> StaticOutcome<'_> {
             }
         }
         match best {
-            Some((_, plan)) => state.commit(&plan),
+            Some((_, plan)) => {
+                state.commit(&plan);
+            }
             None => break,
         }
     }

@@ -186,7 +186,9 @@ pub fn run_lr_list<'a>(scenario: &'a Scenario, config: &LrListConfig) -> StaticO
         };
 
         match plan {
-            Some(p) => state.commit(&p),
+            Some(p) => {
+                state.commit(&p);
+            }
             None => break,
         }
     }

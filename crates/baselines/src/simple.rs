@@ -105,7 +105,9 @@ pub fn run_minmin(scenario: &Scenario) -> StaticOutcome<'_> {
             }
         }
         match best {
-            Some((_, plan)) => state.commit(&plan),
+            Some((_, plan)) => {
+                state.commit(&plan);
+            }
             None => break,
         }
     }

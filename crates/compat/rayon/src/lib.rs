@@ -1,0 +1,76 @@
+//! Offline-compatible subset of the `rayon` 1.x API — **sequential**.
+//!
+//! The build environment has no network access, so the real `rayon`
+//! crate cannot be resolved; this workspace-local stub (wired in through
+//! `[patch.crates-io]`) maps the parallel-iterator surface the workspace
+//! uses (`par_iter`, `into_par_iter`, `reduce_with`, and the standard
+//! adaptors via plain `Iterator`) onto ordinary sequential iterators.
+//! Results are identical to the parallel versions for the pure functions
+//! this repository maps over; only wall-clock parallel speed-up is lost.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! The glob-import surface: `use rayon::prelude::*;`.
+
+    /// `into_par_iter()` for any owned iterable (sequential stand-in).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequentially iterate in place of a parallel bridge.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` over slices and anything that derefs to one.
+    pub trait IntoParallelRefIterator<T> {
+        /// Sequentially iterate by reference in place of a parallel bridge.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// The rayon-only combinators the workspace uses, as a blanket
+    /// extension over ordinary iterators so they compose with `map`,
+    /// `filter_map`, etc.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Fold pairs of items; `None` for an empty iterator.
+        fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+        where
+            F: Fn(Self::Item, Self::Item) -> Self::Item,
+        {
+            self.reduce(op)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn surface_matches_usage() {
+        let v: Vec<u64> = (0..5u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+
+        let ids = vec![(1usize, 2usize), (3, 4)];
+        let sums: Vec<usize> = ids.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(sums, vec![3, 7]);
+
+        let best = ids
+            .par_iter()
+            .filter_map(|&(a, b)| (a > 0).then_some(a + b))
+            .reduce_with(|x, y| x.max(y));
+        assert_eq!(best, Some(7));
+
+        let none = Vec::<u32>::new().par_iter().copied().reduce_with(|a, b| a + b);
+        assert_eq!(none, None);
+    }
+}

@@ -27,7 +27,8 @@ use lagrange::step::StepRule;
 use lagrange::weights::Weights;
 
 use crate::config::SlrhConfig;
-use crate::mapper::{drive, RunStats};
+use crate::mapper::{drive_with, RunStats};
+use crate::pool::PoolCache;
 
 /// Configuration of an adaptive SLRH run.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -77,6 +78,16 @@ impl AdaptiveOutcome<'_> {
     }
 }
 
+impl gridsim::MappingOutcome for AdaptiveOutcome<'_> {
+    fn state(&self) -> &SimState<'_> {
+        &self.state
+    }
+
+    fn candidates_evaluated(&self) -> u64 {
+        self.stats.candidates_evaluated
+    }
+}
+
 /// Convert multipliers `(λ_e, λ_t)` to simplex weights
 /// `(1, λ_e, λ_t) / (1 + λ_e + λ_t)`.
 fn weights_from_multipliers(lambda: &[f64]) -> Weights {
@@ -111,6 +122,13 @@ pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> Ad
         "control interval must be positive"
     );
     let mut state = SimState::new(scenario);
+    // The cache survives weight updates: a cached entry's *plans* don't
+    // depend on the weights (only its objective values do, and those are
+    // recomputed on every query), so controller steps evict nothing.
+    let mut cache = cfg
+        .base
+        .use_pool_cache
+        .then(|| PoolCache::new(&state, cfg.base.allow_secondary));
     let mut stats = RunStats::default();
     let mut config = cfg.base;
     let mut lambda = MultiplierVector::from_values(multipliers_from_weights(&config.objective.weights));
@@ -119,7 +137,7 @@ pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> Ad
     let mut now = Time::ZERO;
     loop {
         let stop = now.saturating_add(cfg.control_interval);
-        now = drive(&mut state, &config, &mut stats, now, Some(stop));
+        now = drive_with(&mut state, &config, &mut stats, cache.as_mut(), now, Some(stop));
         if state.all_mapped() || now > scenario.tau {
             break;
         }

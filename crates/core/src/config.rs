@@ -103,6 +103,11 @@ pub struct SlrhConfig {
     /// them is the secondary-availability ablation: the pool's
     /// feasibility gate then requires the *primary* version to fit.
     pub allow_secondary: bool,
+    /// Maintain candidate pools incrementally across clock ticks
+    /// ([`crate::pool::PoolCache`]) instead of rebuilding them from
+    /// scratch on every query. Output-identical either way; off is only
+    /// useful as a measurement baseline.
+    pub use_pool_cache: bool,
 }
 
 impl SlrhConfig {
@@ -116,6 +121,30 @@ impl SlrhConfig {
             dt: Dur(10),
             horizon: Dur(100),
             allow_secondary: true,
+            use_pool_cache: true,
+        }
+    }
+
+    /// A fluent, validating alternative to [`SlrhConfig::paper`] followed
+    /// by `with_*` calls. Knobs start at the paper defaults; invalid
+    /// combinations are reported by [`SlrhConfigBuilder::build`] instead
+    /// of panicking mid-construction.
+    ///
+    /// ```
+    /// use adhoc_grid::units::Dur;
+    /// use lagrange::weights::Weights;
+    /// use slrh::{SlrhConfig, SlrhVariant};
+    ///
+    /// let config = SlrhConfig::builder(SlrhVariant::V1, Weights::new(0.5, 0.2).unwrap())
+    ///     .dt(Dur(5))
+    ///     .horizon(Dur(200))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.dt, Dur(5));
+    /// ```
+    pub fn builder(variant: SlrhVariant, weights: Weights) -> SlrhConfigBuilder {
+        SlrhConfigBuilder {
+            config: SlrhConfig::paper(variant, weights),
         }
     }
 
@@ -149,6 +178,92 @@ impl SlrhConfig {
         self.horizon = horizon;
         self
     }
+
+    /// Rebuild candidate pools from scratch on every query instead of
+    /// maintaining them incrementally (measurement baseline).
+    pub fn without_pool_cache(mut self) -> SlrhConfig {
+        self.use_pool_cache = false;
+        self
+    }
+}
+
+/// A rejected [`SlrhConfigBuilder`] combination.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// ΔT must be at least one tick: the clock would not advance.
+    ZeroDt,
+    /// H must be at least one tick: no candidate could ever start
+    /// strictly within the horizon of a busy machine.
+    ZeroHorizon,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDt => f.write_str("ΔT must be at least one tick"),
+            ConfigError::ZeroHorizon => f.write_str("the horizon H must be at least one tick"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder returned by [`SlrhConfig::builder`]. Every knob defaults to
+/// the paper's value; [`SlrhConfigBuilder::build`] validates the
+/// combination.
+#[derive(Copy, Clone, Debug)]
+pub struct SlrhConfigBuilder {
+    config: SlrhConfig,
+}
+
+impl SlrhConfigBuilder {
+    /// Set when the heuristic re-runs (paper: the fixed clock).
+    pub fn trigger(mut self, trigger: Trigger) -> SlrhConfigBuilder {
+        self.config.trigger = trigger;
+        self
+    }
+
+    /// Set the per-tick machine visit order (paper: numerical).
+    pub fn machine_order(mut self, order: MachineOrder) -> SlrhConfigBuilder {
+        self.config.machine_order = order;
+        self
+    }
+
+    /// Set the clock step ΔT in ticks (paper: 10).
+    pub fn dt(mut self, dt: Dur) -> SlrhConfigBuilder {
+        self.config.dt = dt;
+        self
+    }
+
+    /// Set the receding horizon H in ticks (paper: 100).
+    pub fn horizon(mut self, horizon: Dur) -> SlrhConfigBuilder {
+        self.config.horizon = horizon;
+        self
+    }
+
+    /// Allow or forbid secondary versions (paper: allowed).
+    pub fn allow_secondary(mut self, allow: bool) -> SlrhConfigBuilder {
+        self.config.allow_secondary = allow;
+        self
+    }
+
+    /// Maintain pools incrementally or rebuild per query (default:
+    /// incrementally; the results are identical).
+    pub fn use_pool_cache(mut self, use_cache: bool) -> SlrhConfigBuilder {
+        self.config.use_pool_cache = use_cache;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SlrhConfig, ConfigError> {
+        if self.config.dt.is_zero() {
+            return Err(ConfigError::ZeroDt);
+        }
+        if self.config.horizon.is_zero() {
+            return Err(ConfigError::ZeroHorizon);
+        }
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +278,45 @@ mod tests {
         assert_eq!(c.variant, SlrhVariant::V1);
         assert_eq!(c.trigger, Trigger::Clock);
         assert!(c.allow_secondary);
+        assert!(c.use_pool_cache);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let w = Weights::new(0.5, 0.2).unwrap();
+        let built = SlrhConfig::builder(SlrhVariant::V2, w).build().unwrap();
+        assert_eq!(built, SlrhConfig::paper(SlrhVariant::V2, w));
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let w = Weights::new(0.4, 0.3).unwrap();
+        let c = SlrhConfig::builder(SlrhVariant::V3, w)
+            .trigger(Trigger::MachineAvailable)
+            .machine_order(MachineOrder::Rotating)
+            .dt(Dur(3))
+            .horizon(Dur(42))
+            .allow_secondary(false)
+            .use_pool_cache(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.trigger, Trigger::MachineAvailable);
+        assert_eq!(c.machine_order, MachineOrder::Rotating);
+        assert_eq!(c.dt, Dur(3));
+        assert_eq!(c.horizon, Dur(42));
+        assert!(!c.allow_secondary);
+        assert!(!c.use_pool_cache);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        let w = Weights::new(0.5, 0.2).unwrap();
+        let zero_dt = SlrhConfig::builder(SlrhVariant::V1, w).dt(Dur::ZERO).build();
+        assert_eq!(zero_dt.unwrap_err(), ConfigError::ZeroDt);
+        let zero_h = SlrhConfig::builder(SlrhVariant::V1, w)
+            .horizon(Dur::ZERO)
+            .build();
+        assert_eq!(zero_h.unwrap_err(), ConfigError::ZeroHorizon);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! takes effect at the first clock tick `>= a` (granularity ΔT), matching
 //! the paper's clock-driven design.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use adhoc_grid::config::MachineId;
 use adhoc_grid::task::TaskId;
@@ -35,7 +35,8 @@ use adhoc_grid::workload::Scenario;
 use gridsim::state::SimState;
 
 use crate::config::SlrhConfig;
-use crate::mapper::{drive, RunStats};
+use crate::mapper::{drive_with, RunStats};
+use crate::pool::PoolCache;
 
 /// A machine disappearing from the grid.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -71,6 +72,16 @@ impl DynamicOutcome<'_> {
     /// The run's metrics.
     pub fn metrics(&self) -> gridsim::metrics::Metrics {
         self.state.metrics()
+    }
+}
+
+impl gridsim::MappingOutcome for DynamicOutcome<'_> {
+    fn state(&self) -> &SimState<'_> {
+        &self.state
+    }
+
+    fn candidates_evaluated(&self) -> u64 {
+        self.stats.candidates_evaluated
     }
 }
 
@@ -135,25 +146,29 @@ pub fn run_slrh_churn<'a>(
             state.block_until(a.machine, a.at);
         }
     }
+    // One pool cache for the whole run: `drive_with` keeps it fed with
+    // commit deltas and `apply_loss_tracked` with invalidation deltas, so
+    // surviving entries carry across segments and loss events.
+    let mut cache = config
+        .use_pool_cache
+        .then(|| PoolCache::new(&state, config.allow_secondary));
     let mut stats = RunStats::default();
     let mut disruptions = Vec::new();
     let mut now = Time::ZERO;
 
     for ev in &events {
-        now = drive(&mut state, config, &mut stats, now, Some(ev.at));
-        if state.all_mapped() && state.aet() <= ev.at {
-            // Everything finished executing before the loss: the event
-            // cannot disrupt anything (assignments with finish <= at keep).
-        }
-        if now > scenario.tau {
-            break;
-        }
+        now = drive_with(&mut state, config, &mut stats, cache.as_mut(), now, Some(ev.at));
         // The loss takes effect at the clock tick the driver stopped on.
+        // Every event is applied, even past τ: mappings only happen at
+        // clocks <= τ, but work mapped near τ can still be *executing*
+        // when the machine vanishes, and that work must be killed
+        // (`apply_loss` is a cheap no-op when everything already
+        // finished before the loss).
         let effective = now.max(ev.at);
-        let n = apply_loss(&mut state, ev.machine, effective);
+        let n = apply_loss_tracked(&mut state, cache.as_mut(), &mut stats, ev.machine, effective);
         disruptions.push((effective, n));
     }
-    drive(&mut state, config, &mut stats, now, None);
+    drive_with(&mut state, config, &mut stats, cache.as_mut(), now, None);
 
     DynamicOutcome {
         state,
@@ -165,13 +180,32 @@ pub fn run_slrh_churn<'a>(
 /// Invalidate everything machine `j`'s disappearance at `at` disrupts and
 /// unmap it. Returns the number of invalidated subtasks.
 pub fn apply_loss(state: &mut SimState<'_>, j: MachineId, at: Time) -> usize {
-    state.mark_lost(j, at);
+    apply_loss_tracked(state, None, &mut RunStats::default(), j, at)
+}
+
+/// [`apply_loss`] variant that keeps a [`PoolCache`] synchronised by
+/// feeding it every [`gridsim::state::StateDelta`] the loss cascade
+/// produces (the `mark_lost` plus one `unmap` per invalidated subtask),
+/// so only the entries those mutations could affect are evicted.
+pub fn apply_loss_tracked(
+    state: &mut SimState<'_>,
+    mut cache: Option<&mut PoolCache>,
+    stats: &mut RunStats,
+    j: MachineId,
+    at: Time,
+) -> usize {
+    let delta = state.mark_lost(j, at);
+    if let Some(c) = cache.as_deref_mut() {
+        c.apply(&delta, stats);
+    }
     let sc = state.scenario();
     let invalid = invalidation_closure(state, sc, j, at);
 
-    // Unmap children-first. `unmap` can report parents that can no longer
+    // Unmap children-first, visiting candidates in ascending task id so
+    // the energy ledger sees one deterministic refund order (float sums
+    // are order-sensitive). `unmap` can report parents that can no longer
     // afford their restored worst-case reservations; those cascade.
-    let mut pending: HashSet<TaskId> = invalid;
+    let mut pending: BTreeSet<TaskId> = invalid;
     let mut total = pending.iter().filter(|&&t| state.is_mapped(t)).count();
     while !pending.is_empty() {
         let mut progressed = false;
@@ -185,9 +219,15 @@ pub fn apply_loss(state: &mut SimState<'_>, j: MachineId, at: Time) -> usize {
             // Unmap only once every mapped child has been unmapped first
             // (children that are themselves pending will clear this later).
             if sc.dag.children(t).iter().all(|&c| !state.is_mapped(c)) {
-                let starved = state.unmap(t);
+                // `starved_parents` arrives pre-sorted ascending (the
+                // documented `unmap` contract), so the ordered set absorbs
+                // it without any re-sort.
+                let delta = state.unmap(t);
+                if let Some(c) = cache.as_deref_mut() {
+                    c.apply(&delta, stats);
+                }
                 pending.remove(&t);
-                for p in starved {
+                for p in delta.starved_parents {
                     // A starved parent must re-run, so everything mapped
                     // downstream of it must re-run too.
                     total += add_with_mapped_descendants(state, sc, &mut pending, p);
@@ -206,7 +246,7 @@ pub fn apply_loss(state: &mut SimState<'_>, j: MachineId, at: Time) -> usize {
 fn add_with_mapped_descendants(
     state: &SimState<'_>,
     sc: &Scenario,
-    pending: &mut HashSet<TaskId>,
+    pending: &mut BTreeSet<TaskId>,
     root: TaskId,
 ) -> usize {
     let mut added = 0;
@@ -226,7 +266,7 @@ fn invalidation_closure(
     sc: &Scenario,
     j: MachineId,
     at: Time,
-) -> HashSet<TaskId> {
+) -> BTreeSet<TaskId> {
     let schedule = state.schedule();
     let transfer_finish = |p: TaskId, c: TaskId| -> Option<Time> {
         schedule
@@ -236,7 +276,7 @@ fn invalidation_closure(
             .map(|tr| tr.finish())
     };
 
-    let mut invalid: HashSet<TaskId> = HashSet::new();
+    let mut invalid: BTreeSet<TaskId> = BTreeSet::new();
     loop {
         let mut changed = false;
         for a in schedule.assignments() {

@@ -13,7 +13,10 @@
 //!   ΔT = 10 clock cycles, H = 100 clock cycles);
 //! * [`pool`] — the candidate pool `U`: ready subtasks that pass the
 //!   conservative energy feasibility test, each with its
-//!   objective-maximizing version;
+//!   objective-maximizing version. [`pool::build_pool`] is the
+//!   from-scratch reference; [`pool::PoolCache`] maintains the same
+//!   pools incrementally from the simulator's
+//!   [`gridsim::state::StateDelta`] stream;
 //! * [`mapper`] — the Figure 1 clock loop and the three variants
 //!   SLRH-1 / SLRH-2 / SLRH-3;
 //! * [`adaptive`] — the paper's stated future work (§VIII): on-the-fly
@@ -32,7 +35,7 @@ pub mod mapper;
 pub mod pool;
 
 pub use adaptive::{run_adaptive_slrh, AdaptiveConfig, AdaptiveOutcome};
-pub use config::{MachineOrder, SlrhConfig, SlrhVariant, Trigger};
+pub use config::{ConfigError, MachineOrder, SlrhConfig, SlrhConfigBuilder, SlrhVariant, Trigger};
 pub use dynamic::{run_slrh_churn, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
 pub use mapper::{run_slrh, RunStats, SlrhOutcome};
-pub use pool::{build_pool, build_pool_with, PoolEntry};
+pub use pool::{build_pool, build_pool_with, PoolCache, PoolEntry};

@@ -22,7 +22,7 @@ use gridsim::state::SimState;
 
 use crate::config::{SlrhConfig, SlrhVariant, Trigger};
 use adhoc_grid::config::MachineId;
-use crate::pool::{build_pool_with, PoolEntry};
+use crate::pool::{build_pool_with, PoolCache, PoolEntry};
 
 /// Counters describing one run's work (the paper's "heuristic execution
 /// time" proxy that is independent of the host machine).
@@ -30,12 +30,21 @@ use crate::pool::{build_pool_with, PoolEntry};
 pub struct RunStats {
     /// Clock-loop iterations executed.
     pub clock_steps: u64,
-    /// Candidate pools built.
+    /// Candidate pools built (or served from the pool cache).
     pub pool_builds: u64,
-    /// Candidate (task, version) pairs evaluated against the objective.
+    /// Candidate (task, version) pairs *planned* and evaluated against
+    /// the objective. With the pool cache on, only freshly-planned
+    /// candidates count here; reused ones count as
+    /// [`RunStats::pool_cache_hits`].
     pub candidates_evaluated: u64,
     /// Mappings committed.
     pub commits: u64,
+    /// Pool entries served from the incremental cache instead of being
+    /// replanned (zero when the cache is disabled).
+    pub pool_cache_hits: u64,
+    /// Cached pool entries dropped because a state mutation could have
+    /// affected them (zero when the cache is disabled).
+    pub pool_cache_invalidations: u64,
 }
 
 /// The result of an SLRH run: the final simulation state plus counters.
@@ -51,6 +60,16 @@ impl SlrhOutcome<'_> {
     /// The run's metrics.
     pub fn metrics(&self) -> Metrics {
         self.state.metrics()
+    }
+}
+
+impl gridsim::MappingOutcome for SlrhOutcome<'_> {
+    fn state(&self) -> &SimState<'_> {
+        &self.state
+    }
+
+    fn candidates_evaluated(&self) -> u64 {
+        self.stats.candidates_evaluated
     }
 }
 
@@ -77,14 +96,36 @@ pub fn run_slrh<'a>(scenario: &'a Scenario, config: &SlrhConfig) -> SlrhOutcome<
     SlrhOutcome { state, stats }
 }
 
-/// Advance the SLRH clock loop on an existing state from `start_clock`
-/// until completion, τ, or `stop_at` (exclusive). Returns the clock value
-/// at which the loop stopped. This is the building block shared by the
-/// plain, adaptive and dynamic drivers.
+/// [`drive_with`] behind a freshly-created pool cache (when the config
+/// asks for one). Single-segment runs use this; multi-segment drivers
+/// (adaptive, dynamic) create the cache once and call [`drive_with`] per
+/// segment so it survives across segments.
 pub(crate) fn drive(
     state: &mut SimState<'_>,
     config: &SlrhConfig,
     stats: &mut RunStats,
+    start_clock: Time,
+    stop_at: Option<Time>,
+) -> Time {
+    let mut cache = config
+        .use_pool_cache
+        .then(|| PoolCache::new(state, config.allow_secondary));
+    drive_with(state, config, stats, cache.as_mut(), start_clock, stop_at)
+}
+
+/// Advance the SLRH clock loop on an existing state from `start_clock`
+/// until completion, τ, or `stop_at` (exclusive). Returns the clock value
+/// at which the loop stopped. This is the building block shared by the
+/// plain, adaptive and dynamic drivers.
+///
+/// With a `cache`, every pool query goes through it and every commit's
+/// [`gridsim::state::StateDelta`] is fed back into it; the resulting
+/// schedule is identical to the uncached one by the cache's invariant.
+pub(crate) fn drive_with(
+    state: &mut SimState<'_>,
+    config: &SlrhConfig,
+    stats: &mut RunStats,
+    mut cache: Option<&mut PoolCache>,
     start_clock: Time,
     stop_at: Option<Time>,
 ) -> Time {
@@ -118,7 +159,7 @@ pub(crate) fn drive(
                 every_live_machine_available = false;
                 continue;
             }
-            if map_on_machine(state, config, stats, j, now) > 0 {
+            if map_on_machine(state, config, stats, cache.as_deref_mut(), j, now) > 0 {
                 any_commit = true;
             }
         }
@@ -130,11 +171,17 @@ pub(crate) fn drive(
         // invocation can make progress. (A non-empty pool here means a
         // horizon miss, which the advancing clock *can* resolve.)
         if !any_commit && every_live_machine_available && !state.all_mapped() {
-            let stuck = state.scenario().grid.ids().all(|j| {
-                !state.is_alive(j)
-                    || build_pool_with(state, &config.objective, j, now, config.allow_secondary)
-                        .is_empty()
-            });
+            let mut stuck = true;
+            for j in state.scenario().grid.ids() {
+                if !state.is_alive(j) {
+                    continue;
+                }
+                let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
+                if !pool.is_empty() {
+                    stuck = false;
+                    break;
+                }
+            }
             if stuck {
                 return now;
             }
@@ -166,6 +213,7 @@ fn map_on_machine(
     state: &mut SimState<'_>,
     config: &SlrhConfig,
     stats: &mut RunStats,
+    mut cache: Option<&mut PoolCache>,
     j: MachineId,
     now: Time,
 ) -> u64 {
@@ -174,10 +222,9 @@ fn map_on_machine(
 
     match config.variant {
         SlrhVariant::V1 => {
-            let pool = build_and_count(state, config, stats, j, now);
+            let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
             if let Some(e) = first_startable(&pool, horizon_end) {
-                state.commit(&e.plan);
-                stats.commits += 1;
+                commit_tracked(state, stats, cache, &e.plan);
                 commits += 1;
             }
         }
@@ -186,7 +233,7 @@ fn map_on_machine(
             // per entry because earlier commits shift the machine's
             // availability, but membership, version choice and ordering
             // are frozen — the defining simplification of SLRH-2.
-            let pool = build_and_count(state, config, stats, j, now);
+            let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
             for e in &pool {
                 if state.is_mapped(e.task) {
                     continue;
@@ -201,8 +248,7 @@ fn map_on_machine(
                     gridsim::plan::Placement::Append { not_before: now },
                 );
                 if plan.start <= horizon_end {
-                    state.commit(&plan);
-                    stats.commits += 1;
+                    commit_tracked(state, stats, cache.as_deref_mut(), &plan);
                     commits += 1;
                 }
             }
@@ -211,12 +257,11 @@ fn map_on_machine(
             // Recreate and re-evaluate the pool after every assignment,
             // admitting newly-ready children immediately.
             loop {
-                let pool = build_and_count(state, config, stats, j, now);
+                let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
                 let Some(e) = first_startable(&pool, horizon_end) else {
                     break;
                 };
-                state.commit(&e.plan);
-                stats.commits += 1;
+                commit_tracked(state, stats, cache.as_deref_mut(), &e.plan);
                 commits += 1;
             }
         }
@@ -224,17 +269,37 @@ fn map_on_machine(
     commits
 }
 
+/// Commit a plan and feed the resulting delta into the pool cache.
+fn commit_tracked(
+    state: &mut SimState<'_>,
+    stats: &mut RunStats,
+    cache: Option<&mut PoolCache>,
+    plan: &gridsim::plan::MappingPlan,
+) {
+    let delta = state.commit(plan);
+    if let Some(c) = cache {
+        c.apply(&delta, stats);
+    }
+    stats.commits += 1;
+}
+
 fn build_and_count(
     state: &SimState<'_>,
     config: &SlrhConfig,
     stats: &mut RunStats,
+    cache: Option<&mut PoolCache>,
     j: MachineId,
     now: Time,
 ) -> Vec<PoolEntry> {
-    let pool = build_pool_with(state, &config.objective, j, now, config.allow_secondary);
-    stats.pool_builds += 1;
-    stats.candidates_evaluated += pool.len() as u64;
-    pool
+    match cache {
+        Some(c) => c.pool(state, &config.objective, j, now, stats),
+        None => {
+            let pool = build_pool_with(state, &config.objective, j, now, config.allow_secondary);
+            stats.pool_builds += 1;
+            stats.candidates_evaluated += pool.len() as u64;
+            pool
+        }
+    }
 }
 
 /// First pool entry (maximum objective first) able to start within the
@@ -315,6 +380,31 @@ mod tests {
         let out = run_slrh(&sc, &config(SlrhVariant::V1));
         // V1 commits at most |M| pairs per clock step.
         assert!(out.stats.commits <= out.stats.clock_steps * sc.grid.len() as u64);
+    }
+
+    #[test]
+    fn pool_cache_is_output_invariant() {
+        // The incremental cache must be invisible in the results: same
+        // schedule, same loop trajectory, strictly less planning work.
+        let sc = scenario(64);
+        for variant in SlrhVariant::ALL {
+            let cfg = config(variant);
+            let cached = run_slrh(&sc, &cfg);
+            let scratch = run_slrh(&sc, &cfg.without_pool_cache());
+            assert_eq!(cached.metrics(), scratch.metrics(), "{variant}");
+            assert_eq!(cached.stats.commits, scratch.stats.commits, "{variant}");
+            assert_eq!(cached.stats.clock_steps, scratch.stats.clock_steps, "{variant}");
+            assert_eq!(cached.stats.pool_builds, scratch.stats.pool_builds, "{variant}");
+            // Every candidate the scratch path plans is either planned or
+            // served from cache on the cached path — never dropped.
+            assert_eq!(
+                cached.stats.candidates_evaluated + cached.stats.pool_cache_hits,
+                scratch.stats.candidates_evaluated,
+                "{variant}"
+            );
+            assert_eq!(scratch.stats.pool_cache_hits, 0);
+            assert!(cached.stats.pool_cache_hits > 0, "{variant}");
+        }
     }
 
     #[test]

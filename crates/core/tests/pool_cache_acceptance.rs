@@ -1,0 +1,55 @@
+//! Acceptance test for the incremental candidate-pool cache on the
+//! largest paper workload: a 1024-subtask Case B scenario.
+//!
+//! Two properties are asserted, and both must hold at once:
+//!
+//! 1. **Output invariance** — the cached run's final schedule is the
+//!    same schedule: identical `T100`, `TEC` and `AET` (and commit
+//!    count). The cache is an optimization, never a heuristic change.
+//! 2. **Work reduction** — the cached SLRH-1 run plans at least 2× fewer
+//!    candidates (`RunStats::candidates_evaluated`) than the
+//!    from-scratch baseline. Every avoided plan shows up as a
+//!    `pool_cache_hit`, so the two counters tie out exactly.
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use lagrange::weights::Weights;
+use slrh::{run_slrh, SlrhConfig, SlrhVariant};
+
+#[test]
+fn cached_slrh1_on_1024_case_b_halves_candidate_work() {
+    let params = ScenarioParams::paper_scaled(1024);
+    let scenario = Scenario::generate(&params, GridCase::B, 0, 0);
+    let weights = Weights::new(0.5, 0.25).unwrap();
+    let config = SlrhConfig::paper(SlrhVariant::V1, weights);
+
+    let cached = run_slrh(&scenario, &config);
+    let scratch = run_slrh(&scenario, &config.without_pool_cache());
+
+    // Identical final schedules.
+    let (cm, sm) = (cached.metrics(), scratch.metrics());
+    assert_eq!(cm.t100, sm.t100, "T100 differs");
+    assert_eq!(cm.tec, sm.tec, "TEC differs");
+    assert_eq!(cm.aet, sm.aet, "AET differs");
+    assert_eq!(cached.stats.commits, scratch.stats.commits);
+    assert_eq!(cached.stats.pool_builds, scratch.stats.pool_builds);
+
+    // The cache never plans a candidate the scratch build would not, and
+    // serves every other query from memory.
+    assert_eq!(
+        cached.stats.candidates_evaluated + cached.stats.pool_cache_hits,
+        scratch.stats.candidates_evaluated,
+        "cached work + hits must tie out to the scratch candidate count"
+    );
+    assert_eq!(scratch.stats.pool_cache_hits, 0);
+
+    // The headline: at least 2× fewer candidates planned. (Measured:
+    // ~10× at these weights; the bound is kept loose so weight or
+    // generator adjustments don't turn it into a change detector.)
+    assert!(
+        scratch.stats.candidates_evaluated >= 2 * cached.stats.candidates_evaluated,
+        "expected >= 2x reduction, got {} cached vs {} scratch",
+        cached.stats.candidates_evaluated,
+        scratch.stats.candidates_evaluated
+    );
+}

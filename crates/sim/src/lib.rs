@@ -24,15 +24,20 @@
 //!
 //! Heuristics never touch timelines or the ledger directly: they ask
 //! [`state::SimState`] to *plan* a mapping ([`plan::MappingPlan`], a pure
-//! computation) and then *commit* it. The [`validate`] module re-checks
-//! finished schedules from scratch, so every experiment run can assert its
-//! output obeys the physical model.
+//! computation) and then *commit* it. Every mutation bumps the state's
+//! monotonic revision counter and returns a [`state::StateDelta`]
+//! describing exactly which tasks and machines it affected, which is what
+//! lets the SLRH candidate-pool cache invalidate incrementally instead of
+//! rescanning. The [`validate`] module re-checks finished schedules from
+//! scratch, so every experiment run can assert its output obeys the
+//! physical model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ledger;
 pub mod metrics;
+pub mod outcome;
 pub mod plan;
 pub mod schedule;
 pub mod state;
@@ -42,9 +47,10 @@ pub mod validate;
 
 pub use ledger::EnergyLedger;
 pub use metrics::Metrics;
+pub use outcome::MappingOutcome;
 pub use plan::{MappingPlan, Placement};
 pub use schedule::{Assignment, Schedule, Transfer};
-pub use state::SimState;
+pub use state::{DeltaKind, SimState, StateDelta};
 pub use trace::Trace;
 pub use timeline::Timeline;
 pub use validate::{validate, ValidationError};

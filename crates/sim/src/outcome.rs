@@ -1,0 +1,50 @@
+//! A uniform read-only view over every mapper's result.
+//!
+//! Each heuristic in the workspace returns its own outcome struct (the
+//! SLRH runs carry work counters, the dynamic runs carry disruption
+//! logs, the static baselines carry only a candidate count), but every
+//! one of them ultimately wraps a final [`SimState`]. [`MappingOutcome`]
+//! is the common denominator: metrics, the validated schedule, and the
+//! host-independent work proxy. Harness code that compares heuristics
+//! (e.g. the sweep registry) can treat any run as a
+//! `dyn MappingOutcome` instead of special-casing each result type.
+
+use crate::metrics::Metrics;
+use crate::schedule::Schedule;
+use crate::state::SimState;
+use crate::validate::{validate, ValidationError};
+
+/// A completed mapping run, whatever heuristic produced it.
+///
+/// Implementors only supply [`state`](MappingOutcome::state) and
+/// [`candidates_evaluated`](MappingOutcome::candidates_evaluated); the
+/// metric and validation accessors are derived. The trait is
+/// dyn-compatible so heterogeneous runs can share one code path.
+pub trait MappingOutcome {
+    /// The final simulation state (schedule, ledger, timelines).
+    fn state(&self) -> &SimState<'_>;
+
+    /// Candidate (task, version, machine) plans evaluated — the
+    /// host-independent work proxy the paper uses in place of wall time.
+    fn candidates_evaluated(&self) -> u64;
+
+    /// The run's metrics, computed from the final state.
+    fn metrics(&self) -> Metrics {
+        self.state().metrics()
+    }
+
+    /// The produced schedule.
+    fn schedule(&self) -> &Schedule {
+        self.state().schedule()
+    }
+
+    /// Re-check the schedule against the physical model from scratch.
+    fn validation_errors(&self) -> Vec<ValidationError> {
+        validate(self.state())
+    }
+
+    /// True when the independent validator accepts the schedule.
+    fn is_valid(&self) -> bool {
+        self.validation_errors().is_empty()
+    }
+}

@@ -13,6 +13,16 @@
 //! queries, [`SimState::plan`] (pure), and [`SimState::commit`]. The
 //! dynamic-grid extension additionally uses [`SimState::unmap`] and
 //! [`SimState::mark_lost`].
+//!
+//! # Revisions and deltas
+//!
+//! Every mutation (`commit`, `unmap`, `mark_lost`, `block_until`) bumps a
+//! monotonic [`SimState::revision`] counter and returns a [`StateDelta`]
+//! describing exactly what changed: which tasks entered or left the ready
+//! set and which machines had a timeline or energy-ledger change.
+//! Incremental consumers (the `slrh` candidate-pool cache) key their
+//! invalidation off these deltas instead of rescanning the whole state;
+//! the revision counter lets them assert they have seen every mutation.
 
 use adhoc_grid::config::MachineId;
 use adhoc_grid::task::{TaskId, Version};
@@ -24,6 +34,67 @@ use crate::metrics::Metrics;
 use crate::plan::{self, MappingPlan, Placement};
 use crate::schedule::{Assignment, Schedule, Transfer};
 use crate::timeline::Timeline;
+
+/// Which mutation produced a [`StateDelta`].
+///
+/// The distinction a consumer cares about: [`DeltaKind::Commit`] and
+/// [`DeltaKind::Blocked`] only *add* timeline occupation (and move
+/// energy), so first-fit planning results that still fit remain exact;
+/// [`DeltaKind::Unmap`] removes occupation (earlier gaps can open) and
+/// [`DeltaKind::MachineLost`] kills a machine outright, so conclusions
+/// about the touched machines must be discarded wholesale.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DeltaKind {
+    /// [`SimState::commit`]: occupation added, ledger moved.
+    Commit,
+    /// [`SimState::unmap`]: occupation removed, ledger refunded.
+    Unmap,
+    /// [`SimState::mark_lost`]: the machine fails all future feasibility
+    /// checks (timelines untouched).
+    MachineLost,
+    /// [`SimState::block_until`]: the machine's timelines blocked up to
+    /// its arrival instant (occupation added).
+    Blocked,
+}
+
+/// What one [`SimState`] mutation changed.
+///
+/// Returned by every mutating entry point. `revision` is the state's
+/// counter *after* the mutation; deltas therefore arrive in an unbroken
+/// sequence `1, 2, 3, …` and a consumer that tracks the last revision it
+/// applied can detect a missed mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateDelta {
+    /// Which mutation this is.
+    pub kind: DeltaKind,
+    /// The state's revision after this mutation.
+    pub revision: u64,
+    /// Tasks that entered the ready set.
+    pub newly_ready: Vec<TaskId>,
+    /// Tasks that left the ready set (mapped, or re-blocked by an unmap).
+    pub invalidated: Vec<TaskId>,
+    /// Machines whose compute/link timelines or energy ledger changed,
+    /// ascending and deduplicated.
+    pub touched_machines: Vec<MachineId>,
+    /// `unmap` only: parents whose worst-case re-reservation could not be
+    /// afforded, in ascending task id (see [`SimState::unmap`]). The
+    /// caller must cascade and unmap these too.
+    pub starved_parents: Vec<TaskId>,
+}
+
+impl StateDelta {
+    /// True when machine `j` was touched by this mutation.
+    pub fn touches(&self, j: MachineId) -> bool {
+        self.touched_machines.binary_search(&j).is_ok()
+    }
+}
+
+/// Sorted, deduplicated machine list for a [`StateDelta`].
+fn sorted_machines(mut ms: Vec<MachineId>) -> Vec<MachineId> {
+    ms.sort_unstable_by_key(|j| j.0);
+    ms.dedup();
+    ms
+}
 
 /// Mutable simulation state for one scenario run.
 #[derive(Clone, Debug)]
@@ -42,6 +113,8 @@ pub struct SimState<'a> {
     lost: Vec<Option<Time>>,
     t100: usize,
     aet: Time,
+    /// Bumped by every mutation; see the module docs.
+    revision: u64,
 }
 
 impl<'a> SimState<'a> {
@@ -64,7 +137,16 @@ impl<'a> SimState<'a> {
             lost: vec![None; m],
             t100: 0,
             aet: Time::ZERO,
+            revision: 0,
         }
+    }
+
+    /// The monotonic mutation counter: 0 for a fresh state, incremented
+    /// by every `commit` / `unmap` / `mark_lost` / `block_until`. The
+    /// [`StateDelta`] each of those returns carries the post-mutation
+    /// value.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The scenario being executed.
@@ -142,9 +224,18 @@ impl<'a> SimState<'a> {
     /// Mark machine `j` as lost at `at` (dynamic extension). Lost machines
     /// fail every subsequent feasibility check; already-scheduled work must
     /// be invalidated by the caller (see `slrh::dynamic`).
-    pub fn mark_lost(&mut self, j: MachineId, at: Time) {
+    pub fn mark_lost(&mut self, j: MachineId, at: Time) -> StateDelta {
         assert!(self.lost[j.0].is_none(), "{j} already lost");
         self.lost[j.0] = Some(at);
+        self.revision += 1;
+        StateDelta {
+            kind: DeltaKind::MachineLost,
+            revision: self.revision,
+            newly_ready: Vec::new(),
+            invalidated: Vec::new(),
+            touched_machines: vec![j],
+            starved_parents: Vec::new(),
+        }
     }
 
     /// Model machine `j` joining the grid at `at` (dynamic extension):
@@ -155,7 +246,7 @@ impl<'a> SimState<'a> {
     /// # Panics
     /// Panics if anything is already scheduled on `j` or `at` is zero
     /// (an arrival at time zero is just an ordinary machine).
-    pub fn block_until(&mut self, j: MachineId, at: Time) {
+    pub fn block_until(&mut self, j: MachineId, at: Time) -> StateDelta {
         assert!(at > Time::ZERO, "arrival at time zero is a no-op");
         assert!(
             self.compute[j.0].is_empty()
@@ -167,6 +258,15 @@ impl<'a> SimState<'a> {
         self.compute[j.0].insert(Time::ZERO, span);
         self.tx[j.0].insert(Time::ZERO, span);
         self.rx[j.0].insert(Time::ZERO, span);
+        self.revision += 1;
+        StateDelta {
+            kind: DeltaKind::Blocked,
+            revision: self.revision,
+            newly_ready: Vec::new(),
+            invalidated: Vec::new(),
+            touched_machines: vec![j],
+            starved_parents: Vec::new(),
+        }
     }
 
     /// When was machine `j` lost, if ever?
@@ -219,15 +319,43 @@ impl<'a> SimState<'a> {
         plan::plan_mapping(self, t, v, j, placement)
     }
 
+    /// Re-anchor a plan produced by [`SimState::plan`] at clock
+    /// `not_before` under [`Placement::Append`] semantics: its transfer
+    /// placements, execution start and derived global quantities are
+    /// recomputed against the current timelines; its static costing
+    /// (sizes, durations, energies, settlements, reservations) is kept.
+    /// The result is exactly what re-planning from scratch would produce,
+    /// **provided** every parent of the task is still committed to the
+    /// same machine and version as when the plan was made (debug builds
+    /// assert this).
+    ///
+    /// `twin`, when given, must be the same `(task, machine)` planned at
+    /// the other version; it shares the version-independent transfer
+    /// schedule and is re-placed without a second gap search.
+    pub fn reanchor(
+        &self,
+        plan: &mut MappingPlan,
+        twin: Option<&mut MappingPlan>,
+        not_before: Time,
+    ) {
+        plan::reanchor_mapping(self, plan, twin, not_before);
+    }
+
     /// Commit a plan produced by [`SimState::plan`] against the *current*
-    /// state.
+    /// state. The returned [`StateDelta`] lists the mapped task as
+    /// invalidated (it left the ready set), any children that became
+    /// ready, and every machine whose timelines or ledger changed (the
+    /// target plus all transfer senders — settlement-only parents always
+    /// share a machine with either the target or a sender).
     ///
     /// # Panics
     /// Panics if the plan no longer fits (timeline overlap or battery
     /// overdraw) — plans must be committed before any other mutation.
-    pub fn commit(&mut self, plan: &MappingPlan) {
+    pub fn commit(&mut self, plan: &MappingPlan) -> StateDelta {
         let j = plan.machine;
         assert!(self.is_alive(j), "committing onto lost machine {j}");
+        let mut touched = vec![j];
+        touched.extend(plan.transfers.iter().map(|tr| tr.from));
 
         // 1. Incoming transfers: occupy links, charge senders via their
         //    reservations.
@@ -272,14 +400,25 @@ impl<'a> SimState<'a> {
         if let Some(pos) = self.ready.iter().position(|&t| t == plan.task) {
             self.ready.swap_remove(pos);
         }
+        let mut newly_ready = Vec::new();
         for &c in self.sc.dag.children(plan.task) {
             self.unmapped_parents[c.0] -= 1;
             if self.unmapped_parents[c.0] == 0 {
                 self.ready.push(c);
+                newly_ready.push(c);
             }
         }
 
         debug_assert!(self.ledger.check_invariants().is_ok());
+        self.revision += 1;
+        StateDelta {
+            kind: DeltaKind::Commit,
+            revision: self.revision,
+            newly_ready,
+            invalidated: vec![plan.task],
+            touched_machines: sorted_machines(touched),
+            starved_parents: Vec::new(),
+        }
     }
 
     /// Fully reverse the mapping of `t` (dynamic extension).
@@ -289,14 +428,17 @@ impl<'a> SimState<'a> {
     /// reservations, and re-reserves the worst case on each *mapped*
     /// parent's machine for the now-unmapped edge.
     ///
-    /// Returns the parents whose worst-case re-reservation could **not**
-    /// be afforded — the caller must cascade and unmap those parents too,
-    /// since they can no longer guarantee shipping their outputs.
+    /// The returned delta's `starved_parents` are the parents whose
+    /// worst-case re-reservation could **not** be afforded — the caller
+    /// must cascade and unmap those parents too, since they can no longer
+    /// guarantee shipping their outputs. **Order contract:** the list is
+    /// in ascending task id (it follows the DAG's sorted parent order),
+    /// so callers can merge or deduplicate it without re-sorting.
     ///
     /// # Panics
     /// Panics if `t` is unmapped or any child of `t` is still mapped
     /// (children must be unmapped first — reverse topological order).
-    pub fn unmap(&mut self, t: TaskId) -> Vec<TaskId> {
+    pub fn unmap(&mut self, t: TaskId) -> StateDelta {
         for &c in self.sc.dag.children(t) {
             assert!(
                 !self.is_mapped(c),
@@ -307,6 +449,7 @@ impl<'a> SimState<'a> {
             .schedule
             .unmap(t)
             .unwrap_or_else(|| panic!("{t} is not mapped"));
+        let mut touched = vec![a.machine];
 
         // Reverse the execution.
         self.compute[a.machine.0].remove(a.start, a.dur);
@@ -337,8 +480,11 @@ impl<'a> SimState<'a> {
             self.tx[tr.from.0].remove(tr.start, tr.dur);
             self.rx[tr.to.0].remove(tr.start, tr.dur);
             self.ledger.uncommit(tr.from, tr.energy);
+            touched.push(tr.from);
         }
 
+        // `sc.dag.parents(t)` is ascending, so `starved_parents` is too —
+        // this is the documented order contract.
         let mut starved_parents = Vec::new();
         for &p in self.sc.dag.parents(t) {
             let Some(pa) = self.schedule.assignment(p) else {
@@ -353,6 +499,7 @@ impl<'a> SimState<'a> {
             let worst = self.sc.grid.machine(pj).transmit_energy(worst_dur);
             if self.is_alive(pj) && self.ledger.can_afford(pj, worst) {
                 self.ledger.reserve(pj, p, t, worst);
+                touched.push(pj);
             } else {
                 starved_parents.push(p);
             }
@@ -360,23 +507,35 @@ impl<'a> SimState<'a> {
 
         // Readiness: t becomes unmapped; its children gain an unmapped
         // parent (and leave the ready set if they were in it).
+        let mut invalidated = Vec::new();
         for &c in self.sc.dag.children(t) {
             if self.unmapped_parents[c.0] == 0 {
                 if let Some(pos) = self.ready.iter().position(|&x| x == c) {
                     self.ready.swap_remove(pos);
+                    invalidated.push(c);
                 }
             }
             self.unmapped_parents[c.0] += 1;
         }
+        let mut newly_ready = Vec::new();
         if self.parents_mapped(t) {
             self.ready.push(t);
+            newly_ready.push(t);
         }
 
         // AET may shrink; recompute from the schedule.
         self.aet = self.schedule.aet();
 
         debug_assert!(self.ledger.check_invariants().is_ok());
-        starved_parents
+        self.revision += 1;
+        StateDelta {
+            kind: DeltaKind::Unmap,
+            revision: self.revision,
+            newly_ready,
+            invalidated,
+            touched_machines: sorted_machines(touched),
+            starved_parents,
+        }
     }
 
     /// Snapshot the run's metrics.
@@ -556,8 +715,8 @@ mod tests {
             not_before: Time::ZERO,
         });
         st.commit(&plan);
-        let starved = st.unmap(t);
-        assert!(starved.is_empty());
+        let delta = st.unmap(t);
+        assert!(delta.starved_parents.is_empty());
         assert_eq!(st.mapped_count(), 0);
         assert_eq!(st.t100(), 0);
         assert_eq!(st.aet(), Time::ZERO);
@@ -608,6 +767,81 @@ mod tests {
         st.unmap(child);
         assert_eq!(st.ledger().outstanding_reservations(), before);
         assert!(st.ledger().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn deltas_form_an_unbroken_revision_sequence() {
+        let sc = tiny_scenario();
+        let mut st = SimState::new(&sc);
+        assert_eq!(st.revision(), 0);
+        let mut expected = 0u64;
+        while let Some(&t) = st.ready_tasks().first() {
+            let plan = st.plan(t, Version::Secondary, m(0), Placement::Append {
+                not_before: Time::ZERO,
+            });
+            let d = st.commit(&plan);
+            expected += 1;
+            assert_eq!(d.revision, expected);
+            assert_eq!(st.revision(), expected);
+        }
+        let d = st.mark_lost(m(2), Time(10));
+        expected += 1;
+        assert_eq!(d.revision, expected);
+        assert_eq!(d.touched_machines, vec![m(2)]);
+    }
+
+    #[test]
+    fn commit_delta_reports_readiness_and_touched_machines() {
+        let sc = tiny_scenario();
+        let mut st = SimState::new(&sc);
+        let t = st.ready_tasks()[0];
+        let plan = st.plan(t, Version::Primary, m(0), Placement::Append {
+            not_before: Time::ZERO,
+        });
+        let d = st.commit(&plan);
+        assert_eq!(d.invalidated, vec![t]);
+        assert!(d.touches(m(0)));
+        assert_eq!(d.touched_machines, vec![m(0)], "root commit moves no data");
+        for &c in &d.newly_ready {
+            assert!(st.ready_tasks().contains(&c));
+            assert!(sc.dag.parents(c).contains(&t));
+        }
+        assert!(d.starved_parents.is_empty());
+    }
+
+    #[test]
+    fn cross_machine_commit_touches_the_sender() {
+        let sc = tiny_scenario();
+        let mut st = SimState::new(&sc);
+        while st
+            .ready_tasks()
+            .iter()
+            .all(|&t| sc.dag.parents(t).is_empty())
+        {
+            let t = st.ready_tasks()[0];
+            let p = st.plan(t, Version::Secondary, m(0), Placement::Append {
+                not_before: Time::ZERO,
+            });
+            st.commit(&p);
+        }
+        let child = *st
+            .ready_tasks()
+            .iter()
+            .find(|&&t| !sc.dag.parents(t).is_empty())
+            .unwrap();
+        let plan = st.plan(child, Version::Primary, m(1), Placement::Append {
+            not_before: Time::ZERO,
+        });
+        let d = st.commit(&plan);
+        assert!(d.touches(m(0)), "transfer sender must be touched");
+        assert!(d.touches(m(1)));
+        assert_eq!(d.touched_machines, vec![m(0), m(1)], "sorted and deduped");
+
+        // And unmapping it reports the same machines plus the child back
+        // in the ready set via `newly_ready`.
+        let du = st.unmap(child);
+        assert!(du.touches(m(0)) && du.touches(m(1)));
+        assert_eq!(du.newly_ready, vec![child]);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use adhoc_grid::workload::Scenario;
 use grid_baselines::{run_greedy, run_heft, run_lr_list, run_maxmax, run_minmin, run_olb, LrListConfig};
 use gridsim::metrics::Metrics;
-use gridsim::validate::validate;
+use gridsim::MappingOutcome;
 use lagrange::weights::{Objective, Weights};
 use slrh::{run_slrh, SlrhConfig, SlrhVariant};
 
@@ -91,74 +91,34 @@ impl Heuristic {
     /// itself (validation happens outside the timed section).
     pub fn run(self, scenario: &Scenario, weights: Weights) -> RunResult {
         let start = Instant::now();
-        let (metrics, work) = match self {
+        let out: Box<dyn MappingOutcome + '_> = match self {
             Heuristic::Slrh1 | Heuristic::Slrh2 | Heuristic::Slrh3 => {
                 let variant = match self {
                     Heuristic::Slrh1 => SlrhVariant::V1,
                     Heuristic::Slrh2 => SlrhVariant::V2,
                     _ => SlrhVariant::V3,
                 };
-                let out = run_slrh(scenario, &SlrhConfig::paper(variant, weights));
-                let wall = start.elapsed();
-                let valid = validate(&out.state).is_empty();
-                return RunResult {
-                    metrics: out.metrics(),
-                    wall,
-                    work: out.stats.candidates_evaluated,
-                    valid,
-                };
+                Box::new(run_slrh(scenario, &SlrhConfig::paper(variant, weights)))
             }
-            Heuristic::MaxMax => {
-                let out = run_maxmax(scenario, &Objective::paper(weights));
-                let wall = start.elapsed();
-                let valid = validate(&out.state).is_empty();
-                return RunResult {
-                    metrics: out.metrics(),
-                    wall,
-                    work: out.candidates_evaluated,
-                    valid,
-                };
-            }
-            Heuristic::Greedy => {
-                let out = run_greedy(scenario);
-                (out.metrics(), out.candidates_evaluated)
-            }
-            Heuristic::Olb => {
-                let out = run_olb(scenario);
-                (out.metrics(), out.candidates_evaluated)
-            }
-            Heuristic::MinMin => {
-                let out = run_minmin(scenario);
-                (out.metrics(), out.candidates_evaluated)
-            }
-            Heuristic::Heft => {
-                let out = run_heft(scenario);
-                (out.metrics(), out.candidates_evaluated)
-            }
+            Heuristic::MaxMax => Box::new(run_maxmax(scenario, &Objective::paper(weights))),
+            Heuristic::Greedy => Box::new(run_greedy(scenario)),
+            Heuristic::Olb => Box::new(run_olb(scenario)),
+            Heuristic::MinMin => Box::new(run_minmin(scenario)),
+            Heuristic::Heft => Box::new(run_heft(scenario)),
             Heuristic::LrList => {
                 let cfg = LrListConfig {
                     weights,
                     ..LrListConfig::default()
                 };
-                let out = run_lr_list(scenario, &cfg);
-                let wall = start.elapsed();
-                let valid = validate(&out.state).is_empty();
-                return RunResult {
-                    metrics: out.metrics(),
-                    wall,
-                    work: out.candidates_evaluated,
-                    valid,
-                };
+                Box::new(run_lr_list(scenario, &cfg))
             }
         };
-        // Weightless heuristics fall through here; re-run validation on a
-        // fresh state is unnecessary — they were validated during tests —
-        // but we still report wall time.
+        let wall = start.elapsed();
         RunResult {
-            metrics,
-            wall: start.elapsed(),
-            work,
-            valid: true,
+            metrics: out.metrics(),
+            wall,
+            work: out.candidates_evaluated(),
+            valid: out.is_valid(),
         }
     }
 }

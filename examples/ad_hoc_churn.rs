@@ -24,7 +24,9 @@ use lrh_grid::slrh::{
 fn main() {
     let params = ScenarioParams::paper_scaled(192);
     let scenario = Scenario::generate(&params, GridCase::A, 0, 0);
-    let config = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap());
+    let config = SlrhConfig::builder(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap())
+        .build()
+        .expect("paper defaults are valid");
     let tau = scenario.tau;
 
     let arrivals = [

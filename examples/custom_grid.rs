@@ -20,7 +20,7 @@ use lrh_grid::grid::etc_gen::{self, EtcGenParams};
 use lrh_grid::grid::units::Energy;
 use lrh_grid::lagrange::weights::Weights;
 use lrh_grid::sim::validate::validate_schedule;
-use lrh_grid::slrh::{run_slrh, SlrhConfig, SlrhVariant};
+use lrh_grid::{run_slrh, SlrhConfig, SlrhVariant};
 
 fn main() {
     // A machine the paper's Table 2 does not have: slow-ish CPU, big
@@ -66,7 +66,9 @@ fn main() {
     };
 
     for variant in [SlrhVariant::V1, SlrhVariant::V3] {
-        let config = SlrhConfig::paper(variant, Weights::new(0.5, 0.25).unwrap());
+        let config = SlrhConfig::builder(variant, Weights::new(0.5, 0.25).unwrap())
+            .build()
+            .expect("paper defaults are valid");
         let out = run_slrh(&scenario, &config);
         let m = out.metrics();
         println!(

@@ -21,7 +21,9 @@ use lrh_grid::slrh::{
 fn main() {
     let params = ScenarioParams::paper_scaled(256);
     let scenario = Scenario::generate(&params, GridCase::A, 0, 0);
-    let config = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.25).unwrap());
+    let config = SlrhConfig::builder(SlrhVariant::V1, Weights::new(0.5, 0.25).unwrap())
+        .build()
+        .expect("paper defaults are valid");
 
     // Undisturbed baseline.
     let baseline = run_slrh(&scenario, &config);

@@ -14,7 +14,7 @@
 use lrh_grid::grid::{GridCase, Scenario, ScenarioParams};
 use lrh_grid::lagrange::weights::Weights;
 use lrh_grid::sim::validate::validate;
-use lrh_grid::slrh::{run_slrh, SlrhConfig, SlrhVariant};
+use lrh_grid::{run_slrh, SlrhConfig, SlrhVariant};
 
 fn main() {
     // A reduced-scale paper workload: |T| = 256 subtasks, deadline and
@@ -34,7 +34,11 @@ fn main() {
     // (0.5, 0.3) is a constraint-compliant point for this scenario; the
     // paper tunes the pair per scenario — see `repro fig3`.
     let weights = Weights::new(0.5, 0.3).expect("weights on the simplex");
-    let config = SlrhConfig::paper(SlrhVariant::V1, weights);
+    // The builder starts from the paper defaults (ΔT = 10, H = 100,
+    // secondaries on) and validates the combination at `build()`.
+    let config = SlrhConfig::builder(SlrhVariant::V1, weights)
+        .build()
+        .expect("paper defaults are valid");
 
     let outcome = run_slrh(&scenario, &config);
     let m = outcome.metrics();

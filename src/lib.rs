@@ -22,21 +22,49 @@
 //!
 //! ## Quickstart
 //!
+//! The configuration surface ([`SlrhConfig`], its fluent
+//! [`SlrhConfig::builder`]) and the heuristic-agnostic result view
+//! ([`MappingOutcome`]) are re-exported at the crate root:
+//!
 //! ```
 //! use lrh_grid::grid::{GridCase, ScenarioParams, Scenario};
-//! use lrh_grid::slrh::{SlrhConfig, SlrhVariant, run_slrh};
 //! use lrh_grid::lagrange::Weights;
+//! use lrh_grid::{run_slrh, SlrhConfig, SlrhVariant};
 //!
 //! // A reduced-scale paper scenario: Case A grid, 64 subtasks.
 //! let params = ScenarioParams::paper_scaled(64);
 //! let scenario = Scenario::generate(&params, GridCase::A, 0, 0);
 //!
-//! // Map it with the baseline SLRH-1 heuristic.
-//! let config = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.6, 0.2).unwrap());
+//! // Map it with the baseline SLRH-1 heuristic. Builder knobs start at
+//! // the paper defaults (ΔT = 10 ticks, H = 100 ticks, secondaries on)
+//! // and the combination is validated at `build()`.
+//! let config = SlrhConfig::builder(SlrhVariant::V1, Weights::new(0.6, 0.2).unwrap())
+//!     .build()
+//!     .unwrap();
 //! let outcome = run_slrh(&scenario, &config);
 //! let m = outcome.metrics();
 //! println!("mapped {} of {} subtasks at the primary level", m.t100, scenario.tasks());
 //! ```
+//!
+//! ## Revisions, deltas, and the incremental pool cache
+//!
+//! Every mutation of the simulator's [`sim::SimState`] — committing a
+//! plan, unmapping a subtask, losing a machine, blocking a timeline —
+//! bumps a monotonic revision counter and returns a
+//! [`sim::StateDelta`] naming exactly the subtasks and machines it
+//! affected. The SLRH clock loop feeds those deltas into
+//! [`slrh::PoolCache`], which keeps per-machine candidate pools alive
+//! across clock ticks under one invariant: the *costed* part of a
+//! cached plan (transfer sizes, durations, energies, reservations)
+//! depends only on static scenario tables and on where each parent is
+//! committed, so a delta's `invalidated`/`newly_ready` lists are
+//! precisely the slots to evict, while start times are re-anchored
+//! against the live timelines on every query
+//! ([`sim::SimState::reanchor`]). Cached pools are byte-identical to
+//! the from-scratch reference ([`slrh::build_pool`]) — property-tested
+//! under arbitrary mutation sequences, including machine-loss
+//! invalidation cascades — and cut the candidates planned by ~10× on
+//! the paper's largest workload.
 
 pub use adhoc_grid as grid;
 pub use grid_baselines as baselines;
@@ -45,3 +73,9 @@ pub use grid_sweep as sweep;
 pub use gridsim as sim;
 pub use lagrange;
 pub use slrh;
+
+// The configuration surface and the heuristic-agnostic result view are
+// re-exported at the crate root: they are what almost every user of the
+// library touches first.
+pub use gridsim::MappingOutcome;
+pub use slrh::{run_slrh, ConfigError, SlrhConfig, SlrhConfigBuilder, SlrhVariant};

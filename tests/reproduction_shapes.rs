@@ -26,15 +26,19 @@ fn tuned_run(h: Heuristic, sc: &Scenario) -> Option<usize> {
 fn table4_shape_full_scale() {
     let tau = Time::from_seconds(paper_constants::TAU_SECONDS);
     let gen = EtcGenParams::paper(1024);
+    // Exact margins depend on the PRNG stream behind the generators; the
+    // shape guarded here is A saturating outright, B close to saturation,
+    // and C cycles-limited well below both.
     for seed in 0..2 {
-        for case in [GridCase::A, GridCase::B] {
-            let etc = etc_gen::generate_for_case(&gen, case, seed);
-            let ub = upper_bound(&etc, &GridConfig::case(case), tau);
-            assert!(ub.t100 >= 1000, "{case}: {}", ub.t100);
-        }
+        let etc = etc_gen::generate_for_case(&gen, GridCase::A, seed);
+        let ub = upper_bound(&etc, &GridConfig::case(GridCase::A), tau);
+        assert_eq!(ub.t100, 1024, "Case A must saturate");
+        let etc = etc_gen::generate_for_case(&gen, GridCase::B, seed);
+        let ub = upper_bound(&etc, &GridConfig::case(GridCase::B), tau);
+        assert!(ub.t100 >= 900, "Case B: {}", ub.t100);
         let etc = etc_gen::generate_for_case(&gen, GridCase::C, seed);
         let ub = upper_bound(&etc, &GridConfig::case(GridCase::C), tau);
-        assert!(ub.t100 < 1024);
+        assert!(ub.t100 < 900, "Case C: {}", ub.t100);
         assert_eq!(ub.limit, Limit::Cycles);
     }
 }
