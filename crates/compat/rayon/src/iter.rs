@@ -1,0 +1,307 @@
+//! The parallel-iterator surface: entry traits, adaptors, consumers.
+//!
+//! Every chain bottoms out in [`ParallelIterator::fold_chunks`], the one
+//! driver primitive: fold each contiguous chunk of the source
+//! sequentially (in source order) on a worker and return the per-chunk
+//! accumulators ordered by chunk index. Adaptors (`map`, `filter_map`,
+//! `copied`, `cloned`) implement it by composing their transform into
+//! the fold closure — no intermediate allocation per stage — and the
+//! consumers (`collect`, `reduce_with`, `for_each`, `count`) stitch the
+//! ordered chunk results back together.
+
+use crate::executor;
+
+/// An iterator whose items are folded on parallel worker threads.
+///
+/// # Determinism contract
+///
+/// `collect` preserves source order exactly, and `reduce_with` applies
+/// the operator sequentially within each chunk and then across chunks in
+/// chunk order — so for an **associative** operator the result is
+/// identical to a sequential `reduce` regardless of thread count. Every
+/// `reduce_with` in this workspace is an argmax over a total order,
+/// which is associative; the sweep differential tests pin the resulting
+/// byte-for-byte report equality across thread counts.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// The driver primitive (see the trait docs): sequentially fold each
+    /// contiguous chunk of the source on a worker, returning per-chunk
+    /// accumulators in chunk order.
+    fn fold_chunks<A, ID, F>(self, init: ID, fold: F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, Self::Item) -> A + Sync;
+
+    /// Transform every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Transform every item, keeping only the `Some` results (their
+    /// relative order is preserved).
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Copy out of a by-reference iterator (mirror of `Iterator::copied`).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Clone out of a by-reference iterator (mirror of `Iterator::cloned`).
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
+    {
+        Cloned { base: self }
+    }
+
+    /// Gather all items, preserving source order exactly.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.fold_chunks(Vec::new, |mut acc, item| {
+            acc.push(item);
+            acc
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Fold pairs of items with `op`; `None` for an empty iterator.
+    ///
+    /// Each chunk folds left-to-right, then the chunk results fold in
+    /// chunk order — identical to sequential `reduce` whenever `op` is
+    /// associative (see the trait-level determinism contract).
+    fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.fold_chunks(
+            || None,
+            |acc: Option<Self::Item>, item| {
+                Some(match acc {
+                    Some(prev) => op(prev, item),
+                    None => item,
+                })
+            },
+        )
+        .into_iter()
+        .flatten()
+        .reduce(op)
+    }
+
+    /// Run `f` on every item (parallel side-effect loop).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.fold_chunks(|| (), |(), item| f(item));
+    }
+
+    /// Count the items.
+    fn count(self) -> usize {
+        self.fold_chunks(|| 0usize, |acc, _| acc + 1).into_iter().sum()
+    }
+}
+
+/// Borrowing parallel iterator over a slice — the result of
+/// [`IntoParallelRefIterator::par_iter`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn fold_chunks<A, ID, F>(self, init: ID, fold: F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+    {
+        executor::fold_slice(self.slice, &init, &fold)
+    }
+}
+
+/// Owning parallel iterator — the result of
+/// [`IntoParallelIterator::into_par_iter`].
+#[derive(Clone, Debug)]
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn fold_chunks<A, ID, F>(self, init: ID, fold: F) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        executor::fold_vec(self.items, &init, &fold)
+    }
+}
+
+/// See [`ParallelIterator::map`].
+#[derive(Clone, Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn fold_chunks<A, ID, G>(self, init: ID, fold: G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, R) -> A + Sync,
+    {
+        let Map { base, f } = self;
+        base.fold_chunks(init, move |acc, item| fold(acc, f(item)))
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn fold_chunks<A, ID, G>(self, init: ID, fold: G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, R) -> A + Sync,
+    {
+        let FilterMap { base, f } = self;
+        base.fold_chunks(init, move |acc, item| match f(item) {
+            Some(mapped) => fold(acc, mapped),
+            None => acc,
+        })
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+#[derive(Clone, Debug)]
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Copied<I>
+where
+    T: Copy + Send + Sync + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn fold_chunks<A, ID, G>(self, init: ID, fold: G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, T) -> A + Sync,
+    {
+        self.base.fold_chunks(init, move |acc, item| fold(acc, *item))
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+#[derive(Clone, Debug)]
+pub struct Cloned<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Cloned<I>
+where
+    T: Clone + Send + Sync + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn fold_chunks<A, ID, G>(self, init: ID, fold: G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, T) -> A + Sync,
+    {
+        self.base
+            .fold_chunks(init, move |acc, item| fold(acc, item.clone()))
+    }
+}
+
+/// `into_par_iter()` for any owned iterable with `Send` items.
+///
+/// The source is gathered into a `Vec` first so it can be chunked; this
+/// is what real rayon's bridge does for non-indexed sources too.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = IntoParIter<I::Item>;
+
+    fn into_par_iter(self) -> IntoParIter<I::Item> {
+        IntoParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` over slices (and `Vec`, arrays, … via deref).
+pub trait IntoParallelRefIterator<T: Sync> {
+    /// Parallel iterator by reference.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}

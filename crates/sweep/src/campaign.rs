@@ -52,6 +52,20 @@ impl CampaignConfig {
     }
 }
 
+/// Canonical serialization of a whole campaign: one [`CaseRow::canonical`]
+/// line per row. Two runs of the same campaign produce byte-identical
+/// canonical reports regardless of thread count — the determinism
+/// differential tests (`tests/differential_determinism.rs`) assert
+/// exactly that.
+pub fn canonical_report(rows: &[CaseRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row.canonical());
+        out.push('\n');
+    }
+    out
+}
+
 /// One aggregated row: a heuristic's performance on a case.
 #[derive(Clone, Debug)]
 pub struct CaseRow {
@@ -73,10 +87,35 @@ pub struct CaseRow {
     pub total: usize,
 }
 
+impl CaseRow {
+    /// Deterministic one-line serialization of the row: every field
+    /// except `mean_wall` and `mean_t100_per_second`, which derive from
+    /// host wall-clock and vary run to run even at fixed seeds. `{:?}`
+    /// on the `f64` fields is shortest-roundtrip, so equal values render
+    /// to equal bytes.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|{}|t100={:?}|ub_frac={:?}|feasible={}/{}",
+            self.heuristic, self.case, self.mean_t100, self.mean_ub_fraction, self.feasible, self.total
+        )
+    }
+}
+
 /// Run the campaign. Weight searches run rayon-parallel across scenarios;
 /// the timed measurement runs are strictly sequential afterwards so the
 /// Figure 6/7 wall-clock numbers are not distorted by core contention.
+///
+/// The timing pass (phase 2) must **stay** a plain sequential loop on
+/// the calling thread: EXPERIMENTS.md's Figure 6/7 numbers were taken
+/// under that regime, and running it inside a parallel worker would both
+/// contend for cores and (under the executor's nested-inline policy)
+/// silently serialize phase 1. The assert below pins the contract.
 pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CaseRow> {
+    assert!(
+        rayon::current_thread_index().is_none(),
+        "run_campaign must not be called from inside a parallel worker: \
+         its timing pass needs an uncontended thread"
+    );
     let ids: Vec<(usize, usize)> = cfg.set.ids().collect();
     let mut rows = Vec::new();
 

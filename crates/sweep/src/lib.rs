@@ -9,8 +9,11 @@
 //!   refined at 0.02, accepting only runs that map all subtasks within
 //!   both constraints (Figure 3);
 //! * [`campaign`] — the full 10 ETC × 10 DAG × 3 case study behind
-//!   Figures 4–7, with rayon-parallel tuning and a single-threaded
-//!   timing pass so wall-clock numbers stay clean;
+//!   Figures 4–7, with genuinely parallel tuning (the workspace rayon
+//!   executor; thread count via `RAYON_NUM_THREADS`) and a
+//!   single-threaded timing pass so wall-clock numbers stay clean.
+//!   Parallel output is byte-identical to sequential output — the
+//!   determinism differential tests under `tests/` pin it;
 //! * [`dt_sweep`] — the ΔT and horizon sensitivity sweeps (Figure 2,
 //!   ablation A3);
 //! * [`ablate`] — ablations beyond the paper: γ-sign, communication
@@ -30,7 +33,7 @@ pub mod report;
 pub mod stats;
 pub mod weight_search;
 
-pub use campaign::{run_campaign, CampaignConfig, CaseRow};
+pub use campaign::{canonical_report, run_campaign, CampaignConfig, CaseRow};
 pub use dt_sweep::{dt_sweep, horizon_sweep, SweepPoint};
 pub use heuristic::{Heuristic, RunResult};
 pub use replicate::{replicated_tuned_t100, Estimate, ReplicationConfig};

@@ -105,6 +105,13 @@ pub struct ReplicationConfig {
 /// Replicated mean tuned T100 for one heuristic on one case: each
 /// replication regenerates its whole suite from an independent master
 /// seed, tunes weights per scenario, and contributes its suite mean.
+///
+/// Parallelism audit: replications run rayon-parallel; each closure
+/// touches only its own freshly generated suite (no shared state), and
+/// the `collect` is order-preserving, so `Estimate::from_samples` sees
+/// the suite means in replication order under any thread count. The
+/// inner weight searches run inline on the replication's worker (the
+/// executor's nested policy), keeping the thread count bounded.
 pub fn replicated_tuned_t100(
     h: Heuristic,
     case: GridCase,

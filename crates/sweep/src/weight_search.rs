@@ -47,6 +47,13 @@ fn grid(step: f64, alpha_range: (f64, f64), beta_range: (f64, f64)) -> Vec<Weigh
 /// Evaluate candidate weights in parallel; keep the best compliant one.
 /// "Best" = highest `T100`, ties broken toward lower (α, β) for
 /// determinism.
+///
+/// Parallelism audit: the `reduce_with` operator is an argmax over the
+/// total order `key` (T100, then reversed α, then reversed β — no two
+/// candidates share a key, since the grid never repeats a weight pair),
+/// which makes it associative. The executor folds chunks in index order,
+/// so the winner is identical under any thread count — pinned by the
+/// differential tests in `tests/differential_determinism.rs`.
 fn best_over(
     heuristic: Heuristic,
     scenario: &Scenario,

@@ -1,0 +1,114 @@
+//! Property tests for the workspace rayon executor itself, driven from
+//! `grid-sweep` (the compat crate is outside the workspace, so its own
+//! unit tests do not run under `cargo test --workspace`; these do).
+//!
+//! Properties, each across arbitrary input lengths (including 0 and 1)
+//! and arbitrary thread counts 1–16:
+//!
+//! * `map`/`collect` preserves source order exactly;
+//! * `filter_map` keeps survivors in source order;
+//! * `reduce_with` equals sequential `reduce` for associative operators;
+//! * `copied` round-trips a borrowed source;
+//! * a panic in one item propagates to the caller instead of
+//!   deadlocking (plain test: completion is the deadlock evidence).
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_collect_preserves_order(
+        v in prop::collection::vec(any::<u64>(), 0..200),
+        threads in 1usize..=16,
+    ) {
+        let expected: Vec<u64> = v.iter().map(|&x| x.wrapping_mul(3).rotate_left(7)).collect();
+        let got: Vec<u64> = pool(threads)
+            .install(|| v.par_iter().map(|&x| x.wrapping_mul(3).rotate_left(7)).collect());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn filter_map_preserves_survivor_order(
+        v in prop::collection::vec(any::<u32>(), 0..200),
+        threads in 1usize..=16,
+    ) {
+        let expected: Vec<u32> = v.iter().filter_map(|&x| (x % 3 == 0).then_some(x / 3)).collect();
+        let got: Vec<u32> = pool(threads)
+            .install(|| v.par_iter().filter_map(|&x| (x % 3 == 0).then_some(x / 3)).collect());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_with_matches_sequential_reduce(
+        v in prop::collection::vec(any::<u64>(), 0..200),
+        threads in 1usize..=16,
+    ) {
+        // Two associative operators: max and wrapping addition. Both must
+        // match the sequential fold bit-for-bit, including the None of an
+        // empty source.
+        let expected_max = v.iter().copied().reduce(u64::max);
+        let expected_sum = v.iter().copied().reduce(u64::wrapping_add);
+        let p = pool(threads);
+        let got_max = p.install(|| v.par_iter().copied().reduce_with(u64::max));
+        let got_sum = p.install(|| v.par_iter().copied().reduce_with(u64::wrapping_add));
+        prop_assert_eq!(got_max, expected_max);
+        prop_assert_eq!(got_sum, expected_sum);
+    }
+
+    #[test]
+    fn tiny_sources_hit_the_inline_fast_path(
+        v in prop::collection::vec(any::<u16>(), 0..=2),
+        threads in 1usize..=16,
+    ) {
+        // Lengths 0, 1 and 2 straddle the spawn threshold; all must be
+        // exact regardless of the configured thread count.
+        let expected: Vec<u32> = v.iter().map(|&x| u32::from(x) + 1).collect();
+        let got: Vec<u32> = pool(threads)
+            .install(|| v.par_iter().map(|&x| u32::from(x) + 1).collect());
+        prop_assert_eq!(got, expected);
+        let got_owned: Vec<u32> = pool(threads)
+            .install(|| v.clone().into_par_iter().map(|x| u32::from(x) + 1).collect());
+        prop_assert_eq!(got_owned, expected);
+    }
+
+    #[test]
+    fn into_par_iter_matches_borrowing_path(
+        v in prop::collection::vec(any::<i64>(), 0..200),
+        threads in 1usize..=16,
+    ) {
+        let p = pool(threads);
+        let borrowed: Vec<i64> = p.install(|| v.par_iter().map(|&x| x ^ 0x5A5A).collect());
+        let owned: Vec<i64> = p.install(|| v.clone().into_par_iter().map(|x| x ^ 0x5A5A).collect());
+        prop_assert_eq!(borrowed, owned);
+    }
+}
+
+#[test]
+fn panic_in_one_item_propagates_not_deadlocks() {
+    // One poisoned item out of 64 on 8 threads: the panic must surface
+    // on the caller. This test *finishing* is the no-deadlock evidence —
+    // the scope joins every other worker before the payload is rethrown.
+    for threads in [1usize, 2, 8] {
+        let result = std::panic::catch_unwind(|| {
+            pool(threads).install(|| {
+                (0..64u32)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x != 41, "poisoned item");
+                        x
+                    })
+                    .collect::<Vec<u32>>()
+            })
+        });
+        assert!(result.is_err(), "panic swallowed at {threads} threads");
+    }
+}
