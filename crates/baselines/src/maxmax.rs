@@ -258,7 +258,9 @@ fn find_best_triplet(
                 // Downgrade guard (see module docs): committing this
                 // triplet must leave the grid able to absorb the rest of
                 // the workload at the secondary level.
-                let cost = state.exec_energy(t, v, j) + state.worst_case_out_energy(t, v, j);
+                // Same static quantity the feasibility gate compares —
+                // served from `SimState`'s precomputed demand table.
+                let cost = state.feasibility_demand(t, v, j);
                 let exec_secs = sc.etc.exec_dur(t, j, v).as_seconds();
                 if guard.capacity_after(state, j, cost, exec_secs) < (unmapped - 1) as f64 {
                     continue;

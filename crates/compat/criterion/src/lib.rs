@@ -14,7 +14,45 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// When set (by `criterion_main!` on a `--test` invocation), benchmarks
+/// run their routine exactly once instead of being measured — the same
+/// "smoke" semantics real criterion gives `cargo bench -- --test`. CI
+/// uses this to keep bench code from rotting without paying for a full
+/// measurement run.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Enable smoke mode (used by `criterion_main!`; not part of the real
+/// criterion API).
+pub fn set_smoke_mode(on: bool) {
+    SMOKE.store(on, Ordering::Relaxed);
+}
+
+/// Append one measurement as a JSON line to the file named by the
+/// `CRITERION_JSON` environment variable, if set. Each line is
+/// `{"label": "...", "median_ns": ..., "low_ns": ..., "high_ns": ...}`;
+/// consumers (the `BENCH_*.json` generators) assemble these into the
+/// committed before/after records.
+fn emit_json(label: &str, low: f64, median: f64, high: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        eprintln!("criterion: cannot open CRITERION_JSON file {path}");
+        return;
+    };
+    let _ = writeln!(
+        f,
+        "{{\"label\": \"{}\", \"median_ns\": {:.1}, \"low_ns\": {:.1}, \"high_ns\": {:.1}}}",
+        label.replace('"', "'"),
+        median * 1e9,
+        low * 1e9,
+        high * 1e9,
+    );
+}
 
 /// Target total measurement time per benchmark, in milliseconds.
 const MEASURE_MS: u64 = 300;
@@ -74,6 +112,17 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F, sample_size: usize) {
+    // Smoke mode: run the routine once so the bench body is exercised
+    // (panics propagate, code paths compile *and* run), skip measurement.
+    if SMOKE.load(Ordering::Relaxed) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{label:<40} ok (smoke)");
+        return;
+    }
     // Calibrate: how many iterations fit in the warm-up budget?
     let mut b = Bencher {
         iters: 1,
@@ -117,6 +166,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F, sample_size: usize) {
         sample_size,
         iters_per_sample
     );
+    emit_json(label, lo, median, hi);
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -221,12 +271,13 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo test -q` runs harness=false bench targets with
-            // `--test` style args; skip actual measurement there so test
-            // runs stay fast. `cargo bench` passes `--bench`.
+            // `cargo bench -- --test` (and `cargo test` on harness=false
+            // bench targets) asks for a smoke run: execute every bench
+            // body exactly once, skip measurement — same semantics as
+            // real criterion. `cargo bench` passes `--bench` and measures.
             let args: Vec<String> = std::env::args().collect();
             if args.iter().any(|a| a == "--test") {
-                return;
+                $crate::set_smoke_mode(true);
             }
             $($group();)+
         }

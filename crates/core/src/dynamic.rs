@@ -261,6 +261,17 @@ fn add_with_mapped_descendants(
 }
 
 /// The fixpoint of the invalidation rules (see module docs).
+///
+/// Computed as a seeded worklist walk over the DAG in O(V + E):
+/// each rule's *static* part (decidable from the frozen schedule alone)
+/// seeds the worklist, and the two *propagation* parts — "invalid parent
+/// ⇒ mapped child re-runs" (rule 4) and "invalid child ⇒ a parent that
+/// finished on `j` re-runs, since `j` can no longer re-ship its data"
+/// (rule 2's invalid-child clause) — are monotone edge rules, so chasing
+/// them from the seeds reaches exactly the least fixpoint the previous
+/// whole-schedule rescan loop converged to. Edge-transfer lookups go
+/// through [`gridsim::schedule::Schedule::transfer_between`] (O(fan-in))
+/// instead of scanning the full transfer list per edge.
 fn invalidation_closure(
     state: &SimState<'_>,
     sc: &Scenario,
@@ -268,83 +279,80 @@ fn invalidation_closure(
     at: Time,
 ) -> BTreeSet<TaskId> {
     let schedule = state.schedule();
-    let transfer_finish = |p: TaskId, c: TaskId| -> Option<Time> {
-        schedule
-            .transfers()
-            .iter()
-            .find(|tr| tr.parent == p && tr.child == c)
-            .map(|tr| tr.finish())
+    // A completed cross-machine shipment survives the loss of its sender.
+    let delivered = |p: TaskId, c: TaskId| -> bool {
+        matches!(schedule.transfer_between(p, c), Some(tr) if tr.finish() <= at)
     };
 
-    let mut invalid: BTreeSet<TaskId> = BTreeSet::new();
-    loop {
-        let mut changed = false;
-        for a in schedule.assignments() {
-            let t = a.task;
-            if invalid.contains(&t) {
-                continue;
-            }
-            let mut bad = false;
+    let mut invalid = vec![false; schedule.tasks()];
+    let mut work: Vec<TaskId> = Vec::new();
 
-            // Rule 1: killed mid-execution (or before starting) on j.
-            if a.machine == j && a.finish() > at {
-                bad = true;
-            }
+    // Seeds: every mapped task condemned by a static rule.
+    for a in schedule.assignments() {
+        let t = a.task;
+        let mut bad = false;
 
-            // Rule 2/3: finished on j but with undischarged outputs.
-            if !bad && a.machine == j {
-                for &c in sc.dag.children(t) {
-                    match schedule.assignment(c) {
-                        None => bad = true, // data can never leave j now
-                        Some(ca) => {
-                            if invalid.contains(&c) {
-                                bad = true; // will need the data again
-                            } else if ca.machine != j {
-                                match transfer_finish(t, c) {
-                                    Some(f) if f <= at => {}
-                                    _ => bad = true, // transfer died
-                                }
-                            }
-                            // Same-machine child: covered by its own rules.
-                        }
-                    }
-                    if bad {
-                        break;
-                    }
-                }
-            }
-
-            // Rule 3 (consumer side): an incoming transfer from j died.
-            if !bad {
-                for &p in sc.dag.parents(t) {
-                    if let Some(pa) = schedule.assignment(p) {
-                        if pa.machine == j && a.machine != j {
-                            match transfer_finish(p, t) {
-                                Some(f) if f <= at => {}
-                                _ => {
-                                    bad = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-
-            // Rule 4: any parent invalid => this must re-run too.
-            if !bad && sc.dag.parents(t).iter().any(|p| invalid.contains(p)) {
-                bad = true;
-            }
-
-            if bad {
-                invalid.insert(t);
-                changed = true;
-            }
+        // Rule 1: killed mid-execution (or before starting) on j.
+        if a.machine == j && a.finish() > at {
+            bad = true;
         }
-        if !changed {
-            return invalid;
+
+        // Rule 2 (static part): finished on j, but some output can no
+        // longer be delivered — an unmapped child (the data can never
+        // leave j now) or a cross-machine child whose transfer had not
+        // completed by the loss. Same-machine children are covered by
+        // their own rules.
+        if !bad && a.machine == j {
+            bad = sc
+                .dag
+                .children(t)
+                .iter()
+                .any(|&c| match schedule.assignment(c) {
+                    None => true,
+                    Some(ca) => ca.machine != j && !delivered(t, c),
+                });
+        }
+
+        // Rule 3 (consumer side): an incoming transfer from j died.
+        if !bad && a.machine != j {
+            bad = sc.dag.parents(t).iter().any(|&p| {
+                matches!(schedule.assignment(p), Some(pa) if pa.machine == j)
+                    && !delivered(p, t)
+            });
+        }
+
+        if bad {
+            invalid[t.0] = true;
+            work.push(t);
         }
     }
+
+    // Propagate along DAG edges. Every worklist entry is mapped, and each
+    // task enters at most once, so this is O(V + E) regardless of visit
+    // order (the fixpoint is order-independent).
+    while let Some(t) = work.pop() {
+        // Rule 4: any parent invalid => mapped children re-run too.
+        for &c in sc.dag.children(t) {
+            if !invalid[c.0] && schedule.is_mapped(c) {
+                invalid[c.0] = true;
+                work.push(c);
+            }
+        }
+        // Rule 2 (invalid-child clause): a parent that finished on j
+        // will need to re-ship data to the re-run child, but j is gone.
+        for &p in sc.dag.parents(t) {
+            if !invalid[p.0] && matches!(schedule.assignment(p), Some(pa) if pa.machine == j) {
+                invalid[p.0] = true;
+                work.push(p);
+            }
+        }
+    }
+
+    invalid
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(TaskId(i)))
+        .collect()
 }
 
 /// Extra validation for churn runs: nothing may execute on, transmit

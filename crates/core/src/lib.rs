@@ -38,4 +38,4 @@ pub use adaptive::{run_adaptive_slrh, AdaptiveConfig, AdaptiveOutcome};
 pub use config::{ConfigError, MachineOrder, SlrhConfig, SlrhConfigBuilder, SlrhVariant, Trigger};
 pub use dynamic::{run_slrh_churn, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
 pub use mapper::{run_slrh, RunStats, SlrhOutcome};
-pub use pool::{build_pool, build_pool_with, PoolCache, PoolEntry};
+pub use pool::{build_pool, build_pool_with, Pool, PoolCache, PoolEntry};

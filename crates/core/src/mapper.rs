@@ -22,7 +22,7 @@ use gridsim::state::SimState;
 
 use crate::config::{SlrhConfig, SlrhVariant, Trigger};
 use adhoc_grid::config::MachineId;
-use crate::pool::{build_pool_with, PoolCache, PoolEntry};
+use crate::pool::{build_pool_with, Pool, PoolCache};
 
 /// Counters describing one run's work (the paper's "heuristic execution
 /// time" proxy that is independent of the host machine).
@@ -223,7 +223,7 @@ fn map_on_machine(
     match config.variant {
         SlrhVariant::V1 => {
             let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
-            if let Some(e) = first_startable(&pool, horizon_end) {
+            if let Some(e) = pool.first_startable(horizon_end) {
                 commit_tracked(state, stats, cache, &e.plan);
                 commits += 1;
             }
@@ -258,7 +258,7 @@ fn map_on_machine(
             // admitting newly-ready children immediately.
             loop {
                 let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
-                let Some(e) = first_startable(&pool, horizon_end) else {
+                let Some(e) = pool.first_startable(horizon_end) else {
                     break;
                 };
                 commit_tracked(state, stats, cache.as_deref_mut(), &e.plan);
@@ -290,7 +290,7 @@ fn build_and_count(
     cache: Option<&mut PoolCache>,
     j: MachineId,
     now: Time,
-) -> Vec<PoolEntry> {
+) -> Pool {
     match cache {
         Some(c) => c.pool(state, &config.objective, j, now, stats),
         None => {
@@ -300,12 +300,6 @@ fn build_and_count(
             pool
         }
     }
-}
-
-/// First pool entry (maximum objective first) able to start within the
-/// horizon.
-fn first_startable(pool: &[PoolEntry], horizon_end: Time) -> Option<&PoolEntry> {
-    pool.iter().find(|e| e.plan.start <= horizon_end)
 }
 
 /// Convenience: ΔT expressed in ticks for a given number of clock cycles

@@ -20,7 +20,7 @@
 use adhoc_grid::config::MachineId;
 use adhoc_grid::task::{TaskId, Version};
 use adhoc_grid::units::Time;
-use gridsim::plan::{MappingPlan, Placement};
+use gridsim::plan::{MappingPlan, Placement, PlanScratch};
 use gridsim::state::{DeltaKind, SimState, StateDelta};
 use lagrange::weights::{Objective, ObjectiveInputs};
 
@@ -38,6 +38,71 @@ pub struct PoolEntry {
     pub plan: MappingPlan,
     /// The global objective value after the hypothetical commit.
     pub objective: f64,
+}
+
+/// An ordered candidate pool.
+///
+/// # Sort invariant
+///
+/// Entries are ordered by **objective value, maximum first**, with ties
+/// broken toward the lower task id (both builders enforce this with the
+/// same comparator). The order is what the paper's pool walk consumes;
+/// note that plan *start times* are **not** monotone along it — a
+/// high-objective candidate may start late (big transfers) while a
+/// low-objective one starts now — so the mapper's "first entry able to
+/// start within the horizon" query cannot use `partition_point` on the
+/// sorted order. Instead the pool precomputes the minimum start over all
+/// entries at build time, which gives [`Pool::first_startable`] an O(1)
+/// *negative* answer (nothing can start — the common case in the
+/// horizon-missing ticks the clock loop spins through near τ) and leaves
+/// the linear walk only for queries that will actually commit.
+///
+/// Dereferences to `[PoolEntry]`, so slice methods (`len`, `iter`,
+/// `first`, indexing) work directly.
+#[derive(Clone, Debug, Default)]
+pub struct Pool {
+    entries: Vec<PoolEntry>,
+    /// `min(entry.plan.start)`, or `Time::MAX` for an empty pool.
+    min_start: Time,
+}
+
+impl Pool {
+    /// Wrap entries already sorted by the pool comparator.
+    fn from_sorted(entries: Vec<PoolEntry>) -> Pool {
+        let min_start = entries
+            .iter()
+            .map(|e| e.plan.start)
+            .min()
+            .unwrap_or(Time::MAX);
+        Pool { entries, min_start }
+    }
+
+    /// First entry (maximum objective first) whose plan can start within
+    /// the horizon, i.e. `plan.start <= horizon_end`. O(1) when no entry
+    /// can (see the type docs), O(pool) otherwise.
+    pub fn first_startable(&self, horizon_end: Time) -> Option<&PoolEntry> {
+        if self.min_start > horizon_end {
+            return None;
+        }
+        self.entries.iter().find(|e| e.plan.start <= horizon_end)
+    }
+}
+
+impl std::ops::Deref for Pool {
+    type Target = [PoolEntry];
+
+    fn deref(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+}
+
+impl<'a> IntoIterator for &'a Pool {
+    type Item = &'a PoolEntry;
+    type IntoIter = std::slice::Iter<'a, PoolEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
 }
 
 /// Evaluate the global objective a plan would produce.
@@ -59,7 +124,7 @@ pub fn build_pool(
     objective: &Objective,
     j: MachineId,
     now: Time,
-) -> Vec<PoolEntry> {
+) -> Pool {
     build_pool_with(state, objective, j, now, true)
 }
 
@@ -73,8 +138,11 @@ pub fn build_pool_with(
     j: MachineId,
     now: Time,
     allow_secondary: bool,
-) -> Vec<PoolEntry> {
+) -> Pool {
     let placement = Placement::Append { not_before: now };
+    // One scratch for the whole build: every plan below reuses its
+    // buffer capacity instead of allocating fresh overlay vectors.
+    let mut scratch = PlanScratch::default();
     let mut pool: Vec<PoolEntry> = Vec::new();
 
     for &t in state.ready_tasks() {
@@ -88,12 +156,12 @@ pub fn build_pool_with(
         if !state.version_feasible(t, gate_version, j) {
             continue;
         }
-        let gated = state.plan(t, gate_version, j, placement);
+        let gated = state.plan_with(t, gate_version, j, placement, &mut scratch);
         let gated_obj = plan_objective(state, objective, &gated);
 
         // The primary is considered only when it fits the battery too.
         let best = if allow_secondary && state.version_feasible(t, Version::Primary, j) {
-            let primary = state.plan(t, Version::Primary, j, placement);
+            let primary = state.plan_with(t, Version::Primary, j, placement, &mut scratch);
             let primary_obj = plan_objective(state, objective, &primary);
             // Ties go to the primary: T100 is the study's objective.
             if primary_obj >= gated_obj {
@@ -122,14 +190,15 @@ pub fn build_pool_with(
         pool.push(best);
     }
 
-    // Maximum objective first; deterministic tie-break on task id.
+    // Maximum objective first; deterministic tie-break on task id (the
+    // [`Pool`] sort invariant).
     pool.sort_by(|a, b| {
         b.objective
             .partial_cmp(&a.objective)
             .expect("objective values are finite")
             .then(a.task.cmp(&b.task))
     });
-    pool
+    Pool::from_sorted(pool)
 }
 
 /// Incrementally maintained candidate pools, one per machine.
@@ -175,6 +244,9 @@ pub struct PoolCache {
     last_revision: u64,
     /// `slots[j][t]` caches the costed plans for task `t` on machine `j`.
     slots: Vec<Vec<Option<Box<CachedPlans>>>>,
+    /// Reusable planner buffers for the query path (results never carry
+    /// over between plans — see [`PlanScratch`]).
+    scratch: PlanScratch,
 }
 
 #[derive(Clone, Debug)]
@@ -197,6 +269,7 @@ impl PoolCache {
             allow_secondary,
             last_revision: state.revision(),
             slots: vec![vec![None; tasks]; machines],
+            scratch: PlanScratch::default(),
         }
     }
 
@@ -250,7 +323,7 @@ impl PoolCache {
         j: MachineId,
         now: Time,
         stats: &mut RunStats,
-    ) -> Vec<PoolEntry> {
+    ) -> Pool {
         if state.revision() != self.last_revision {
             // A mutation bypassed `apply` (e.g. a driver unmapped tasks
             // without threading the cache through): resynchronise.
@@ -258,12 +331,16 @@ impl PoolCache {
             self.last_revision = state.revision();
         }
         stats.pool_builds += 1;
-        let gate_version = if self.allow_secondary {
+        let allow_secondary = self.allow_secondary;
+        let gate_version = if allow_secondary {
             Version::Secondary
         } else {
             Version::Primary
         };
         let placement = Placement::Append { not_before: now };
+        // Disjoint field borrows: the slot row is mutated per task while
+        // the scratch feeds every plan/re-anchor in the loop.
+        let scratch = &mut self.scratch;
         let row = &mut self.slots[j.0];
         let mut pool: Vec<PoolEntry> = Vec::new();
 
@@ -279,20 +356,27 @@ impl PoolCache {
             let p = match &mut row[t.0] {
                 Some(p) => {
                     stats.pool_cache_hits += 1;
-                    state.reanchor(&mut p.gated, p.primary.as_mut(), now);
+                    state.reanchor_with(&mut p.gated, p.primary.as_mut(), now, scratch);
                     p
                 }
                 slot @ None => {
                     stats.candidates_evaluated += 1;
-                    slot.insert(compute_slot(state, t, gate_version, self.allow_secondary, j, placement))
+                    slot.insert(compute_slot(
+                        state,
+                        t,
+                        gate_version,
+                        allow_secondary,
+                        j,
+                        placement,
+                        scratch,
+                    ))
                 }
             };
 
             let gated_obj = plan_objective(state, objective, &p.gated);
             // The primary competes only when it fits the battery too, as
             // in `build_pool_with`; ties go to the primary.
-            let primary_ok =
-                self.allow_secondary && state.version_feasible(t, Version::Primary, j);
+            let primary_ok = allow_secondary && state.version_feasible(t, Version::Primary, j);
             let entry = if primary_ok {
                 let primary = p
                     .primary
@@ -331,7 +415,7 @@ impl PoolCache {
                 .expect("objective values are finite")
                 .then(a.task.cmp(&b.task))
         });
-        pool
+        Pool::from_sorted(pool)
     }
 
     /// The revision this cache is synchronised to.
@@ -365,9 +449,11 @@ fn compute_slot(
     allow_secondary: bool,
     j: MachineId,
     placement: Placement,
+    scratch: &mut PlanScratch,
 ) -> Box<CachedPlans> {
-    let gated = state.plan(t, gate_version, j, placement);
-    let primary = allow_secondary.then(|| state.plan(t, Version::Primary, j, placement));
+    let gated = state.plan_with(t, gate_version, j, placement, scratch);
+    let primary =
+        allow_secondary.then(|| state.plan_with(t, Version::Primary, j, placement, scratch));
     // The transfer schedule is version-independent — item sizes scale
     // with the *parent\'s* committed version, and both plans search the
     // same timelines — which is what lets `reanchor` re-place the twin

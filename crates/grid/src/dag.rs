@@ -12,10 +12,40 @@ use crate::task::TaskId;
 /// Stores both adjacency directions so heuristics can walk parents
 /// (precedence checks) and children (worst-case communication-energy
 /// reservations) without re-deriving either.
+///
+/// # Data layout
+///
+/// Both directions are kept in CSR (compressed sparse row) form: one flat
+/// edge array per direction plus an `n + 1` offset array, so
+/// [`Dag::parents`] and [`Dag::children`] are a pair of array reads
+/// yielding a contiguous slice. The per-tick mapping kernel walks these
+/// adjacency lists for every readiness update, plan, reservation and loss
+/// cascade; the flat layout keeps those walks on one or two cache lines
+/// instead of chasing a `Vec<Vec<_>>` pointer per task.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Dag {
-    parents: Vec<Vec<TaskId>>,
-    children: Vec<Vec<TaskId>>,
+    /// Parents of `t` are `parent_edges[parent_off[t]..parent_off[t+1]]`,
+    /// ascending. `parent_off.len() == n + 1`.
+    parent_off: Vec<u32>,
+    parent_edges: Vec<TaskId>,
+    /// Children of `t` are `child_edges[child_off[t]..child_off[t+1]]`,
+    /// ascending. `child_off.len() == n + 1`.
+    child_off: Vec<u32>,
+    child_edges: Vec<TaskId>,
+}
+
+/// Build one CSR direction from a sorted, deduplicated edge list given as
+/// `(source, target)` pairs sorted by `(source, target)`.
+fn csr_from_sorted(n: usize, edges: &[(TaskId, TaskId)]) -> (Vec<u32>, Vec<TaskId>) {
+    let mut off = vec![0u32; n + 1];
+    for &(u, _) in edges {
+        off[u.0 + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let flat = edges.iter().map(|&(_, v)| v).collect();
+    (off, flat)
 }
 
 impl Dag {
@@ -25,8 +55,11 @@ impl Dag {
     /// endpoint is out of range, an edge is a self-loop, or the edges form
     /// a cycle.
     pub fn from_edges(n: usize, edges: &[(TaskId, TaskId)]) -> Result<Dag, String> {
-        let mut parents = vec![Vec::new(); n];
-        let mut children = vec![Vec::new(); n];
+        assert!(
+            n < u32::MAX as usize,
+            "CSR offsets are u32: at most {} tasks supported",
+            u32::MAX
+        );
         for &(u, v) in edges {
             if u.0 >= n || v.0 >= n {
                 return Err(format!("edge {u}->{v} out of range for n={n}"));
@@ -34,15 +67,23 @@ impl Dag {
             if u == v {
                 return Err(format!("self-loop on {u}"));
             }
-            if !children[u.0].contains(&v) {
-                children[u.0].push(v);
-                parents[v.0].push(u);
-            }
         }
-        for list in parents.iter_mut().chain(children.iter_mut()) {
-            list.sort_unstable();
-        }
-        let dag = Dag { parents, children };
+        // Children direction: sort by (parent, child), dedup.
+        let mut fwd: Vec<(TaskId, TaskId)> = edges.to_vec();
+        fwd.sort_unstable();
+        fwd.dedup();
+        let (child_off, child_edges) = csr_from_sorted(n, &fwd);
+        // Parents direction: the same edges keyed by (child, parent).
+        let mut rev: Vec<(TaskId, TaskId)> = fwd.iter().map(|&(u, v)| (v, u)).collect();
+        rev.sort_unstable();
+        let (parent_off, parent_edges) = csr_from_sorted(n, &rev);
+
+        let dag = Dag {
+            parent_off,
+            parent_edges,
+            child_off,
+            child_edges,
+        };
         if dag.topological_order().is_none() {
             return Err("edge list contains a cycle".into());
         }
@@ -52,8 +93,10 @@ impl Dag {
     /// An empty DAG (no edges) over `n` independent tasks.
     pub fn independent(n: usize) -> Dag {
         Dag {
-            parents: vec![Vec::new(); n],
-            children: vec![Vec::new(); n],
+            parent_off: vec![0; n + 1],
+            parent_edges: Vec::new(),
+            child_off: vec![0; n + 1],
+            child_edges: Vec::new(),
         }
     }
 
@@ -65,27 +108,27 @@ impl Dag {
 
     /// Number of tasks `|T|`.
     pub fn len(&self) -> usize {
-        self.parents.len()
+        self.parent_off.len() - 1
     }
 
     /// True when the DAG has no tasks.
     pub fn is_empty(&self) -> bool {
-        self.parents.is_empty()
+        self.len() == 0
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.children.iter().map(Vec::len).sum()
+        self.child_edges.len()
     }
 
     /// Parents of `t` (its data sources), in ascending id order.
     pub fn parents(&self, t: TaskId) -> &[TaskId] {
-        &self.parents[t.0]
+        &self.parent_edges[self.parent_off[t.0] as usize..self.parent_off[t.0 + 1] as usize]
     }
 
     /// Children of `t` (its data sinks), in ascending id order.
     pub fn children(&self, t: TaskId) -> &[TaskId] {
-        &self.children[t.0]
+        &self.child_edges[self.child_off[t.0] as usize..self.child_off[t.0 + 1] as usize]
     }
 
     /// All task ids.
@@ -95,10 +138,8 @@ impl Dag {
 
     /// Edges as `(parent, child)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
-        self.children
-            .iter()
-            .enumerate()
-            .flat_map(|(u, vs)| vs.iter().map(move |&v| (TaskId(u), v)))
+        self.tasks()
+            .flat_map(|u| self.children(u).iter().map(move |&v| (u, v)))
     }
 
     /// Tasks with no parents.
@@ -116,7 +157,7 @@ impl Dag {
     /// `Dag` this always returns `Some`.
     pub fn topological_order(&self) -> Option<Vec<TaskId>> {
         let n = self.len();
-        let mut indegree: Vec<usize> = (0..n).map(|t| self.parents[t].len()).collect();
+        let mut indegree: Vec<usize> = (0..n).map(|t| self.parents(TaskId(t)).len()).collect();
         let mut queue: Vec<TaskId> = (0..n)
             .filter(|&t| indegree[t] == 0)
             .map(TaskId)
@@ -150,7 +191,10 @@ impl Dag {
 
     /// Maximum number of parents over all tasks (bounds per-task fan-in).
     pub fn max_fan_in(&self) -> usize {
-        self.parents.iter().map(Vec::len).max().unwrap_or(0)
+        self.tasks()
+            .map(|t| self.parents(t).len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -185,9 +229,14 @@ mod tests {
         let d = Dag::from_edges(5, &[(t(0), t(2)), (t(1), t(2)), (t(2), t(3)), (t(2), t(4))])
             .unwrap();
         let order = d.topological_order().unwrap();
-        let pos = |x: TaskId| order.iter().position(|&y| y == x).unwrap();
+        // Invert the permutation once instead of `iter().position` per
+        // query (which made this helper O(n^2) on large DAGs).
+        let mut pos = vec![usize::MAX; d.len()];
+        for (i, &x) in order.iter().enumerate() {
+            pos[x.0] = i;
+        }
         for (u, v) in d.edges() {
-            assert!(pos(u) < pos(v), "{u} must precede {v}");
+            assert!(pos[u.0] < pos[v.0], "{u} must precede {v}");
         }
     }
 
@@ -222,5 +271,38 @@ mod tests {
         assert_eq!(ch.edge_count(), 3);
         assert_eq!(ch.critical_path_edges(), 3);
         assert_eq!(ch.roots().collect::<Vec<_>>(), vec![t(0)]);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_edge_list() {
+        // Unsorted, duplicated input edges: adjacency must come out
+        // ascending and deduplicated in both directions.
+        let edges = [
+            (t(4), t(1)),
+            (t(0), t(3)),
+            (t(0), t(1)),
+            (t(4), t(1)), // dup
+            (t(2), t(3)),
+            (t(0), t(5)),
+        ];
+        let d = Dag::from_edges(6, &edges).unwrap();
+        assert_eq!(d.children(t(0)), &[t(1), t(3), t(5)]);
+        assert_eq!(d.children(t(4)), &[t(1)]);
+        assert_eq!(d.children(t(1)), &[]);
+        assert_eq!(d.parents(t(1)), &[t(0), t(4)]);
+        assert_eq!(d.parents(t(3)), &[t(0), t(2)]);
+        assert_eq!(d.parents(t(0)), &[]);
+        assert_eq!(d.edge_count(), 5);
+        let listed: Vec<_> = d.edges().collect();
+        assert_eq!(
+            listed,
+            vec![
+                (t(0), t(1)),
+                (t(0), t(3)),
+                (t(0), t(5)),
+                (t(2), t(3)),
+                (t(4), t(1)),
+            ]
+        );
     }
 }

@@ -48,7 +48,7 @@ pub mod validate;
 pub use ledger::EnergyLedger;
 pub use metrics::Metrics;
 pub use outcome::MappingOutcome;
-pub use plan::{MappingPlan, Placement};
+pub use plan::{MappingPlan, Placement, PlanScratch};
 pub use schedule::{Assignment, Schedule, Transfer};
 pub use state::{DeltaKind, SimState, StateDelta};
 pub use trace::Trace;

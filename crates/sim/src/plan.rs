@@ -117,6 +117,37 @@ impl MappingPlan {
     }
 }
 
+/// Reusable buffers for the planner's transfer-placement search.
+///
+/// Every plan (and re-anchor) runs a first-fit search that accumulates
+/// per-plan link overlays; with a fresh `Vec` per call the SLRH inner
+/// loop — thousands of plans per run — spends a measurable share of its
+/// time in the allocator. Callers that plan in a loop (the candidate-pool
+/// builders) hold one `PlanScratch` and pass it to
+/// [`SimState::plan_with`] / [`SimState::reanchor_with`]; the buffers are
+/// cleared, never shrunk, so steady state performs no allocation at all.
+///
+/// The scratch carries no results across calls — only capacity. Using one
+/// scratch for every plan in a pool build is therefore observationally
+/// identical to fresh buffers.
+#[derive(Default, Debug)]
+pub struct PlanScratch {
+    /// Transfer slots already placed by this plan, per sending machine.
+    tx_overlays: Vec<(MachineId, Interval)>,
+    /// Transfer slots already placed on the target's receive link.
+    rx_overlay: Vec<Interval>,
+    /// Per-parent filter of `tx_overlays` down to one sender.
+    tx_extra: Vec<Interval>,
+}
+
+impl PlanScratch {
+    fn reset(&mut self) {
+        self.tx_overlays.clear();
+        self.rx_overlay.clear();
+        self.tx_extra.clear();
+    }
+}
+
 /// Plan mapping `(task, version)` onto `machine`. See
 /// [`SimState::plan`] for the public entry point.
 ///
@@ -128,6 +159,7 @@ pub(crate) fn plan_mapping(
     version: Version,
     machine: MachineId,
     placement: Placement,
+    scratch: &mut PlanScratch,
 ) -> MappingPlan {
     let sc = state.scenario();
     assert!(!state.is_mapped(task), "{task} is already mapped");
@@ -138,8 +170,12 @@ pub(crate) fn plan_mapping(
     // receive link.
     let mut transfers = Vec::new();
     let mut settlements = Vec::new();
-    let mut tx_overlays: Vec<(MachineId, Interval)> = Vec::new();
-    let mut rx_overlay: Vec<Interval> = Vec::new();
+    scratch.reset();
+    let PlanScratch {
+        tx_overlays,
+        rx_overlay,
+        tx_extra,
+    } = scratch;
     let mut arrival = not_before;
 
     for &p in sc.dag.parents(task) {
@@ -160,17 +196,19 @@ pub(crate) fn plan_mapping(
         let from_spec = sc.grid.machine(pa.machine);
         let to_spec = sc.grid.machine(machine);
         let dur = from_spec.transfer_dur(to_spec, size);
-        let tx_extra: Vec<Interval> = tx_overlays
-            .iter()
-            .filter(|&&(m, _)| m == pa.machine)
-            .map(|&(_, iv)| iv)
-            .collect();
+        tx_extra.clear();
+        tx_extra.extend(
+            tx_overlays
+                .iter()
+                .filter(|&&(m, _)| m == pa.machine)
+                .map(|&(_, iv)| iv),
+        );
         let earliest = pa.finish().max(not_before);
         let start = earliest_common_gap(
             state.tx_timeline(pa.machine),
-            &tx_extra,
+            tx_extra,
             state.rx_timeline(machine),
-            &rx_overlay,
+            rx_overlay,
             earliest,
             dur,
         );
@@ -247,12 +285,17 @@ pub(crate) fn reanchor_mapping(
     plan: &mut MappingPlan,
     twin: Option<&mut MappingPlan>,
     not_before: Time,
+    scratch: &mut PlanScratch,
 ) {
     let sc = state.scenario();
     let task = plan.task;
     let machine = plan.machine;
-    let mut tx_overlays: Vec<(MachineId, Interval)> = Vec::new();
-    let mut rx_overlay: Vec<Interval> = Vec::new();
+    scratch.reset();
+    let PlanScratch {
+        tx_overlays,
+        rx_overlay,
+        tx_extra,
+    } = scratch;
     let mut arrival = not_before;
     let mut k = 0;
 
@@ -274,17 +317,19 @@ pub(crate) fn reanchor_mapping(
             sc.data.edge(&sc.dag, p, task).scaled(pa.version.data_factor()),
             "cached transfer costing is stale — the parent's assignment changed"
         );
-        let tx_extra: Vec<Interval> = tx_overlays
-            .iter()
-            .filter(|&&(m, _)| m == pa.machine)
-            .map(|&(_, iv)| iv)
-            .collect();
+        tx_extra.clear();
+        tx_extra.extend(
+            tx_overlays
+                .iter()
+                .filter(|&&(m, _)| m == pa.machine)
+                .map(|&(_, iv)| iv),
+        );
         let earliest = pa.finish().max(not_before);
         let start = earliest_common_gap(
             state.tx_timeline(pa.machine),
-            &tx_extra,
+            tx_extra,
             state.rx_timeline(machine),
-            &rx_overlay,
+            rx_overlay,
             earliest,
             tr.dur,
         );
@@ -321,6 +366,31 @@ fn set_derived(state: &SimState<'_>, plan: &mut MappingPlan) {
         + plan.exec_energy
         + plan.transfers.iter().map(|t| t.energy).sum::<Energy>();
     plan.aet_after = state.aet().max(plan.start + plan.exec_dur);
+}
+
+/// Total §IV worst-case outgoing energy for `(task, version)` on
+/// `machine`: the sum of [`worst_case_child_reservations`] without
+/// materialising the per-child vector. Summation order is the child
+/// order, identical to summing the collected vector, so the result is
+/// bit-for-bit the same.
+pub(crate) fn worst_case_out_energy(
+    state: &SimState<'_>,
+    task: TaskId,
+    version: Version,
+    machine: MachineId,
+) -> Energy {
+    let sc = state.scenario();
+    let spec = sc.grid.machine(machine);
+    let min_bw = sc.grid.min_bandwidth_mbps();
+    sc.dag
+        .children(task)
+        .iter()
+        .map(|&c| {
+            let size = sc.data.edge(&sc.dag, task, c).scaled(version.data_factor());
+            let worst_dur = Dur::from_seconds_ceil(size.transfer_seconds(min_bw));
+            spec.transmit_energy(worst_dur)
+        })
+        .sum()
 }
 
 /// Worst-case per-child outgoing reservations for `(task, version)` on

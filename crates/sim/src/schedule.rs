@@ -58,10 +58,24 @@ impl Transfer {
 }
 
 /// The complete output of a mapping run.
+///
+/// Alongside the flat transfer list (kept in commit order — the order
+/// trace rendering and validation iterate), the schedule maintains a
+/// per-child index over transfers, so `(parent, child) → Transfer`
+/// lookups are O(fan-in) instead of a scan over every transfer in the
+/// run. The dynamic loss cascade and `SimState::unmap` query transfers
+/// by edge on every invalidated subtask; without the index those paths
+/// are quadratic in schedule size.
 #[derive(Clone, Debug)]
 pub struct Schedule {
     assignments: Vec<Option<Assignment>>,
     transfers: Vec<Transfer>,
+    /// `incoming[c]` lists `(parent, position in transfers)` for every
+    /// indexed transfer whose child is `c`, in insertion (commit) order.
+    /// Only the *first* transfer for a given edge is indexed, matching
+    /// what a linear forward scan would find; duplicate edges can only
+    /// be produced by hand-built schedules (the validator rejects them).
+    incoming: Vec<Vec<(TaskId, u32)>>,
 }
 
 impl Schedule {
@@ -70,6 +84,7 @@ impl Schedule {
         Schedule {
             assignments: vec![None; tasks],
             transfers: Vec::new(),
+            incoming: vec![Vec::new(); tasks],
         }
     }
 
@@ -111,6 +126,11 @@ impl Schedule {
 
     /// Record a transfer.
     pub fn add_transfer(&mut self, tr: Transfer) {
+        let pos = self.transfers.len() as u32;
+        let slot = &mut self.incoming[tr.child.0];
+        if !slot.iter().any(|&(p, _)| p == tr.parent) {
+            slot.push((tr.parent, pos));
+        }
         self.transfers.push(tr);
     }
 
@@ -119,9 +139,39 @@ impl Schedule {
         &self.transfers
     }
 
+    /// The transfer shipping `parent`'s output to `child`, if one is
+    /// scheduled. O(fan-in of `child`) via the per-child index — the
+    /// first matching transfer in commit order, exactly what a forward
+    /// scan of [`Schedule::transfers`] would return.
+    pub fn transfer_between(&self, parent: TaskId, child: TaskId) -> Option<&Transfer> {
+        self.incoming[child.0]
+            .iter()
+            .find(|&&(p, _)| p == parent)
+            .map(|&(_, pos)| &self.transfers[pos as usize])
+    }
+
+    /// All indexed transfers delivering data to `child`, in commit order
+    /// (which is ascending parent id: plans schedule incoming transfers
+    /// parent-by-parent).
+    pub fn incoming_transfers(&self, child: TaskId) -> impl Iterator<Item = &Transfer> + '_ {
+        self.incoming[child.0]
+            .iter()
+            .map(|&(_, pos)| &self.transfers[pos as usize])
+    }
+
     /// Keep only transfers satisfying the predicate.
     pub fn retain_transfers(&mut self, f: impl FnMut(&Transfer) -> bool) {
         self.transfers.retain(f);
+        // Positions shift: rebuild the per-child index.
+        for slot in &mut self.incoming {
+            slot.clear();
+        }
+        for (pos, tr) in self.transfers.iter().enumerate() {
+            let slot = &mut self.incoming[tr.child.0];
+            if !slot.iter().any(|&(p, _)| p == tr.parent) {
+                slot.push((tr.parent, pos as u32));
+            }
+        }
     }
 
     /// All assignments present, in task-id order.

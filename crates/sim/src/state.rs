@@ -31,7 +31,7 @@ use adhoc_grid::workload::Scenario;
 
 use crate::ledger::EnergyLedger;
 use crate::metrics::Metrics;
-use crate::plan::{self, MappingPlan, Placement};
+use crate::plan::{self, MappingPlan, Placement, PlanScratch};
 use crate::schedule::{Assignment, Schedule, Transfer};
 use crate::timeline::Timeline;
 
@@ -96,6 +96,64 @@ fn sorted_machines(mut ms: Vec<MachineId>) -> Vec<MachineId> {
     ms
 }
 
+/// The set of unmapped tasks whose parents are all mapped, with O(1)
+/// membership updates.
+///
+/// Iteration order is observable (baseline heuristics tie-break through
+/// it, and `ready_tasks()` is public), so the historical semantics are
+/// preserved exactly: tasks appear in discovery order and removal is
+/// `swap_remove` (the last element takes the removed slot). What the
+/// index adds is O(1) removal — the previous representation rescanned
+/// the whole vector (`iter().position`) for every commit and for every
+/// re-blocked child of an unmap, which made commit/unmap storms
+/// quadratic in the ready-set size.
+#[derive(Clone, Debug)]
+struct ReadySet {
+    /// The tasks, in discovery order with swap-remove holes filled.
+    order: Vec<TaskId>,
+    /// `pos[t]` is the index of `t` in `order`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl ReadySet {
+    fn new(tasks: usize, roots: impl Iterator<Item = TaskId>) -> ReadySet {
+        let mut set = ReadySet {
+            order: Vec::new(),
+            pos: vec![ABSENT; tasks],
+        };
+        for t in roots {
+            set.push(t);
+        }
+        set
+    }
+
+    fn as_slice(&self) -> &[TaskId] {
+        &self.order
+    }
+
+    fn push(&mut self, t: TaskId) {
+        debug_assert_eq!(self.pos[t.0], ABSENT, "{t} already ready");
+        self.pos[t.0] = self.order.len() as u32;
+        self.order.push(t);
+    }
+
+    /// Remove `t` if present (swap-remove semantics); true when removed.
+    fn remove(&mut self, t: TaskId) -> bool {
+        let p = self.pos[t.0];
+        if p == ABSENT {
+            return false;
+        }
+        self.order.swap_remove(p as usize);
+        self.pos[t.0] = ABSENT;
+        if let Some(&moved) = self.order.get(p as usize) {
+            self.pos[moved.0] = p;
+        }
+        true
+    }
+}
+
 /// Mutable simulation state for one scenario run.
 #[derive(Clone, Debug)]
 pub struct SimState<'a> {
@@ -108,9 +166,22 @@ pub struct SimState<'a> {
     /// Count of unmapped parents per task.
     unmapped_parents: Vec<usize>,
     /// Unmapped tasks whose parents are all mapped, in discovery order.
-    ready: Vec<TaskId>,
+    ready: ReadySet,
     /// Machines lost to the grid (dynamic extension), with loss time.
     lost: Vec<Option<Time>>,
+    /// Precomputed §IV feasibility demand, indexed
+    /// `(t * machines + j) * 2 + version`: execution energy plus the
+    /// worst-case outgoing-communication energy for mapping `(t, v)` on
+    /// `j`. Both summands depend only on the scenario's static tables
+    /// (ETC entry, children's item sizes, the grid's lowest bandwidth),
+    /// never on the clock, timelines or ledger — so the whole table is
+    /// computed once at construction and [`SimState::version_feasible`]
+    /// becomes one lookup and one ledger compare. The clock loop
+    /// evaluates that gate for every ready task on every machine on
+    /// every tick (including the long tail of ticks where nothing fits),
+    /// which made the recomputation the single hottest path in the SLRH
+    /// kernel.
+    demand: Vec<Energy>,
     t100: usize,
     aet: Time,
     /// Bumped by every mutation; see the module docs.
@@ -124,8 +195,8 @@ impl<'a> SimState<'a> {
         let m = sc.grid.len();
         let unmapped_parents: Vec<usize> =
             sc.dag.tasks().map(|t| sc.dag.parents(t).len()).collect();
-        let ready = sc.dag.roots().collect();
-        SimState {
+        let ready = ReadySet::new(n, sc.dag.roots());
+        let mut state = SimState {
             sc,
             compute: vec![Timeline::new(); m],
             tx: vec![Timeline::new(); m],
@@ -135,10 +206,29 @@ impl<'a> SimState<'a> {
             unmapped_parents,
             ready,
             lost: vec![None; m],
+            demand: Vec::new(),
             t100: 0,
             aet: Time::ZERO,
             revision: 0,
+        };
+        // Precompute the static feasibility-demand table (see the field
+        // docs) with the exact expression `version_feasible` used to
+        // evaluate per query, so the cached values are bit-identical.
+        let mut demand = Vec::with_capacity(n * m * 2);
+        for t in sc.dag.tasks() {
+            for j in sc.grid.ids() {
+                for v in Version::BOTH {
+                    demand.push(state.exec_energy(t, v, j) + state.worst_case_out_energy(t, v, j));
+                }
+            }
         }
+        state.demand = demand;
+        state
+    }
+
+    /// Index into [`SimState::demand`]: versions alternate fastest.
+    fn demand_idx(&self, t: TaskId, v: Version, j: MachineId) -> usize {
+        (t.0 * self.sc.grid.len() + j.0) * 2 + usize::from(!v.is_primary())
     }
 
     /// The monotonic mutation counter: 0 for a fresh state, incremented
@@ -208,7 +298,7 @@ impl<'a> SimState<'a> {
     /// Unmapped tasks whose precedence constraints are satisfied —
     /// the universe the SLRH candidate pool is drawn from.
     pub fn ready_tasks(&self) -> &[TaskId] {
-        &self.ready
+        self.ready.as_slice()
     }
 
     /// Current number of primary-version mappings.
@@ -290,10 +380,15 @@ impl<'a> SimState<'a> {
     /// The §IV worst-case outgoing-communication energy for `(t, v)` on
     /// `j`: every child assumed to land across the grid's slowest link.
     pub fn worst_case_out_energy(&self, t: TaskId, v: Version, j: MachineId) -> Energy {
-        plan::worst_case_child_reservations(self, t, v, j)
-            .iter()
-            .map(|&(_, e)| e)
-            .sum()
+        plan::worst_case_out_energy(self, t, v, j)
+    }
+
+    /// The total energy mapping `(t, v)` on `j` must be able to afford:
+    /// execution plus the §IV worst-case shipment of every output item.
+    /// Served from the precomputed static table — see
+    /// [`SimState::version_feasible`].
+    pub fn feasibility_demand(&self, t: TaskId, v: Version, j: MachineId) -> Energy {
+        self.demand[self.demand_idx(t, v, j)]
     }
 
     /// The energy feasibility test for mapping `(t, v)` on `j`: the
@@ -301,13 +396,11 @@ impl<'a> SimState<'a> {
     /// worst-case shipment of all resulting data items.
     ///
     /// The SLRH pool check (§IV) calls this with [`Version::Secondary`];
-    /// Max-Max (§V) assesses each version independently.
+    /// Max-Max (§V) assesses each version independently. The demand side
+    /// is static for the whole run and served from a lookup table; only
+    /// liveness and the machine's remaining energy are read live.
     pub fn version_feasible(&self, t: TaskId, v: Version, j: MachineId) -> bool {
-        self.is_alive(j)
-            && self.ledger.can_afford(
-                j,
-                self.exec_energy(t, v, j) + self.worst_case_out_energy(t, v, j),
-            )
+        self.is_alive(j) && self.ledger.can_afford(j, self.feasibility_demand(t, v, j))
     }
 
     /// Plan mapping `(t, v)` onto `j` under `placement`. Pure: no state
@@ -316,7 +409,23 @@ impl<'a> SimState<'a> {
     /// # Panics
     /// Panics if `t` is mapped or any parent of `t` is unmapped.
     pub fn plan(&self, t: TaskId, v: Version, j: MachineId, placement: Placement) -> MappingPlan {
-        plan::plan_mapping(self, t, v, j, placement)
+        plan::plan_mapping(self, t, v, j, placement, &mut PlanScratch::default())
+    }
+
+    /// [`SimState::plan`] with caller-provided scratch buffers, for tight
+    /// planning loops (the SLRH pool builders plan every ready task per
+    /// machine per tick). Produces exactly the same plan as
+    /// [`SimState::plan`]; the scratch only carries buffer capacity
+    /// between calls, never results.
+    pub fn plan_with(
+        &self,
+        t: TaskId,
+        v: Version,
+        j: MachineId,
+        placement: Placement,
+        scratch: &mut PlanScratch,
+    ) -> MappingPlan {
+        plan::plan_mapping(self, t, v, j, placement, scratch)
     }
 
     /// Re-anchor a plan produced by [`SimState::plan`] at clock
@@ -338,7 +447,19 @@ impl<'a> SimState<'a> {
         twin: Option<&mut MappingPlan>,
         not_before: Time,
     ) {
-        plan::reanchor_mapping(self, plan, twin, not_before);
+        plan::reanchor_mapping(self, plan, twin, not_before, &mut PlanScratch::default());
+    }
+
+    /// [`SimState::reanchor`] with caller-provided scratch buffers; see
+    /// [`SimState::plan_with`].
+    pub fn reanchor_with(
+        &self,
+        plan: &mut MappingPlan,
+        twin: Option<&mut MappingPlan>,
+        not_before: Time,
+        scratch: &mut PlanScratch,
+    ) {
+        plan::reanchor_mapping(self, plan, twin, not_before, scratch);
     }
 
     /// Commit a plan produced by [`SimState::plan`] against the *current*
@@ -397,9 +518,7 @@ impl<'a> SimState<'a> {
         // 4. Readiness and global quantities.
         self.t100 += usize::from(plan.version.is_primary());
         self.aet = self.aet.max(plan.finish());
-        if let Some(pos) = self.ready.iter().position(|&t| t == plan.task) {
-            self.ready.swap_remove(pos);
-        }
+        self.ready.remove(plan.task);
         let mut newly_ready = Vec::new();
         for &c in self.sc.dag.children(plan.task) {
             self.unmapped_parents[c.0] -= 1;
@@ -468,13 +587,11 @@ impl<'a> SimState<'a> {
         }
 
         // Reverse incoming transfers and restore parent-edge reservations.
-        let incoming: Vec<Transfer> = self
-            .schedule
-            .transfers()
-            .iter()
-            .filter(|tr| tr.child == t)
-            .copied()
-            .collect();
+        // The per-child index yields them in commit order (ascending
+        // parent id), exactly the order the old full-scan collect saw, so
+        // the ledger refund order — and with it every downstream float —
+        // is unchanged.
+        let incoming: Vec<Transfer> = self.schedule.incoming_transfers(t).copied().collect();
         self.schedule.retain_transfers(|tr| tr.child != t);
         for tr in &incoming {
             self.tx[tr.from.0].remove(tr.start, tr.dur);
@@ -509,11 +626,8 @@ impl<'a> SimState<'a> {
         // parent (and leave the ready set if they were in it).
         let mut invalidated = Vec::new();
         for &c in self.sc.dag.children(t) {
-            if self.unmapped_parents[c.0] == 0 {
-                if let Some(pos) = self.ready.iter().position(|&x| x == c) {
-                    self.ready.swap_remove(pos);
-                    invalidated.push(c);
-                }
+            if self.unmapped_parents[c.0] == 0 && self.ready.remove(c) {
+                invalidated.push(c);
             }
             self.unmapped_parents[c.0] += 1;
         }
