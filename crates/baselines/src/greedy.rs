@@ -18,7 +18,7 @@ use adhoc_grid::task::Version;
 use adhoc_grid::units::Time;
 use adhoc_grid::workload::Scenario;
 use gridsim::plan::Placement;
-use gridsim::state::SimState;
+use gridsim::state::{SimState, StateBuffers};
 
 use crate::outcome::StaticOutcome;
 
@@ -27,9 +27,15 @@ use crate::outcome::StaticOutcome;
 /// Ready subtasks are processed lowest-id first; each is planned on every
 /// machine (primary if the version fits the battery, otherwise secondary)
 /// and committed where it completes earliest.
-#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
 pub fn run_greedy(scenario: &Scenario) -> StaticOutcome<'_> {
-    let mut state = SimState::new(scenario);
+    run_greedy_in(scenario, &mut StateBuffers::default())
+}
+
+/// [`run_greedy`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
+pub fn run_greedy_in<'a>(scenario: &'a Scenario, buffers: &mut StateBuffers) -> StaticOutcome<'a> {
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = 0u64;
 
     loop {

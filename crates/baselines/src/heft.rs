@@ -18,7 +18,7 @@ use adhoc_grid::task::{TaskId, Version};
 use adhoc_grid::units::Time;
 use adhoc_grid::workload::Scenario;
 use gridsim::plan::{MappingPlan, Placement};
-use gridsim::state::SimState;
+use gridsim::state::{SimState, StateBuffers};
 
 use crate::outcome::StaticOutcome;
 
@@ -76,10 +76,16 @@ pub fn upward_ranks(scenario: &Scenario) -> Vec<f64> {
 }
 
 /// Run HEFT on `scenario`.
-#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
 pub fn run_heft(scenario: &Scenario) -> StaticOutcome<'_> {
+    run_heft_in(scenario, &mut StateBuffers::default())
+}
+
+/// [`run_heft`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
+pub fn run_heft_in<'a>(scenario: &'a Scenario, buffers: &mut StateBuffers) -> StaticOutcome<'a> {
     let rank = upward_ranks(scenario);
-    let mut state = SimState::new(scenario);
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = 0u64;
 
     loop {

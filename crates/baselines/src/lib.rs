@@ -31,9 +31,9 @@ pub mod maxmax;
 pub mod outcome;
 pub mod simple;
 
-pub use greedy::{calibrate_tau, run_greedy};
-pub use heft::run_heft;
-pub use lr_list::{run_lr_list, LrListConfig};
-pub use maxmax::run_maxmax;
+pub use greedy::{calibrate_tau, run_greedy, run_greedy_in};
+pub use heft::{run_heft, run_heft_in};
+pub use lr_list::{run_lr_list, run_lr_list_in, LrListConfig};
+pub use maxmax::{run_maxmax, run_maxmax_in};
 pub use outcome::StaticOutcome;
-pub use simple::{run_mct, run_minmin, run_olb};
+pub use simple::{run_mct, run_mct_in, run_minmin, run_minmin_in, run_olb, run_olb_in};

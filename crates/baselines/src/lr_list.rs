@@ -25,7 +25,7 @@ use adhoc_grid::config::MachineId;
 use adhoc_grid::task::Version;
 use adhoc_grid::workload::Scenario;
 use gridsim::plan::Placement;
-use gridsim::state::SimState;
+use gridsim::state::{SimState, StateBuffers};
 use lagrange::dual::{Choice, SeparableProblem, Selection};
 use lagrange::step::StepRule;
 use lagrange::subgradient::SubgradientSolver;
@@ -131,8 +131,18 @@ fn marginal_values(
 }
 
 /// Run the static LR + list-scheduling mapper.
-#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
 pub fn run_lr_list<'a>(scenario: &'a Scenario, config: &LrListConfig) -> StaticOutcome<'a> {
+    run_lr_list_in(scenario, config, &mut StateBuffers::default())
+}
+
+/// [`run_lr_list`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
+pub fn run_lr_list_in<'a>(
+    scenario: &'a Scenario,
+    config: &LrListConfig,
+    buffers: &mut StateBuffers,
+) -> StaticOutcome<'a> {
     // Phase 1–2: price the capacities.
     let problem = build_problem(scenario, &config.weights);
     let solver = SubgradientSolver {
@@ -144,7 +154,7 @@ pub fn run_lr_list<'a>(scenario: &'a Scenario, config: &LrListConfig) -> StaticO
     let priority = marginal_values(&problem, &dual.lambda, &dual.selection);
 
     // Phase 3: precedence-respecting repair.
-    let mut state = SimState::new(scenario);
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = dual.solver.history.len() as u64 * scenario.tasks() as u64;
 
     loop {

@@ -53,7 +53,7 @@ use adhoc_grid::task::Version;
 use adhoc_grid::units::Energy;
 use adhoc_grid::workload::Scenario;
 use gridsim::plan::{MappingPlan, Placement};
-use gridsim::state::SimState;
+use gridsim::state::{SimState, StateBuffers};
 use lagrange::weights::Objective;
 use slrh::pool::plan_objective;
 
@@ -72,7 +72,17 @@ use crate::outcome::StaticOutcome;
 /// assert!(out.metrics().aet <= sc.tau, "Max-Max never schedules past tau");
 /// ```
 pub fn run_maxmax<'a>(scenario: &'a Scenario, objective: &Objective) -> StaticOutcome<'a> {
-    let mut state = SimState::new(scenario);
+    run_maxmax_in(scenario, objective, &mut StateBuffers::default())
+}
+
+/// [`run_maxmax`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+pub fn run_maxmax_in<'a>(
+    scenario: &'a Scenario,
+    objective: &Objective,
+    buffers: &mut StateBuffers,
+) -> StaticOutcome<'a> {
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = 0u64;
 
     let guard = DowngradeGuard::new(scenario);

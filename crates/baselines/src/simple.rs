@@ -11,7 +11,7 @@ use adhoc_grid::task::{TaskId, Version};
 use adhoc_grid::units::Time;
 use adhoc_grid::workload::Scenario;
 use gridsim::plan::{MappingPlan, Placement};
-use gridsim::state::SimState;
+use gridsim::state::{SimState, StateBuffers};
 
 use crate::outcome::StaticOutcome;
 
@@ -34,11 +34,23 @@ pub fn run_mct(scenario: &Scenario) -> StaticOutcome<'_> {
     crate::greedy::run_greedy(scenario)
 }
 
+/// [`run_mct`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+pub fn run_mct_in<'a>(scenario: &'a Scenario, buffers: &mut StateBuffers) -> StaticOutcome<'a> {
+    crate::greedy::run_greedy_in(scenario, buffers)
+}
+
 /// Opportunistic Load Balancing: ready tasks in id order, each to the
 /// machine that becomes *available* earliest, ignoring execution times.
-#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
 pub fn run_olb(scenario: &Scenario) -> StaticOutcome<'_> {
-    let mut state = SimState::new(scenario);
+    run_olb_in(scenario, &mut StateBuffers::default())
+}
+
+/// [`run_olb`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+#[allow(clippy::while_let_loop)] // the loop also breaks on placement failure
+pub fn run_olb_in<'a>(scenario: &'a Scenario, buffers: &mut StateBuffers) -> StaticOutcome<'a> {
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = 0u64;
 
     loop {
@@ -79,7 +91,13 @@ pub fn run_olb(scenario: &Scenario) -> StaticOutcome<'_> {
 /// Min-Min: among all ready tasks, the one whose best-machine completion
 /// time is smallest is mapped first — small tasks seed the schedule.
 pub fn run_minmin(scenario: &Scenario) -> StaticOutcome<'_> {
-    let mut state = SimState::new(scenario);
+    run_minmin_in(scenario, &mut StateBuffers::default())
+}
+
+/// [`run_minmin`] building its state on donated buffers (see
+/// [`StateBuffers`]); results are identical.
+pub fn run_minmin_in<'a>(scenario: &'a Scenario, buffers: &mut StateBuffers) -> StaticOutcome<'a> {
+    let mut state = SimState::new_in(scenario, std::mem::take(buffers));
     let mut evaluated = 0u64;
 
     loop {

@@ -54,6 +54,25 @@ pub trait ParallelIterator: Sized {
         FilterMap { base: self, f }
     }
 
+    /// [`ParallelIterator::map`] with mutable per-worker state: `init`
+    /// creates one `T` per chunk (lazily, at the chunk's first item) and
+    /// `f` receives `&mut T` alongside each item of that chunk.
+    ///
+    /// Mirrors rayon's `map_init`: the state is an *amortisation*
+    /// vehicle (scratch buffers, reusable run contexts), and because
+    /// chunk boundaries shift with the thread count, `f`'s **results
+    /// must not depend on the state's history** — only its capacity.
+    /// Output order is the source order, exactly as with `map`.
+    fn map_init<INIT, T, R, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        T: Send,
+        R: Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+    {
+        MapInit { base: self, init, f }
+    }
+
     /// Copy out of a by-reference iterator (mirror of `Iterator::copied`).
     fn copied<'a, T>(self) -> Copied<Self>
     where
@@ -218,6 +237,48 @@ where
     }
 }
 
+/// See [`ParallelIterator::map_init`].
+#[derive(Clone, Debug)]
+pub struct MapInit<I, INIT, F> {
+    base: I,
+    init: INIT,
+    f: F,
+}
+
+impl<I, INIT, T, R, F> ParallelIterator for MapInit<I, INIT, F>
+where
+    I: ParallelIterator,
+    INIT: Fn() -> T + Sync,
+    T: Send,
+    R: Send,
+    F: Fn(&mut T, I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn fold_chunks<A, ID, G>(self, init_acc: ID, fold: G) -> Vec<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        G: Fn(A, R) -> A + Sync,
+    {
+        let MapInit { base, init, f } = self;
+        // Thread the per-chunk state through the accumulator: each
+        // chunk's fold starts with `None` and materialises its `T` at
+        // the first item, so the state is created exactly once per
+        // chunk and never crosses a chunk boundary.
+        base.fold_chunks(
+            move || (None::<T>, init_acc()),
+            move |(mut state, acc), item| {
+                let r = f(state.get_or_insert_with(&init), item);
+                (state, fold(acc, r))
+            },
+        )
+        .into_iter()
+        .map(|(_, acc)| acc)
+        .collect()
+    }
+}
+
 /// See [`ParallelIterator::copied`].
 #[derive(Clone, Debug)]
 pub struct Copied<I> {
@@ -303,5 +364,61 @@ pub trait IntoParallelRefIterator<T: Sync> {
 impl<T: Sync> IntoParallelRefIterator<T> for [T] {
     fn par_iter(&self) -> ParIter<'_, T> {
         ParIter { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_init_matches_map_and_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = items
+            .par_iter()
+            .map_init(
+                || 0usize,
+                |scratch, &x| {
+                    *scratch += 1; // mutable state must not affect results
+                    x * 2
+                },
+            )
+            .collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_init_creates_at_most_one_state_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let chunk_sums = items
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, &x| x,
+            )
+            .fold_chunks(|| 0usize, |acc, x| acc + x);
+        let total: usize = chunk_sums.iter().sum();
+        assert_eq!(total, 1000 * 999 / 2);
+        assert!(
+            inits.load(Ordering::Relaxed) <= chunk_sums.len(),
+            "state must be created lazily, at most once per chunk"
+        );
+    }
+
+    #[test]
+    fn map_init_composes_with_filter_map() {
+        let items: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = items
+            .par_iter()
+            .map_init(|| (), |(), &x| (x % 3 == 0).then_some(x))
+            .filter_map(|x| x)
+            .collect();
+        let expected: Vec<usize> = (0..100).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expected);
     }
 }

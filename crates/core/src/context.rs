@@ -1,0 +1,78 @@
+//! Reusable per-run storage for campaign-style drivers.
+//!
+//! A single SLRH (or baseline) run allocates a [`SimState`]'s dozen-odd
+//! backing vectors plus — with the pool cache on — a `machines × tasks`
+//! slot table and planner scratch. The Figure 3 weight search executes
+//! *hundreds* of complete runs per scenario and the campaign thousands
+//! overall, so that per-run churn dominates the allocator. A
+//! [`RunContext`] owns all of it once: build each run's state on the
+//! context ([`RunContext::state`]), run, snapshot what you need, and
+//! hand the state back ([`RunContext::reclaim`]) so the next run
+//! recycles the same footprint.
+//!
+//! # Why reuse cannot leak state between runs
+//!
+//! The context carries **capacity, never content**: every run begins by
+//! resetting each buffer from the scenario ([`SimState::new_in`],
+//! [`PoolCache::reset`]), re-deriving all values exactly as the fresh
+//! constructors do. The golden differential suite
+//! (`grid-sweep/tests/golden_run_context.rs`) pins byte-identical
+//! campaign and weight-search reports against pre-reuse references, at
+//! 1 and 4 worker threads.
+
+use adhoc_grid::workload::Scenario;
+use gridsim::state::{SimState, StateBuffers};
+
+use crate::pool::PoolCache;
+
+/// Every buffer a heuristic run needs, reusable across consecutive runs.
+///
+/// A context is plain storage with no run-to-run semantics: using one
+/// context for a thousand runs and a fresh context per run produce
+/// bit-identical results. Forgetting to [`reclaim`](RunContext::reclaim)
+/// a run's state merely forfeits the reuse (the next run re-allocates);
+/// it can never corrupt results.
+#[derive(Default)]
+pub struct RunContext {
+    buffers: StateBuffers,
+    cache: PoolCache,
+}
+
+impl RunContext {
+    /// An empty context. Cheap: no buffer is sized until first use.
+    pub fn new() -> RunContext {
+        RunContext::default()
+    }
+
+    /// Build a fresh [`SimState`] for `scenario` on this context's
+    /// donated buffers — equivalent to [`SimState::new`] in every
+    /// observable way. Hand the state back with
+    /// [`RunContext::reclaim`] when the run is finished.
+    pub fn state<'a>(&mut self, scenario: &'a Scenario) -> SimState<'a> {
+        SimState::new_in(scenario, std::mem::take(&mut self.buffers))
+    }
+
+    /// The raw state buffers, for drivers that construct their own
+    /// [`SimState`] via [`SimState::new_in`] (the baseline crate's
+    /// `run_*_in` entry points take these without depending on `slrh`).
+    pub fn buffers_mut(&mut self) -> &mut StateBuffers {
+        &mut self.buffers
+    }
+
+    /// Reclaim the backing storage of a finished run's state. The run's
+    /// results are discarded — snapshot metrics first.
+    pub fn reclaim(&mut self, state: SimState<'_>) {
+        self.buffers = state.into_buffers();
+    }
+
+    /// The context's pool cache, re-synchronised to `state` for a new
+    /// run (see [`PoolCache::reset`]).
+    pub fn cache_for(
+        &mut self,
+        state: &SimState<'_>,
+        allow_secondary: bool,
+    ) -> &mut PoolCache {
+        self.cache.reset(state, allow_secondary);
+        &mut self.cache
+    }
+}

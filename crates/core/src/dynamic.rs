@@ -35,6 +35,7 @@ use adhoc_grid::workload::Scenario;
 use gridsim::state::SimState;
 
 use crate::config::SlrhConfig;
+use crate::context::RunContext;
 use crate::mapper::{drive_with, RunStats};
 use crate::pool::PoolCache;
 
@@ -114,6 +115,18 @@ pub fn run_slrh_churn<'a>(
     losses: &[MachineLossEvent],
     arrivals: &[MachineArrivalEvent],
 ) -> DynamicOutcome<'a> {
+    run_slrh_churn_in(scenario, config, losses, arrivals, &mut RunContext::new())
+}
+
+/// [`run_slrh_churn`] on a reusable [`RunContext`] (see
+/// [`crate::mapper::run_slrh_in`]); results are bit-identical.
+pub fn run_slrh_churn_in<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    losses: &[MachineLossEvent],
+    arrivals: &[MachineArrivalEvent],
+    ctx: &mut RunContext,
+) -> DynamicOutcome<'a> {
     let mut arrivals = arrivals.to_vec();
     arrivals.sort_by_key(|e| (e.machine, e.at));
     for w in arrivals.windows(2) {
@@ -140,7 +153,7 @@ pub fn run_slrh_churn<'a>(
         "cannot lose every machine"
     );
 
-    let mut state = SimState::new(scenario);
+    let mut state = ctx.state(scenario);
     for a in &arrivals {
         if a.at > Time::ZERO {
             state.block_until(a.machine, a.at);
@@ -148,16 +161,18 @@ pub fn run_slrh_churn<'a>(
     }
     // One pool cache for the whole run: `drive_with` keeps it fed with
     // commit deltas and `apply_loss_tracked` with invalidation deltas, so
-    // surviving entries carry across segments and loss events.
+    // surviving entries carry across segments and loss events. It is
+    // synchronised *after* the arrival blocks, like the fresh-cache path
+    // always was.
     let mut cache = config
         .use_pool_cache
-        .then(|| PoolCache::new(&state, config.allow_secondary));
+        .then(|| ctx.cache_for(&state, config.allow_secondary));
     let mut stats = RunStats::default();
     let mut disruptions = Vec::new();
     let mut now = Time::ZERO;
 
     for ev in &events {
-        now = drive_with(&mut state, config, &mut stats, cache.as_mut(), now, Some(ev.at));
+        now = drive_with(&mut state, config, &mut stats, cache.as_deref_mut(), now, Some(ev.at));
         // The loss takes effect at the clock tick the driver stopped on.
         // Every event is applied, even past τ: mappings only happen at
         // clocks <= τ, but work mapped near τ can still be *executing*
@@ -165,10 +180,10 @@ pub fn run_slrh_churn<'a>(
         // (`apply_loss` is a cheap no-op when everything already
         // finished before the loss).
         let effective = now.max(ev.at);
-        let n = apply_loss_tracked(&mut state, cache.as_mut(), &mut stats, ev.machine, effective);
+        let n = apply_loss_tracked(&mut state, cache.as_deref_mut(), &mut stats, ev.machine, effective);
         disruptions.push((effective, n));
     }
-    drive_with(&mut state, config, &mut stats, cache.as_mut(), now, None);
+    drive_with(&mut state, config, &mut stats, cache, now, None);
 
     DynamicOutcome {
         state,

@@ -30,12 +30,14 @@
 
 pub mod adaptive;
 pub mod config;
+pub mod context;
 pub mod dynamic;
 pub mod mapper;
 pub mod pool;
 
 pub use adaptive::{run_adaptive_slrh, AdaptiveConfig, AdaptiveOutcome};
 pub use config::{ConfigError, MachineOrder, SlrhConfig, SlrhConfigBuilder, SlrhVariant, Trigger};
-pub use dynamic::{run_slrh_churn, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
-pub use mapper::{run_slrh, RunStats, SlrhOutcome};
+pub use context::RunContext;
+pub use dynamic::{run_slrh_churn, run_slrh_churn_in, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
+pub use mapper::{run_slrh, run_slrh_in, RunStats, SlrhOutcome};
 pub use pool::{build_pool, build_pool_with, Pool, PoolCache, PoolEntry};

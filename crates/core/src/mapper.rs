@@ -22,6 +22,7 @@ use gridsim::state::SimState;
 
 use crate::config::{SlrhConfig, SlrhVariant, Trigger};
 use adhoc_grid::config::MachineId;
+use crate::context::RunContext;
 use crate::pool::{build_pool_with, Pool, PoolCache};
 
 /// Counters describing one run's work (the paper's "heuristic execution
@@ -93,6 +94,27 @@ pub fn run_slrh<'a>(scenario: &'a Scenario, config: &SlrhConfig) -> SlrhOutcome<
     let mut state = SimState::new(scenario);
     let mut stats = RunStats::default();
     drive(&mut state, config, &mut stats, Time::ZERO, None);
+    SlrhOutcome { state, stats }
+}
+
+/// [`run_slrh`] on a reusable [`RunContext`]: the state and (when
+/// configured) the pool cache are built on the context's recycled
+/// buffers instead of fresh allocations. Results are bit-identical to
+/// [`run_slrh`]. Reclaim the outcome's state with
+/// [`RunContext::reclaim`] to keep the buffers cycling.
+pub fn run_slrh_in<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    ctx: &mut RunContext,
+) -> SlrhOutcome<'a> {
+    let mut state = ctx.state(scenario);
+    let mut stats = RunStats::default();
+    if config.use_pool_cache {
+        let cache = ctx.cache_for(&state, config.allow_secondary);
+        drive_with(&mut state, config, &mut stats, Some(cache), Time::ZERO, None);
+    } else {
+        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None);
+    }
     SlrhOutcome { state, stats }
 }
 

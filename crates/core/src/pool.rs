@@ -259,17 +259,47 @@ struct CachedPlans {
     primary: Option<MappingPlan>,
 }
 
+/// `Default` is a detached cache: no slots, synchronised to nothing.
+/// Only useful as donated storage for [`PoolCache::reset`] (the
+/// run-context reuse path keeps one detached cache per worker).
+impl Default for PoolCache {
+    fn default() -> PoolCache {
+        PoolCache {
+            allow_secondary: true,
+            last_revision: 0,
+            slots: Vec::new(),
+            scratch: PlanScratch::default(),
+        }
+    }
+}
+
 impl PoolCache {
     /// A cache synchronised with `state`\'s current revision, with no
     /// entries yet.
     pub fn new(state: &SimState<'_>, allow_secondary: bool) -> PoolCache {
+        let mut cache = PoolCache::default();
+        cache.reset(state, allow_secondary);
+        cache
+    }
+
+    /// Re-synchronise the cache with `state` for a new run: every cached
+    /// plan is dropped (they were costed against another run\'s
+    /// assignments), the slot table is resized for `state`\'s scenario,
+    /// and the revision anchor is moved to `state.revision()`. The outer
+    /// slot table and the planner scratch keep their heap capacity, so a
+    /// reset cache behaves exactly like [`PoolCache::new`] without
+    /// re-allocating the per-machine rows. Dropped entries are *not*
+    /// counted as [`RunStats::pool_cache_invalidations`] — a reset is a
+    /// run boundary, not an in-run eviction.
+    pub fn reset(&mut self, state: &SimState<'_>, allow_secondary: bool) {
+        self.allow_secondary = allow_secondary;
+        self.last_revision = state.revision();
         let machines = state.scenario().grid.len();
         let tasks = state.scenario().tasks();
-        PoolCache {
-            allow_secondary,
-            last_revision: state.revision(),
-            slots: vec![vec![None; tasks]; machines],
-            scratch: PlanScratch::default(),
+        self.slots.resize_with(machines, Vec::new);
+        for row in &mut self.slots {
+            row.clear();
+            row.resize(tasks, None);
         }
     }
 

@@ -31,7 +31,10 @@ use adhoc_grid::units::Energy;
 pub const ENERGY_EPS: f64 = 1e-9;
 
 /// The per-machine energy ledger.
-#[derive(Clone, Debug)]
+///
+/// `Default` is the zero-machine ledger — only useful as donated storage
+/// for [`EnergyLedger::reset`].
+#[derive(Clone, Debug, Default)]
 pub struct EnergyLedger {
     battery: Vec<Energy>,
     committed: Vec<Energy>,
@@ -44,13 +47,31 @@ pub struct EnergyLedger {
 impl EnergyLedger {
     /// A fresh ledger with every battery full.
     pub fn new(grid: &GridConfig) -> EnergyLedger {
-        let battery: Vec<Energy> = grid.machines().iter().map(|m| m.battery).collect();
-        EnergyLedger {
-            committed: vec![Energy::ZERO; battery.len()],
-            reserved: vec![Energy::ZERO; battery.len()],
-            battery,
+        let mut ledger = EnergyLedger {
+            battery: Vec::new(),
+            committed: Vec::new(),
+            reserved: Vec::new(),
             edges: HashMap::new(),
-        }
+        };
+        ledger.reset(grid);
+        ledger
+    }
+
+    /// Restore the fresh-ledger state for `grid` (every battery full, no
+    /// commits, no reservations) in place, preserving heap capacity.
+    /// After a reset the ledger is indistinguishable from
+    /// [`EnergyLedger::new`]`(grid)` — the run-context reuse path depends
+    /// on that equivalence being exact.
+    pub fn reset(&mut self, grid: &GridConfig) {
+        self.battery.clear();
+        self.battery
+            .extend(grid.machines().iter().map(|m| m.battery));
+        let n = self.battery.len();
+        self.committed.clear();
+        self.committed.resize(n, Energy::ZERO);
+        self.reserved.clear();
+        self.reserved.resize(n, Energy::ZERO);
+        self.edges.clear();
     }
 
     /// Battery capacity `B(j)`.

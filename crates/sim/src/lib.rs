@@ -50,7 +50,7 @@ pub use metrics::Metrics;
 pub use outcome::MappingOutcome;
 pub use plan::{MappingPlan, Placement, PlanScratch};
 pub use schedule::{Assignment, Schedule, Transfer};
-pub use state::{DeltaKind, SimState, StateDelta};
+pub use state::{DeltaKind, SimState, StateBuffers, StateDelta};
 pub use trace::Trace;
 pub use timeline::Timeline;
 pub use validate::{validate, ValidationError};

@@ -66,7 +66,9 @@ impl Transfer {
 /// run. The dynamic loss cascade and `SimState::unmap` query transfers
 /// by edge on every invalidated subtask; without the index those paths
 /// are quadratic in schedule size.
-#[derive(Clone, Debug)]
+/// `Default` is the zero-task schedule — only useful as donated storage
+/// for [`Schedule::reset`].
+#[derive(Clone, Debug, Default)]
 pub struct Schedule {
     assignments: Vec<Option<Assignment>>,
     transfers: Vec<Transfer>,
@@ -81,11 +83,27 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule over `tasks` subtasks.
     pub fn new(tasks: usize) -> Schedule {
-        Schedule {
-            assignments: vec![None; tasks],
+        let mut schedule = Schedule {
+            assignments: Vec::new(),
             transfers: Vec::new(),
-            incoming: vec![Vec::new(); tasks],
+            incoming: Vec::new(),
+        };
+        schedule.reset(tasks);
+        schedule
+    }
+
+    /// Empty the schedule back to the [`Schedule::new`]`(tasks)` state in
+    /// place, preserving heap capacity (including each retained per-child
+    /// index slot) so the run-context reuse path allocates nothing in the
+    /// steady state.
+    pub fn reset(&mut self, tasks: usize) {
+        self.assignments.clear();
+        self.assignments.resize(tasks, None);
+        self.transfers.clear();
+        for slot in &mut self.incoming {
+            slot.clear();
         }
+        self.incoming.resize_with(tasks, Vec::new);
     }
 
     /// Number of subtasks the schedule covers (mapped or not).

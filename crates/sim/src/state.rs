@@ -107,7 +107,7 @@ fn sorted_machines(mut ms: Vec<MachineId>) -> Vec<MachineId> {
 /// the whole vector (`iter().position`) for every commit and for every
 /// re-blocked child of an unmap, which made commit/unmap storms
 /// quadratic in the ready-set size.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct ReadySet {
     /// The tasks, in discovery order with swap-remove holes filled.
     order: Vec<TaskId>,
@@ -118,15 +118,15 @@ struct ReadySet {
 const ABSENT: u32 = u32::MAX;
 
 impl ReadySet {
-    fn new(tasks: usize, roots: impl Iterator<Item = TaskId>) -> ReadySet {
-        let mut set = ReadySet {
-            order: Vec::new(),
-            pos: vec![ABSENT; tasks],
-        };
+    /// Restore the fresh state for a (possibly different) task count in
+    /// place, preserving heap capacity.
+    fn reset(&mut self, tasks: usize, roots: impl Iterator<Item = TaskId>) {
+        self.order.clear();
+        self.pos.clear();
+        self.pos.resize(tasks, ABSENT);
         for t in roots {
-            set.push(t);
+            self.push(t);
         }
-        set
     }
 
     fn as_slice(&self) -> &[TaskId] {
@@ -152,6 +152,37 @@ impl ReadySet {
         }
         true
     }
+}
+
+/// The heap allocations behind a [`SimState`], detached from any
+/// scenario.
+///
+/// A single run allocates a dozen-odd vectors (three timeline sets,
+/// ledger accounts, the schedule and its per-child transfer index,
+/// readiness bookkeeping, the feasibility-demand table). Campaign-style
+/// drivers that execute thousands of runs back to back can instead keep
+/// one `StateBuffers`, build each run's state with [`SimState::new_in`],
+/// and reclaim the storage afterwards with [`SimState::into_buffers`] —
+/// the steady state then recycles one allocation footprint instead of
+/// churning the allocator per run.
+///
+/// The buffers carry **capacity only, never content**: `new_in` clears
+/// and re-derives every field from the scenario exactly as
+/// [`SimState::new`] does, so a state built from recycled buffers is
+/// indistinguishable from a fresh one (the `recycled_buffers_*` tests
+/// pin this down to demand-table bit patterns). Donating buffers sized
+/// for a different scenario is fine — everything is resized.
+#[derive(Debug, Default)]
+pub struct StateBuffers {
+    compute: Vec<Timeline>,
+    tx: Vec<Timeline>,
+    rx: Vec<Timeline>,
+    ledger: EnergyLedger,
+    schedule: Schedule,
+    unmapped_parents: Vec<usize>,
+    ready: ReadySet,
+    lost: Vec<Option<Time>>,
+    demand: Vec<Energy>,
 }
 
 /// Mutable simulation state for one scenario run.
@@ -191,21 +222,60 @@ pub struct SimState<'a> {
 impl<'a> SimState<'a> {
     /// Fresh state: nothing mapped, batteries full, roots ready.
     pub fn new(sc: &'a Scenario) -> SimState<'a> {
+        SimState::new_in(sc, StateBuffers::default())
+    }
+
+    /// [`SimState::new`] with donated backing storage: consumes
+    /// `buffers`, resets every field from the scenario (content is never
+    /// carried over — see [`StateBuffers`]), and reuses the donated heap
+    /// capacity. Reclaim the storage after the run with
+    /// [`SimState::into_buffers`].
+    ///
+    /// The demand table is *recomputed* on every reset even though it is
+    /// static per scenario: buffers migrate between scenarios, and a
+    /// scenario's address is no stable identity (a dropped scenario's
+    /// allocation can be reused), so caching keyed on provenance would be
+    /// unsound. Recomputation uses the exact expression `new` uses, so
+    /// the values are bit-identical either way.
+    pub fn new_in(sc: &'a Scenario, buffers: StateBuffers) -> SimState<'a> {
         let n = sc.tasks();
         let m = sc.grid.len();
-        let unmapped_parents: Vec<usize> =
-            sc.dag.tasks().map(|t| sc.dag.parents(t).len()).collect();
-        let ready = ReadySet::new(n, sc.dag.roots());
+        let StateBuffers {
+            mut compute,
+            mut tx,
+            mut rx,
+            mut ledger,
+            mut schedule,
+            mut unmapped_parents,
+            mut ready,
+            mut lost,
+            mut demand,
+        } = buffers;
+        for timelines in [&mut compute, &mut tx, &mut rx] {
+            for tl in timelines.iter_mut() {
+                tl.clear();
+            }
+            timelines.resize_with(m, Timeline::new);
+        }
+        ledger.reset(&sc.grid);
+        schedule.reset(n);
+        unmapped_parents.clear();
+        unmapped_parents.extend(sc.dag.tasks().map(|t| sc.dag.parents(t).len()));
+        ready.reset(n, sc.dag.roots());
+        lost.clear();
+        lost.resize(m, None);
+        demand.clear();
+        demand.reserve(n * m * 2);
         let mut state = SimState {
             sc,
-            compute: vec![Timeline::new(); m],
-            tx: vec![Timeline::new(); m],
-            rx: vec![Timeline::new(); m],
-            ledger: EnergyLedger::new(&sc.grid),
-            schedule: Schedule::new(n),
+            compute,
+            tx,
+            rx,
+            ledger,
+            schedule,
             unmapped_parents,
             ready,
-            lost: vec![None; m],
+            lost,
             demand: Vec::new(),
             t100: 0,
             aet: Time::ZERO,
@@ -214,7 +284,6 @@ impl<'a> SimState<'a> {
         // Precompute the static feasibility-demand table (see the field
         // docs) with the exact expression `version_feasible` used to
         // evaluate per query, so the cached values are bit-identical.
-        let mut demand = Vec::with_capacity(n * m * 2);
         for t in sc.dag.tasks() {
             for j in sc.grid.ids() {
                 for v in Version::BOTH {
@@ -224,6 +293,35 @@ impl<'a> SimState<'a> {
         }
         state.demand = demand;
         state
+    }
+
+    /// Detach the state's backing storage for reuse by a later
+    /// [`SimState::new_in`]. The run's results are discarded; snapshot
+    /// [`SimState::metrics`] (or whatever else is needed) first.
+    pub fn into_buffers(self) -> StateBuffers {
+        let SimState {
+            compute,
+            tx,
+            rx,
+            ledger,
+            schedule,
+            unmapped_parents,
+            ready,
+            lost,
+            demand,
+            ..
+        } = self;
+        StateBuffers {
+            compute,
+            tx,
+            rx,
+            ledger,
+            schedule,
+            unmapped_parents,
+            ready,
+            lost,
+            demand,
+        }
     }
 
     /// Index into [`SimState::demand`]: versions alternate fastest.
@@ -956,6 +1054,88 @@ mod tests {
         let du = st.unmap(child);
         assert!(du.touches(m(0)) && du.touches(m(1)));
         assert_eq!(du.newly_ready, vec![child]);
+    }
+
+    /// Run `st` to completion with the deterministic greedy policy the
+    /// other tests use: always the first ready task, secondary, machine 0.
+    fn drain_onto_m0(st: &mut SimState<'_>) {
+        while let Some(&t) = st.ready_tasks().first() {
+            let p = st.plan(t, Version::Secondary, m(0), Placement::Append {
+                not_before: Time::ZERO,
+            });
+            st.commit(&p);
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_reproduce_fresh_state_exactly() {
+        let sc = tiny_scenario();
+        // Dirty the buffers with a complete run on a *different* scenario
+        // (other task count, grid case and seeds) so any leaked content
+        // or stale sizing would be caught.
+        let other = Scenario::generate(&ScenarioParams::paper_scaled(24), GridCase::B, 1, 1);
+        let mut dirty = SimState::new(&other);
+        drain_onto_m0(&mut dirty);
+        assert!(dirty.all_mapped());
+        let buffers = dirty.into_buffers();
+
+        let fresh = SimState::new(&sc);
+        let reused = SimState::new_in(&sc, buffers);
+
+        assert_eq!(reused.revision(), 0);
+        assert_eq!(reused.ready_tasks(), fresh.ready_tasks());
+        assert_eq!(reused.mapped_count(), 0);
+        assert_eq!(reused.aet(), Time::ZERO);
+        assert_eq!(reused.metrics(), fresh.metrics());
+        for j in sc.grid.ids() {
+            assert!(reused.compute_timeline(j).is_empty());
+            assert!(reused.tx_timeline(j).is_empty());
+            assert!(reused.rx_timeline(j).is_empty());
+            assert!(reused.is_alive(j));
+            assert_eq!(
+                reused.ledger().available(j).units().to_bits(),
+                fresh.ledger().available(j).units().to_bits()
+            );
+        }
+        // The recomputed demand table must match the fresh one bit for
+        // bit — `version_feasible` compares these floats exactly.
+        for t in sc.dag.tasks() {
+            for j in sc.grid.ids() {
+                for v in Version::BOTH {
+                    assert_eq!(
+                        reused.feasibility_demand(t, v, j).units().to_bits(),
+                        fresh.feasibility_demand(t, v, j).units().to_bits(),
+                        "demand differs at ({t}, {v:?}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_produce_identical_runs() {
+        let sc = tiny_scenario();
+        let mut fresh = SimState::new(&sc);
+        drain_onto_m0(&mut fresh);
+
+        let other = Scenario::generate(&ScenarioParams::paper_scaled(24), GridCase::B, 1, 1);
+        let mut dirty = SimState::new(&other);
+        drain_onto_m0(&mut dirty);
+        let mut reused = SimState::new_in(&sc, dirty.into_buffers());
+        drain_onto_m0(&mut reused);
+
+        assert_eq!(reused.metrics(), fresh.metrics());
+        assert_eq!(reused.revision(), fresh.revision());
+        assert_eq!(
+            reused.ledger().total_committed().units().to_bits(),
+            fresh.ledger().total_committed().units().to_bits()
+        );
+        for t in sc.dag.tasks() {
+            assert_eq!(
+                reused.schedule().assignment(t),
+                fresh.schedule().assignment(t)
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,13 @@ impl Timeline {
         Timeline::default()
     }
 
+    /// Remove every busy interval, keeping the heap allocation for
+    /// reuse (the run-context reset path clears whole timeline vectors
+    /// between consecutive runs).
+    pub fn clear(&mut self) {
+        self.busy.clear();
+    }
+
     /// Number of busy intervals.
     pub fn len(&self) -> usize {
         self.busy.len()

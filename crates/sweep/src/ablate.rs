@@ -20,7 +20,20 @@ use adhoc_grid::data::DataGenParams;
 use adhoc_grid::workload::{Scenario, ScenarioParams};
 use gridsim::metrics::Metrics;
 use lagrange::weights::{AetSign, Weights};
-use slrh::{run_adaptive_slrh, run_slrh, AdaptiveConfig, MachineOrder, SlrhConfig, SlrhVariant};
+use slrh::{
+    run_adaptive_slrh, run_slrh_in, AdaptiveConfig, MachineOrder, RunContext, SlrhConfig,
+    SlrhVariant,
+};
+
+/// Run SLRH on the context's recycled buffers and keep only the metrics.
+/// Every ablation arm below runs the mapper several times back to back;
+/// sharing one [`RunContext`] keeps those arms allocation-flat.
+fn metrics_in(scenario: &Scenario, cfg: &SlrhConfig, ctx: &mut RunContext) -> Metrics {
+    let out = run_slrh_in(scenario, cfg, ctx);
+    let m = out.metrics();
+    ctx.reclaim(out.state);
+    m
+}
 
 /// A2: run SLRH-1 with both AET-term signs at the same weights.
 /// Returns `(paper_positive, negative)`.
@@ -29,9 +42,10 @@ pub fn gamma_sign(scenario: &Scenario, weights: Weights) -> (Metrics, Metrics) {
     pos.objective.aet_sign = AetSign::Positive;
     let mut neg = pos;
     neg.objective.aet_sign = AetSign::Negative;
+    let mut ctx = RunContext::new();
     (
-        run_slrh(scenario, &pos).metrics(),
-        run_slrh(scenario, &neg).metrics(),
+        metrics_in(scenario, &pos, &mut ctx),
+        metrics_in(scenario, &neg, &mut ctx),
     )
 }
 
@@ -45,6 +59,8 @@ pub fn comm_scale(
     weights: Weights,
     scales: &[f64],
 ) -> Vec<(f64, Metrics)> {
+    let cfg = SlrhConfig::paper(SlrhVariant::V1, weights);
+    let mut ctx = RunContext::new();
     scales
         .iter()
         .map(|&k| {
@@ -54,8 +70,7 @@ pub fn comm_scale(
                 size_mb: (lo * k, hi * k),
             };
             let sc = Scenario::generate(&p, case, etc_id, dag_id);
-            let cfg = SlrhConfig::paper(SlrhVariant::V1, weights);
-            (k, run_slrh(&sc, &cfg).metrics())
+            (k, metrics_in(&sc, &cfg, &mut ctx))
         })
         .collect()
 }
@@ -65,9 +80,10 @@ pub fn comm_scale(
 pub fn secondary_availability(scenario: &Scenario, weights: Weights) -> (Metrics, Metrics) {
     let with = SlrhConfig::paper(SlrhVariant::V1, weights);
     let without = with.primary_only();
+    let mut ctx = RunContext::new();
     (
-        run_slrh(scenario, &with).metrics(),
-        run_slrh(scenario, &without).metrics(),
+        metrics_in(scenario, &with, &mut ctx),
+        metrics_in(scenario, &without, &mut ctx),
     )
 }
 
@@ -80,14 +96,14 @@ pub fn trigger_mode(
 ) -> (Metrics, u64, Metrics, u64) {
     let clock_cfg = SlrhConfig::paper(SlrhVariant::V1, weights);
     let event_cfg = clock_cfg.event_driven();
-    let clock = run_slrh(scenario, &clock_cfg);
-    let event = run_slrh(scenario, &event_cfg);
-    (
-        clock.metrics(),
-        clock.stats.clock_steps,
-        event.metrics(),
-        event.stats.clock_steps,
-    )
+    let mut ctx = RunContext::new();
+    let clock = run_slrh_in(scenario, &clock_cfg, &mut ctx);
+    let (clock_metrics, clock_steps) = (clock.metrics(), clock.stats.clock_steps);
+    ctx.reclaim(clock.state);
+    let event = run_slrh_in(scenario, &event_cfg, &mut ctx);
+    let (event_metrics, event_steps) = (event.metrics(), event.stats.clock_steps);
+    ctx.reclaim(event.state);
+    (clock_metrics, clock_steps, event_metrics, event_steps)
 }
 
 /// Consistency-class ablation: regenerate the scenario's ETC matrix in
@@ -101,6 +117,8 @@ pub fn consistency_classes(
     dag_id: usize,
     weights: Weights,
 ) -> Vec<(Consistency, Metrics)> {
+    let cfg = SlrhConfig::paper(SlrhVariant::V1, weights);
+    let mut ctx = RunContext::new();
     [
         Consistency::Inconsistent,
         Consistency::SemiConsistent,
@@ -111,8 +129,7 @@ pub fn consistency_classes(
         let mut p = *params;
         p.etc = p.etc.with_consistency(consistency);
         let sc = Scenario::generate(&p, case, etc_id, dag_id);
-        let cfg = SlrhConfig::paper(SlrhVariant::V1, weights);
-        (consistency, run_slrh(&sc, &cfg).metrics())
+        (consistency, metrics_in(&sc, &cfg, &mut ctx))
     })
     .collect()
 }
@@ -123,6 +140,7 @@ pub fn machine_order(
     scenario: &Scenario,
     weights: Weights,
 ) -> Vec<(MachineOrder, Metrics)> {
+    let mut ctx = RunContext::new();
     [
         MachineOrder::Numerical,
         MachineOrder::Reversed,
@@ -131,7 +149,7 @@ pub fn machine_order(
     .into_iter()
     .map(|order| {
         let cfg = SlrhConfig::paper(SlrhVariant::V1, weights).with_machine_order(order);
-        (order, run_slrh(scenario, &cfg).metrics())
+        (order, metrics_in(scenario, &cfg, &mut ctx))
     })
     .collect()
 }
@@ -147,9 +165,10 @@ pub fn adaptive_vs_fixed(
     let default_cfg = SlrhConfig::paper(SlrhVariant::V1, default_weights);
     let tuned_cfg = SlrhConfig::paper(SlrhVariant::V1, tuned_weights);
     let adaptive_cfg = AdaptiveConfig::new(default_cfg);
+    let mut ctx = RunContext::new();
     (
-        run_slrh(scenario, &default_cfg).metrics(),
-        run_slrh(scenario, &tuned_cfg).metrics(),
+        metrics_in(scenario, &default_cfg, &mut ctx),
+        metrics_in(scenario, &tuned_cfg, &mut ctx),
         run_adaptive_slrh(scenario, &adaptive_cfg).metrics(),
     )
 }

@@ -3,11 +3,14 @@
 use std::time::{Duration, Instant};
 
 use adhoc_grid::workload::Scenario;
-use grid_baselines::{run_greedy, run_heft, run_lr_list, run_maxmax, run_minmin, run_olb, LrListConfig};
+use grid_baselines::{
+    run_greedy_in, run_heft_in, run_lr_list_in, run_maxmax_in, run_minmin_in, run_olb_in,
+    LrListConfig,
+};
 use gridsim::metrics::Metrics;
 use gridsim::MappingOutcome;
 use lagrange::weights::{Objective, Weights};
-use slrh::{run_slrh, SlrhConfig, SlrhVariant};
+use slrh::{run_slrh_in, RunContext, SlrhConfig, SlrhVariant};
 
 /// Every heuristic the harness can run.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -90,37 +93,90 @@ impl Heuristic {
     /// Run the heuristic on `scenario` with `weights`, timing the mapping
     /// itself (validation happens outside the timed section).
     pub fn run(self, scenario: &Scenario, weights: Weights) -> RunResult {
+        self.run_in(scenario, weights, &mut RunContext::new())
+    }
+
+    /// [`Heuristic::run`] on a reusable [`RunContext`]: the run's
+    /// simulation state (and, for SLRH, the pool cache) is built on the
+    /// context's recycled buffers and reclaimed before returning, so
+    /// consecutive calls through one context allocate almost nothing.
+    /// Results are bit-identical to [`Heuristic::run`] — the context
+    /// carries capacity, never content.
+    pub fn run_in(self, scenario: &Scenario, weights: Weights, ctx: &mut RunContext) -> RunResult {
         let start = Instant::now();
-        let out: Box<dyn MappingOutcome + '_> = match self {
+        // Each arm runs, times the mapping, snapshots the outcome and
+        // hands the state's buffers back to the context. The outcome
+        // types differ per arm (and own their state), so the snapshot
+        // is taken concretely rather than through `Box<dyn
+        // MappingOutcome>` — reclaiming requires moving the state out.
+        let (metrics, wall, work, valid) = match self {
             Heuristic::Slrh1 | Heuristic::Slrh2 | Heuristic::Slrh3 => {
                 let variant = match self {
                     Heuristic::Slrh1 => SlrhVariant::V1,
                     Heuristic::Slrh2 => SlrhVariant::V2,
                     _ => SlrhVariant::V3,
                 };
-                Box::new(run_slrh(scenario, &SlrhConfig::paper(variant, weights)))
+                let out = run_slrh_in(scenario, &SlrhConfig::paper(variant, weights), ctx);
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
             }
-            Heuristic::MaxMax => Box::new(run_maxmax(scenario, &Objective::paper(weights))),
-            Heuristic::Greedy => Box::new(run_greedy(scenario)),
-            Heuristic::Olb => Box::new(run_olb(scenario)),
-            Heuristic::MinMin => Box::new(run_minmin(scenario)),
-            Heuristic::Heft => Box::new(run_heft(scenario)),
+            Heuristic::MaxMax => {
+                let out = run_maxmax_in(scenario, &Objective::paper(weights), ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
+            }
+            Heuristic::Greedy => {
+                let out = run_greedy_in(scenario, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
+            }
+            Heuristic::Olb => {
+                let out = run_olb_in(scenario, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
+            }
+            Heuristic::MinMin => {
+                let out = run_minmin_in(scenario, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
+            }
+            Heuristic::Heft => {
+                let out = run_heft_in(scenario, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
+            }
             Heuristic::LrList => {
                 let cfg = LrListConfig {
                     weights,
                     ..LrListConfig::default()
                 };
-                Box::new(run_lr_list(scenario, &cfg))
+                let out = run_lr_list_in(scenario, &cfg, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                ctx.reclaim(out.state);
+                snap
             }
         };
-        let wall = start.elapsed();
         RunResult {
-            metrics: out.metrics(),
+            metrics,
             wall,
-            work: out.candidates_evaluated(),
-            valid: out.is_valid(),
+            work,
+            valid,
         }
     }
+}
+
+/// Snapshot a finished mapping outcome into the [`RunResult`] fields,
+/// stopping the wall clock first so validation stays outside the timed
+/// section (matching [`Heuristic::run`]'s historical contract).
+fn snapshot(out: &impl MappingOutcome, start: Instant) -> (Metrics, Duration, u64, bool) {
+    let wall = start.elapsed();
+    (out.metrics(), wall, out.candidates_evaluated(), out.is_valid())
 }
 
 impl std::fmt::Display for Heuristic {

@@ -38,4 +38,7 @@ pub use dt_sweep::{dt_sweep, horizon_sweep, SweepPoint};
 pub use heuristic::{Heuristic, RunResult};
 pub use replicate::{replicated_tuned_t100, Estimate, ReplicationConfig};
 pub use stats::Summary;
-pub use weight_search::{optimal_weights, weight_stats, WeightSearchOutcome, WeightStats};
+pub use weight_search::{
+    optimal_weights, optimal_weights_with_steps, optimal_weights_with_steps_in, weight_stats,
+    WeightSearchOutcome, WeightStats,
+};

@@ -10,8 +10,10 @@ use adhoc_grid::config::GridCase;
 use adhoc_grid::workload::{ScenarioParams, ScenarioSet};
 use rayon::prelude::*;
 
+use slrh::RunContext;
+
 use crate::heuristic::Heuristic;
-use crate::weight_search::optimal_weights_with_steps;
+use crate::weight_search::optimal_weights_with_steps_in;
 
 /// Two-sided 95 % Student-t critical values for ν = 1..=30 degrees of
 /// freedom (standard table; ν > 30 uses the normal 1.96).
@@ -111,7 +113,9 @@ pub struct ReplicationConfig {
 /// the `collect` is order-preserving, so `Estimate::from_samples` sees
 /// the suite means in replication order under any thread count. The
 /// inner weight searches run inline on the replication's worker (the
-/// executor's nested policy), keeping the thread count bounded.
+/// executor's nested policy), keeping the thread count bounded. Each
+/// executor chunk carries one [`RunContext`] (capacity only, never
+/// content), so chunk boundaries cannot influence results.
 pub fn replicated_tuned_t100(
     h: Heuristic,
     case: GridCase,
@@ -120,7 +124,7 @@ pub fn replicated_tuned_t100(
     assert!(cfg.replications >= 1);
     let suite_means: Vec<f64> = (0..cfg.replications as u64)
         .into_par_iter()
-        .map(|r| {
+        .map_init(RunContext::new, |ctx, r| {
             let params = ScenarioParams::paper_scaled(cfg.tasks)
                 .with_seed(adhoc_grid::seed::derive(adhoc_grid::seed::MASTER_SEED, 0xEE7 + r));
             let set = ScenarioSet::new(params, cfg.etcs, cfg.dags);
@@ -128,7 +132,7 @@ pub fn replicated_tuned_t100(
             let mut n = 0usize;
             for (e, d) in set.ids() {
                 let sc = set.scenario(case, e, d);
-                if let Some(o) = optimal_weights_with_steps(h, &sc, cfg.coarse, cfg.fine) {
+                if let Some(o) = optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx) {
                     total += o.t100;
                     n += 1;
                 }

@@ -7,11 +7,22 @@
 //! range until an optimal performance point was determined." A weight pair
 //! only counts if the heuristic "successfully map\[s\] all 1024 subtasks
 //! within both the specified energy and time constraints."
+//!
+//! The two stages overlap: every coarse point inside the winner's ±coarse
+//! neighbourhood reappears in the fine grid. The search therefore memoises
+//! evaluations per scenario, keyed on the weights snapped to the
+//! [`ordered`] 1e-9 lattice, so the fine stage never re-runs a pair the
+//! coarse stage already scored. [`WeightSearchOutcome::evaluations`]
+//! counts unique heuristic runs.
+
+use std::cmp::Reverse;
+use std::collections::{HashMap, HashSet};
 
 use adhoc_grid::config::GridCase;
 use adhoc_grid::workload::{Scenario, ScenarioSet};
 use lagrange::weights::Weights;
 use rayon::prelude::*;
+use slrh::RunContext;
 
 use crate::heuristic::Heuristic;
 use crate::stats::Summary;
@@ -23,19 +34,27 @@ pub struct WeightSearchOutcome {
     pub weights: Weights,
     /// The `T100` those weights achieve.
     pub t100: usize,
-    /// Number of heuristic runs spent searching.
+    /// Number of unique heuristic runs spent searching (step-aligned
+    /// points shared by the coarse and fine grids are evaluated once).
     pub evaluations: usize,
 }
 
 /// Enumerate the valid simplex grid points with the given step.
+///
+/// No two returned pairs compare equal under the [`ordered`] key: float
+/// snapping could otherwise reconstruct near-duplicate points from a
+/// degenerate (tiny or denormal) step, and downstream memoisation keys
+/// on that lattice. First occurrence wins, which leaves the output
+/// bit-identical for any step coarser than the 1e-9 lattice.
 fn grid(step: f64, alpha_range: (f64, f64), beta_range: (f64, f64)) -> Vec<Weights> {
     let snap = |v: f64| (v / step).round() as i64;
     let mut points = Vec::new();
+    let mut seen = HashSet::new();
     for ai in snap(alpha_range.0.max(0.0))..=snap(alpha_range.1.min(1.0)) {
         for bi in snap(beta_range.0.max(0.0))..=snap(beta_range.1.min(1.0)) {
             let (a, b) = (ai as f64 * step, bi as f64 * step);
             if let Ok(w) = Weights::new(a, b) {
-                if a + b <= 1.0 + 1e-9 {
+                if a + b <= 1.0 + 1e-9 && seen.insert(memo_key(&w)) {
                     points.push(w);
                 }
             }
@@ -44,36 +63,91 @@ fn grid(step: f64, alpha_range: (f64, f64), beta_range: (f64, f64)) -> Vec<Weigh
     points
 }
 
-/// Evaluate candidate weights in parallel; keep the best compliant one.
-/// "Best" = highest `T100`, ties broken toward lower (α, β) for
-/// determinism.
+/// Per-scenario evaluation memo: snapped weight pair → compliant `T100`
+/// (`None` records an invalid or constraint-violating run, so it is not
+/// retried either).
+type EvalMemo = HashMap<(i64, i64), Option<usize>>;
+
+/// The memo key: weights snapped to the 1e-9 [`ordered`] lattice. Coarse
+/// and fine reconstructions of the same grid point differ in the last few
+/// ulps (3 × 0.1 vs 15 × 0.02) but share this key.
+fn memo_key(w: &Weights) -> (i64, i64) {
+    (ordered(w.alpha()), ordered(w.beta()))
+}
+
+/// Run `heuristic` once and score the outcome: `Some(t100)` iff the
+/// mapping validated and met both constraints.
+fn score(
+    heuristic: Heuristic,
+    scenario: &Scenario,
+    w: Weights,
+    ctx: &mut RunContext,
+) -> Option<usize> {
+    let r = heuristic.run_in(scenario, w, ctx);
+    (r.valid && r.metrics.constraints_met()).then_some(r.metrics.t100)
+}
+
+/// Evaluate every candidate not already in the memo and record the
+/// scores. Returns the number of fresh heuristic runs.
 ///
-/// Parallelism audit: the `reduce_with` operator is an argmax over the
-/// total order `key` (T100, then reversed α, then reversed β — no two
-/// candidates share a key, since the grid never repeats a weight pair),
-/// which makes it associative. The executor folds chunks in index order,
-/// so the winner is identical under any thread count — pinned by the
-/// differential tests in `tests/differential_determinism.rs`.
-fn best_over(
+/// Parallelism audit: fresh points are scored with `map_init` (one
+/// [`RunContext`] per executor chunk) and collected in candidate order,
+/// so the memo contents are independent of thread count and chunk
+/// boundaries. When the caller is already on a worker thread (the
+/// campaign fans out over scenarios, not weights) the batch is evaluated
+/// inline on the caller's context instead — same results, and the
+/// caller's buffers keep amortising.
+fn eval_fresh(
     heuristic: Heuristic,
     scenario: &Scenario,
     candidates: &[Weights],
-) -> Option<(Weights, usize)> {
+    memo: &mut EvalMemo,
+    ctx: &mut RunContext,
+) -> usize {
+    let fresh: Vec<Weights> = candidates
+        .iter()
+        .copied()
+        .filter(|w| !memo.contains_key(&memo_key(w)))
+        .collect();
+    let scored: Vec<((i64, i64), Option<usize>)> = if rayon::current_thread_index().is_some() {
+        fresh
+            .iter()
+            .map(|&w| (memo_key(&w), score(heuristic, scenario, w, ctx)))
+            .collect()
+    } else {
+        fresh
+            .par_iter()
+            .map_init(RunContext::new, |ctx, &w| {
+                (memo_key(&w), score(heuristic, scenario, w, ctx))
+            })
+            .collect()
+    };
+    memo.extend(scored);
+    fresh.len()
+}
+
+/// Pick the best compliant candidate from the memo. "Best" = highest
+/// `T100`, ties broken toward lower (α, β) for determinism.
+///
+/// This is the same argmax the search historically computed with a
+/// parallel `reduce_with`, now a sequential fold over the candidates in
+/// grid order: the comparator is a total order (no two candidates share
+/// a key — [`grid`] never repeats a pair on the [`ordered`] lattice), so
+/// the winner is identical — pinned by the differential tests in
+/// `tests/differential_determinism.rs`. On a memo hit the candidate's
+/// own float bits are reported, not the bits the score was computed
+/// under; the two differ by under 1e-9, within the heuristics'
+/// weight-resolution (pinned by `tests/golden_run_context.rs`).
+fn best_from_memo(candidates: &[Weights], memo: &EvalMemo) -> Option<(Weights, usize)> {
+    let key = |(w, t): &(Weights, usize)| {
+        (*t, Reverse(ordered(w.alpha())), Reverse(ordered(w.beta())))
+    };
     candidates
-        .par_iter()
-        .filter_map(|&w| {
-            let r = heuristic.run(scenario, w);
-            (r.valid && r.metrics.constraints_met()).then_some((w, r.metrics.t100))
-        })
-        .reduce_with(|a, b| {
-            let key = |(w, t): &(Weights, usize)| {
-                (*t, std::cmp::Reverse(ordered(w.alpha())), std::cmp::Reverse(ordered(w.beta())))
-            };
-            if key(&b) > key(&a) {
-                b
-            } else {
-                a
-            }
+        .iter()
+        .filter_map(|&w| Some((w, (*memo.get(&memo_key(&w))?)?)))
+        .fold(None, |best: Option<(Weights, usize)>, cand| match best {
+            Some(b) if key(&cand) <= key(&b) => Some(b),
+            _ => Some(cand),
         })
 }
 
@@ -97,19 +171,34 @@ pub fn optimal_weights_with_steps(
     coarse: f64,
     fine: f64,
 ) -> Option<WeightSearchOutcome> {
+    optimal_weights_with_steps_in(heuristic, scenario, coarse, fine, &mut RunContext::new())
+}
+
+/// [`optimal_weights_with_steps`] on a reusable [`RunContext`]: every
+/// sequential heuristic run in the search recycles the context's
+/// buffers, and callers evaluating many scenarios can carry one context
+/// across searches.
+pub fn optimal_weights_with_steps_in(
+    heuristic: Heuristic,
+    scenario: &Scenario,
+    coarse: f64,
+    fine: f64,
+    ctx: &mut RunContext,
+) -> Option<WeightSearchOutcome> {
     assert!(coarse > 0.0 && fine > 0.0 && fine <= coarse);
+    let mut memo = EvalMemo::new();
     let coarse_points = grid(coarse, (0.0, 1.0), (0.0, 1.0));
-    let mut evaluations = coarse_points.len();
-    let (cw, _) = best_over(heuristic, scenario, &coarse_points)?;
+    let mut evaluations = eval_fresh(heuristic, scenario, &coarse_points, &mut memo, ctx);
+    let (cw, _) = best_from_memo(&coarse_points, &memo)?;
 
     let fine_points = grid(
         fine,
         (cw.alpha() - coarse, cw.alpha() + coarse),
         (cw.beta() - coarse, cw.beta() + coarse),
     );
-    evaluations += fine_points.len();
+    evaluations += eval_fresh(heuristic, scenario, &fine_points, &mut memo, ctx);
     let (weights, t100) =
-        best_over(heuristic, scenario, &fine_points).expect("coarse winner is in the fine grid");
+        best_from_memo(&fine_points, &memo).expect("coarse winner is in the fine grid");
     Some(WeightSearchOutcome {
         weights,
         t100,
@@ -146,10 +235,13 @@ pub fn weight_stats(
     let ids: Vec<(usize, usize)> = set.ids().collect();
     let found: Vec<WeightSearchOutcome> = ids
         .par_iter()
-        .filter_map(|&(e, d)| {
+        .map_init(RunContext::new, |ctx, &(e, d)| {
             let sc = set.scenario(case, e, d);
-            optimal_weights_with_steps(heuristic, &sc, coarse, fine)
+            optimal_weights_with_steps_in(heuristic, &sc, coarse, fine, ctx)
         })
+        .collect::<Vec<Option<WeightSearchOutcome>>>()
+        .into_iter()
+        .flatten()
         .collect();
     if found.is_empty() {
         return None;
@@ -191,6 +283,69 @@ mod tests {
     }
 
     #[test]
+    fn grid_never_repeats_a_point() {
+        // A step just above the 1e-9 lattice resolution forces the float
+        // reconstruction `index * step` to collide after snapping; the
+        // dedup must keep exactly one of each.
+        let g = grid(5e-10, (0.0, 2e-9), (0.0, 2e-9));
+        let mut seen = HashSet::new();
+        for w in &g {
+            assert!(
+                seen.insert(memo_key(w)),
+                "duplicate grid point α={:?} β={:?}",
+                w.alpha(),
+                w.beta()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(128))]
+
+        /// No step/range combination — including steps below the 1e-9
+        /// ordered-key lattice, where `index * step` reconstructions
+        /// collide after snapping — may make [`grid`] emit two pairs
+        /// that compare equal under the memo key.
+        #[test]
+        fn grid_points_distinct_under_ordered_key(
+            step in 1e-10f64..0.25,
+            a0 in -0.1f64..1.0,
+            an in 0i64..40,
+            b0 in -0.1f64..1.0,
+            bn in 0i64..40,
+        ) {
+            let g = grid(
+                step,
+                (a0, a0 + an as f64 * step),
+                (b0, b0 + bn as f64 * step),
+            );
+            let mut seen = HashSet::new();
+            for w in &g {
+                proptest::prop_assert!(
+                    seen.insert(memo_key(w)),
+                    "duplicate grid point α={:?} β={:?} at step {step:?}",
+                    w.alpha(),
+                    w.beta()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_stage_skips_coarse_aligned_points() {
+        // Greedy ignores weights, so every pair is compliant and the
+        // coarse winner is (0, 0). Coarse 0.1 yields the 66-point
+        // simplex; the fine ±0.1 window at step 0.02 is a 6×6 block of
+        // which 4 corners — (0,0), (0,0.1), (0.1,0), (0.1,0.1) — are
+        // step-aligned with the coarse grid and must not be re-run.
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(16), GridCase::A, 0, 0);
+        let out = optimal_weights_with_steps(Heuristic::Greedy, &sc, 0.1, 0.02)
+            .expect("Greedy maps everything");
+        assert_eq!(out.weights, Weights::new(0.0, 0.0).unwrap());
+        assert_eq!(out.evaluations, 66 + 36 - 4);
+    }
+
+    #[test]
     fn search_finds_compliant_weights_for_slrh1() {
         let sc = Scenario::generate(&ScenarioParams::paper_scaled(48), GridCase::A, 0, 0);
         let out = optimal_weights_with_steps(Heuristic::Slrh1, &sc, 0.25, 0.25)
@@ -210,5 +365,20 @@ mod tests {
         let b = optimal_weights_with_steps(Heuristic::MaxMax, &sc, 0.25, 0.25).unwrap();
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.t100, b.t100);
+    }
+
+    #[test]
+    fn reused_context_matches_fresh_context_search() {
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(32), GridCase::B, 2, 0);
+        let mut ctx = RunContext::new();
+        // Dirty the context on a different scenario first.
+        let other = Scenario::generate(&ScenarioParams::paper_scaled(16), GridCase::A, 0, 0);
+        let _ = optimal_weights_with_steps_in(Heuristic::Slrh1, &other, 0.25, 0.25, &mut ctx);
+        let reused =
+            optimal_weights_with_steps_in(Heuristic::Slrh1, &sc, 0.25, 0.25, &mut ctx).unwrap();
+        let fresh = optimal_weights_with_steps(Heuristic::Slrh1, &sc, 0.25, 0.25).unwrap();
+        assert_eq!(reused.weights, fresh.weights);
+        assert_eq!(reused.t100, fresh.t100);
+        assert_eq!(reused.evaluations, fresh.evaluations);
     }
 }
