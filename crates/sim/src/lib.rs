@@ -51,6 +51,6 @@ pub use outcome::MappingOutcome;
 pub use plan::{MappingPlan, Placement, PlanScratch};
 pub use schedule::{Assignment, Schedule, Transfer};
 pub use state::{DeltaKind, SimState, StateBuffers, StateDelta};
-pub use trace::Trace;
+pub use trace::{EventTrace, ReplayOp, Trace};
 pub use timeline::Timeline;
-pub use validate::{validate, ValidationError};
+pub use validate::{validate, validate_schedule, Invariant, ValidationError};

@@ -16,6 +16,12 @@
 //! 5. energy: no battery is overdrawn;
 //! 6. bookkeeping: the incrementally-maintained metrics match recomputed
 //!    ones.
+//!
+//! Each violation is reported as a structured [`ValidationError`] naming
+//! the violated [`Invariant`] family and, where applicable, the task and
+//! machine involved, so harnesses (e.g. the stress fuzzer) can classify
+//! failures without parsing message text. Errors are emitted in a
+//! deterministic order for a given schedule.
 
 use std::collections::HashMap;
 
@@ -28,19 +34,88 @@ use crate::ledger::ENERGY_EPS;
 use crate::schedule::Schedule;
 use crate::state::SimState;
 
-/// One violated constraint, with human-readable context.
+/// The constraint family a [`ValidationError`] belongs to. The variants
+/// mirror the numbered checks in the module docs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Invariant {
+    /// Execution duration or energy disagrees with the ETC matrix and
+    /// the machine's power model.
+    ExecPhysics,
+    /// A precedence constraint is violated: a parent is unmapped,
+    /// finishes too late, or its data arrives after the child starts.
+    Precedence,
+    /// The transfer set is malformed: missing, spurious, duplicated,
+    /// misrouted, off-DAG, or with an unmapped endpoint.
+    TransferTopology,
+    /// A transfer's size, duration or energy disagrees with the edge
+    /// data and the link model.
+    TransferPhysics,
+    /// Two subtasks overlap on one machine's processor.
+    ComputeExclusive,
+    /// Two transfers overlap on one machine's outgoing link.
+    TxExclusive,
+    /// Two transfers overlap on one machine's incoming link.
+    RxExclusive,
+    /// A machine's committed energy exceeds its battery.
+    Battery,
+    /// Incrementally-maintained metrics disagree with recomputation.
+    Bookkeeping,
+    /// The energy ledger's internal invariants do not hold.
+    Ledger,
+}
+
+impl Invariant {
+    /// Short stable name (used by the stress harness's verdict codec).
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::ExecPhysics => "exec-physics",
+            Invariant::Precedence => "precedence",
+            Invariant::TransferTopology => "transfer-topology",
+            Invariant::TransferPhysics => "transfer-physics",
+            Invariant::ComputeExclusive => "compute-exclusive",
+            Invariant::TxExclusive => "tx-exclusive",
+            Invariant::RxExclusive => "rx-exclusive",
+            Invariant::Battery => "battery",
+            Invariant::Bookkeeping => "bookkeeping",
+            Invariant::Ledger => "ledger",
+        }
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violated constraint, with the invariant family, the involved
+/// task/machine (where one is identifiable) and human-readable context.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ValidationError(pub String);
+pub struct ValidationError {
+    /// Which constraint family was violated.
+    pub invariant: Invariant,
+    /// The subtask the violation is attributed to, if any.
+    pub task: Option<TaskId>,
+    /// The machine the violation is attributed to, if any.
+    pub machine: Option<MachineId>,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
 
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        write!(f, "[{}] {}", self.invariant, self.detail)
     }
 }
 
 macro_rules! fail {
-    ($errs:ident, $($arg:tt)*) => {
-        $errs.push(ValidationError(format!($($arg)*)))
+    ($errs:ident, $inv:expr, $task:expr, $mach:expr, $($arg:tt)*) => {
+        $errs.push(ValidationError {
+            invariant: $inv,
+            task: $task,
+            machine: $mach,
+            detail: format!($($arg)*),
+        })
     };
 }
 
@@ -52,7 +127,15 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
     let mut by_edge: HashMap<(TaskId, TaskId), usize> = HashMap::new();
     for (i, tr) in schedule.transfers().iter().enumerate() {
         if by_edge.insert((tr.parent, tr.child), i).is_some() {
-            fail!(errs, "duplicate transfer for edge {}->{}", tr.parent, tr.child);
+            fail!(
+                errs,
+                Invariant::TransferTopology,
+                Some(tr.child),
+                Some(tr.to),
+                "duplicate transfer for edge {}->{}",
+                tr.parent,
+                tr.child
+            );
         }
     }
 
@@ -63,6 +146,9 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
         if a.dur != expect_dur {
             fail!(
                 errs,
+                Invariant::ExecPhysics,
+                Some(t),
+                Some(a.machine),
                 "{t}: exec duration {} != ETC-derived {}",
                 a.dur,
                 expect_dur
@@ -70,35 +156,66 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
         }
         let expect_energy = sc.grid.machine(a.machine).compute_energy(a.dur);
         if !a.energy.approx_eq(expect_energy, 1e-6) {
-            fail!(errs, "{t}: exec energy {} != expected {expect_energy}", a.energy);
+            fail!(
+                errs,
+                Invariant::ExecPhysics,
+                Some(t),
+                Some(a.machine),
+                "{t}: exec energy {} != expected {expect_energy}",
+                a.energy
+            );
         }
         for &p in sc.dag.parents(t) {
             let Some(pa) = schedule.assignment(p) else {
-                fail!(errs, "{t} is mapped but its parent {p} is not");
+                fail!(
+                    errs,
+                    Invariant::Precedence,
+                    Some(t),
+                    Some(a.machine),
+                    "{t} is mapped but its parent {p} is not"
+                );
                 continue;
             };
             if pa.machine == a.machine {
                 if pa.finish() > a.start {
                     fail!(
                         errs,
+                        Invariant::Precedence,
+                        Some(t),
+                        Some(a.machine),
                         "{t} starts at {} before same-machine parent {p} finishes at {}",
                         a.start,
                         pa.finish()
                     );
                 }
                 if by_edge.contains_key(&(p, t)) {
-                    fail!(errs, "spurious transfer for same-machine edge {p}->{t}");
+                    fail!(
+                        errs,
+                        Invariant::TransferTopology,
+                        Some(t),
+                        Some(a.machine),
+                        "spurious transfer for same-machine edge {p}->{t}"
+                    );
                 }
                 continue;
             }
             let Some(&idx) = by_edge.get(&(p, t)) else {
-                fail!(errs, "missing transfer for cross-machine edge {p}->{t}");
+                fail!(
+                    errs,
+                    Invariant::TransferTopology,
+                    Some(t),
+                    Some(a.machine),
+                    "missing transfer for cross-machine edge {p}->{t}"
+                );
                 continue;
             };
             let tr = &schedule.transfers()[idx];
             if tr.from != pa.machine || tr.to != a.machine {
                 fail!(
                     errs,
+                    Invariant::TransferTopology,
+                    Some(t),
+                    Some(a.machine),
                     "transfer {p}->{t} routes {}->{} but tasks run on {}->{}",
                     tr.from,
                     tr.to,
@@ -108,22 +225,46 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
             }
             let expect_size = sc.data.edge(&sc.dag, p, t).scaled(pa.version.data_factor());
             if (tr.size.value() - expect_size.value()).abs() > 1e-9 {
-                fail!(errs, "transfer {p}->{t}: size {} != expected {expect_size}", tr.size);
+                fail!(
+                    errs,
+                    Invariant::TransferPhysics,
+                    Some(t),
+                    Some(tr.from),
+                    "transfer {p}->{t}: size {} != expected {expect_size}",
+                    tr.size
+                );
             }
             let expect_dur = sc
                 .grid
                 .machine(pa.machine)
                 .transfer_dur(sc.grid.machine(a.machine), expect_size);
             if tr.dur != expect_dur {
-                fail!(errs, "transfer {p}->{t}: duration {} != expected {expect_dur}", tr.dur);
+                fail!(
+                    errs,
+                    Invariant::TransferPhysics,
+                    Some(t),
+                    Some(tr.from),
+                    "transfer {p}->{t}: duration {} != expected {expect_dur}",
+                    tr.dur
+                );
             }
             let expect_e = sc.grid.machine(pa.machine).transmit_energy(tr.dur);
             if !tr.energy.approx_eq(expect_e, 1e-6) {
-                fail!(errs, "transfer {p}->{t}: energy {} != expected {expect_e}", tr.energy);
+                fail!(
+                    errs,
+                    Invariant::TransferPhysics,
+                    Some(t),
+                    Some(tr.from),
+                    "transfer {p}->{t}: energy {} != expected {expect_e}",
+                    tr.energy
+                );
             }
             if tr.start < pa.finish() {
                 fail!(
                     errs,
+                    Invariant::Precedence,
+                    Some(t),
+                    Some(tr.from),
                     "transfer {p}->{t} starts at {} before {p} finishes at {}",
                     tr.start,
                     pa.finish()
@@ -132,6 +273,9 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
             if tr.finish() > a.start {
                 fail!(
                     errs,
+                    Invariant::Precedence,
+                    Some(t),
+                    Some(a.machine),
                     "{t} starts at {} before its input from {p} arrives at {}",
                     a.start,
                     tr.finish()
@@ -143,16 +287,33 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
     // Transfers must connect mapped endpoints along real DAG edges.
     for tr in schedule.transfers() {
         if !sc.dag.parents(tr.child).contains(&tr.parent) {
-            fail!(errs, "transfer {}->{} is not a DAG edge", tr.parent, tr.child);
+            fail!(
+                errs,
+                Invariant::TransferTopology,
+                Some(tr.child),
+                Some(tr.to),
+                "transfer {}->{} is not a DAG edge",
+                tr.parent,
+                tr.child
+            );
         }
         if schedule.assignment(tr.parent).is_none() || schedule.assignment(tr.child).is_none() {
-            fail!(errs, "transfer {}->{} has an unmapped endpoint", tr.parent, tr.child);
+            fail!(
+                errs,
+                Invariant::TransferTopology,
+                Some(tr.child),
+                Some(tr.to),
+                "transfer {}->{} has an unmapped endpoint",
+                tr.parent,
+                tr.child
+            );
         }
     }
 
     // 2: machine exclusivity.
     check_disjoint(
         &mut errs,
+        Invariant::ComputeExclusive,
         "compute",
         schedule
             .assignments()
@@ -161,11 +322,13 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
     // 3: link exclusivity.
     check_disjoint(
         &mut errs,
+        Invariant::TxExclusive,
         "tx",
         schedule.transfers().iter().map(|t| (t.from, t.start, t.finish())),
     );
     check_disjoint(
         &mut errs,
+        Invariant::RxExclusive,
         "rx",
         schedule.transfers().iter().map(|t| (t.to, t.start, t.finish())),
     );
@@ -182,7 +345,13 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
     for (j, &e) in spent.iter().enumerate() {
         let b = sc.grid.machine(MachineId(j)).battery;
         if e.units() > b.units() + ENERGY_EPS {
-            fail!(errs, "machine m{j} overdrawn: spent {e} of battery {b}");
+            fail!(
+                errs,
+                Invariant::Battery,
+                None,
+                Some(MachineId(j)),
+                "machine m{j} overdrawn: spent {e} of battery {b}"
+            );
         }
     }
 
@@ -191,6 +360,7 @@ pub fn validate_schedule(sc: &Scenario, schedule: &Schedule) -> Vec<ValidationEr
 
 fn check_disjoint(
     errs: &mut Vec<ValidationError>,
+    invariant: Invariant,
     what: &str,
     spans: impl Iterator<Item = (MachineId, Time, Time)>,
 ) {
@@ -200,12 +370,19 @@ fn check_disjoint(
             per_machine.entry(m).or_default().push((s, e));
         }
     }
+    // Sorted machine order keeps the error list deterministic for a
+    // given schedule (HashMap iteration order is not).
+    let mut per_machine: Vec<_> = per_machine.into_iter().collect();
+    per_machine.sort_unstable_by_key(|(m, _)| m.0);
     for (m, mut spans) in per_machine {
         spans.sort_unstable();
         for w in spans.windows(2) {
             if w[1].0 < w[0].1 {
                 fail!(
                     errs,
+                    invariant,
+                    None,
+                    Some(m),
                     "{what} overlap on {m}: [{}, {}) and [{}, {})",
                     w[0].0,
                     w[0].1,
@@ -226,10 +403,26 @@ pub fn validate(state: &SimState<'_>) -> Vec<ValidationError> {
     // 6: bookkeeping.
     let m = state.metrics();
     if m.t100 != state.schedule().t100() {
-        fail!(errs, "T100 bookkeeping {} != schedule {}", m.t100, state.schedule().t100());
+        fail!(
+            errs,
+            Invariant::Bookkeeping,
+            None,
+            None,
+            "T100 bookkeeping {} != schedule {}",
+            m.t100,
+            state.schedule().t100()
+        );
     }
     if m.aet != state.schedule().aet() {
-        fail!(errs, "AET bookkeeping {} != schedule {}", m.aet, state.schedule().aet());
+        fail!(
+            errs,
+            Invariant::Bookkeeping,
+            None,
+            None,
+            "AET bookkeeping {} != schedule {}",
+            m.aet,
+            state.schedule().aet()
+        );
     }
     let spent: Energy = state
         .schedule()
@@ -238,10 +431,17 @@ pub fn validate(state: &SimState<'_>) -> Vec<ValidationError> {
         .chain(state.schedule().transfers().iter().map(|t| t.energy))
         .sum();
     if !m.tec.approx_eq(spent, 1e-6) {
-        fail!(errs, "TEC bookkeeping {} != recomputed {spent}", m.tec);
+        fail!(
+            errs,
+            Invariant::Bookkeeping,
+            None,
+            None,
+            "TEC bookkeeping {} != recomputed {spent}",
+            m.tec
+        );
     }
     if let Err(e) = state.ledger().check_invariants() {
-        fail!(errs, "ledger invariant violated: {e}");
+        fail!(errs, Invariant::Ledger, None, None, "ledger invariant violated: {e}");
     }
 
     errs
@@ -290,16 +490,24 @@ mod tests {
             not_before: Time::ZERO,
         });
         st.commit(&plan);
-        // Clone the schedule and tamper with an assignment's duration.
+        // Tamper with every assignment's duration on a schedule copy —
+        // no lookup needed, so no unwrap on the tamper path.
         let mut tampered = st.schedule().clone();
-        let a = *tampered.assignment(t).unwrap();
-        tampered.unmap(t);
-        tampered.assign(crate::schedule::Assignment {
-            dur: a.dur + adhoc_grid::units::Dur(1),
-            ..a
-        });
+        let originals: Vec<_> = tampered.assignments().copied().collect();
+        for a in originals {
+            tampered.unmap(a.task);
+            tampered.assign(crate::schedule::Assignment {
+                dur: a.dur + adhoc_grid::units::Dur(1),
+                ..a
+            });
+        }
         let errs = validate_schedule(&sc, &tampered);
-        assert!(errs.iter().any(|e| e.0.contains("exec duration")));
+        let hit = errs
+            .iter()
+            .find(|e| e.invariant == Invariant::ExecPhysics)
+            .expect("tampered duration not caught");
+        assert_eq!(hit.task, Some(t));
+        assert_eq!(hit.machine, Some(MachineId(0)));
     }
 
     #[test]
@@ -318,11 +526,15 @@ mod tests {
             });
             st.commit(&p);
         }
-        let child = *st
+        // All roots are mapped, so any remaining ready task has parents;
+        // the paper DAG always has edges, so one exists.
+        let Some(&child) = st
             .ready_tasks()
             .iter()
             .find(|&&t| !sc.dag.parents(t).is_empty())
-            .unwrap();
+        else {
+            panic!("generated DAG has no edges to test against");
+        };
         let plan = st.plan(child, Version::Primary, MachineId(0), Placement::Append {
             not_before: Time::ZERO,
         });
@@ -332,6 +544,10 @@ mod tests {
         let parent = sc.dag.parents(child)[0];
         tampered.unmap(parent);
         let errs = validate_schedule(&sc, &tampered);
-        assert!(errs.iter().any(|e| e.0.contains("parent")), "{errs:?}");
+        let hit = errs
+            .iter()
+            .find(|e| e.invariant == Invariant::Precedence)
+            .expect("missing parent not caught");
+        assert_eq!(hit.task, Some(child), "{errs:?}");
     }
 }

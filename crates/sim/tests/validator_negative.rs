@@ -13,7 +13,7 @@ use adhoc_grid::workload::Scenario;
 use gridsim::plan::Placement;
 use gridsim::schedule::{Assignment, Schedule, Transfer};
 use gridsim::state::SimState;
-use gridsim::validate::validate_schedule;
+use gridsim::validate::{validate_schedule, Invariant};
 
 fn t(i: usize) -> TaskId {
     TaskId(i)
@@ -83,7 +83,11 @@ fn machine_overlap_is_caught() {
     s.assign(exec(0, 0, 0));
     s.assign(exec(1, 0, 5)); // overlaps [0,10) on m0
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("compute overlap")), "{errs:?}");
+    assert!(
+        errs.iter()
+            .any(|e| e.invariant == Invariant::ComputeExclusive && e.machine == Some(m(0))),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -99,7 +103,10 @@ fn tx_link_overlap_is_caught() {
     s.assign(exec(3, 1, 40));
     let errs = validate_schedule(&sc, &s);
     assert!(
-        errs.iter().any(|e| e.0.contains("tx overlap") || e.0.contains("rx overlap")),
+        errs.iter().any(|e| matches!(
+            e.invariant,
+            Invariant::TxExclusive | Invariant::RxExclusive
+        )),
         "{errs:?}"
     );
 }
@@ -112,7 +119,11 @@ fn transfer_before_parent_finish_is_caught() {
     s.add_transfer(transfer(0, 1, 0, 1, 5)); // starts at 5!
     s.assign(exec(1, 1, 11));
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("before") && e.0.contains("finishes")), "{errs:?}");
+    assert!(
+        errs.iter()
+            .any(|e| e.invariant == Invariant::Precedence && e.task == Some(t(1))),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -123,7 +134,12 @@ fn start_before_arrival_is_caught() {
     s.add_transfer(transfer(0, 1, 0, 1, 10)); // arrives at 11
     s.assign(exec(1, 1, 10)); // starts before the data arrived
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("arrives")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.invariant == Invariant::Precedence
+            && e.task == Some(t(1))
+            && e.detail.contains("arrives")),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -133,7 +149,12 @@ fn missing_transfer_is_caught() {
     s.assign(exec(0, 0, 0));
     s.assign(exec(1, 1, 20)); // cross-machine child with no transfer
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("missing transfer")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.invariant == Invariant::TransferTopology
+            && e.task == Some(t(1))
+            && e.detail.contains("missing")),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -144,7 +165,11 @@ fn spurious_same_machine_transfer_is_caught() {
     s.add_transfer(transfer(0, 1, 0, 0, 10)); // same-machine "transfer"
     s.assign(exec(1, 0, 12));
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("spurious")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.invariant == Invariant::TransferTopology
+            && e.detail.contains("spurious")),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -158,7 +183,11 @@ fn wrong_transfer_size_is_caught() {
     s.add_transfer(tr);
     s.assign(exec(1, 1, 12));
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("size")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.invariant == Invariant::TransferPhysics
+            && e.detail.contains("size")),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -175,7 +204,11 @@ fn battery_overdraw_is_caught() {
     // the overdraw one specifically.
     s.assign(a);
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("overdrawn")), "{errs:?}");
+    assert!(
+        errs.iter()
+            .any(|e| e.invariant == Invariant::Battery && e.machine == Some(m(0))),
+        "{errs:?}"
+    );
 }
 
 #[test]
@@ -187,7 +220,11 @@ fn duplicate_transfer_is_caught() {
     s.add_transfer(transfer(0, 1, 0, 1, 12));
     s.assign(exec(1, 1, 14));
     let errs = validate_schedule(&sc, &s);
-    assert!(errs.iter().any(|e| e.0.contains("duplicate transfer")), "{errs:?}");
+    assert!(
+        errs.iter().any(|e| e.invariant == Invariant::TransferTopology
+            && e.detail.contains("duplicate")),
+        "{errs:?}"
+    );
 }
 
 /// Positive control for the planner: a child with two parents on two

@@ -1,0 +1,50 @@
+//! # stress — the deterministic churn-fuzzing harness
+//!
+//! The paper's central claim is robustness under ad hoc grid dynamics:
+//! machines join and drop mid-run at unanticipated times (§I, §III, §V).
+//! This crate hammers exactly that path. From a single `u64` seed it
+//! deterministically generates a randomized scenario (grid case, CVB ETC
+//! matrix, DAG shape, data-item sizes, deadline, clock step, horizon,
+//! objective weights) paired with an adversarial churn trace (machine
+//! losses and arrivals at arbitrary ticks, including losses during
+//! in-flight transfers and loss + arrival on the same tick), runs every
+//! registered heuristic through it, and checks two oracle families:
+//!
+//! * **invariant oracles** ([`oracle`]) — the independent validator
+//!   (`gridsim::validate`), the churn validators (nothing touches a lost
+//!   machine after its loss or an arriving machine before its arrival),
+//!   battery conservation replayed event-by-event against the trace
+//!   (never negative, never above the ledger's committed total), the
+//!   receding-horizon gate on every SLRH commit, and the objective
+//!   recomputed from the schedule alone;
+//! * **differential oracles** ([`runner`]) — fresh `RunContext` vs
+//!   reused, incremental `PoolCache` vs from-scratch pool builds, fresh
+//!   vs reused baseline state buffers, and the heuristic registry under
+//!   a 1-thread vs 4-thread rayon pool: all byte-identical, compared on
+//!   bit-exact (`f64::to_bits`) canonical signatures.
+//!
+//! A failing seed is shrunk ([`shrink`]) to a minimal reproducer — churn
+//! events dropped one at a time, the DAG pruned by walking `|T|` down a
+//! ladder (the generator derives the DAG from `|T|`, so shrinking the
+//! task count prunes DAG suffixes), the deadline tightened — and the
+//! result is persisted under `crates/stress/corpus/` in a line-oriented
+//! text codec ([`spec`]) with floats stored as exact bit patterns.
+//! Every corpus file replays as a regression test (`tests/corpus_replay`).
+//!
+//! The CLI (`cargo run -p stress -- --seeds N [--ticks-budget B]`) runs a
+//! seed campaign; the same seed always produces the same scenario and the
+//! same verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;
+pub mod spec;
+
+pub use gen::generate;
+pub use runner::{run_seed, RunReport};
+pub use shrink::shrink;
+pub use spec::{CaseSpec, ChurnEvent};

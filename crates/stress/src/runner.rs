@@ -1,0 +1,369 @@
+//! Case execution: every registered heuristic through one fuzz case,
+//! invariant oracles on each final state and differential oracles across
+//! independently-produced arms.
+//!
+//! Differential arms per case:
+//!
+//! * **fresh vs reused context** — `run_slrh_churn` on a throwaway
+//!   [`RunContext`] against `run_slrh_churn_in` on the campaign's
+//!   long-lived context. The context recycles buffers across *every*
+//!   case of the campaign, so a single stale carry-over anywhere shows
+//!   up as a signature mismatch here.
+//! * **incremental pool cache vs from-scratch pools** — the same run
+//!   with [`SlrhConfig::without_pool_cache`]. Schedules, metrics and
+//!   disruption logs must be identical, and the work counters must
+//!   satisfy `cached.candidates + cached.cache_hits == scratch.candidates`.
+//! * **fresh vs reused state buffers** for every static baseline.
+//! * **1-thread vs 4-thread** execution of the whole heuristic registry
+//!   under forced rayon pools.
+//!
+//! All comparisons are byte-exact on canonical signatures: schedules
+//! sorted by task / edge, every float rendered as its `f64` bit pattern,
+//! no wall-clock anywhere.
+
+use std::fmt::Write as _;
+
+use grid_baselines::{
+    run_greedy, run_greedy_in, run_heft, run_heft_in, run_lr_list, run_lr_list_in, run_maxmax,
+    run_maxmax_in, run_mct, run_mct_in, run_minmin, run_minmin_in, run_olb, run_olb_in,
+    LrListConfig, StaticOutcome,
+};
+use grid_sweep::heuristic::Heuristic;
+use gridsim::metrics::Metrics;
+use gridsim::schedule::Schedule;
+use lagrange::weights::Objective;
+use rayon::prelude::*;
+use slrh::{
+    run_slrh_churn, run_slrh_churn_in, DynamicOutcome, RunContext, RunStats, SlrhVariant,
+};
+
+use crate::oracle;
+use crate::spec::CaseSpec;
+
+/// The verdict of one fuzz case.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The case's fuzz seed.
+    pub seed: u64,
+    /// Every oracle failure, sorted and deduplicated. Empty = pass.
+    pub failures: Vec<String>,
+    /// Compact deterministic fingerprint over every arm's canonical
+    /// signature — two runs of the same case must produce the same value.
+    pub signature: String,
+    /// Total SLRH clock steps across the case (the `--ticks-budget`
+    /// currency).
+    pub clock_steps: u64,
+}
+
+impl RunReport {
+    /// True when every oracle passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run one fuzz case: every heuristic, every oracle.
+///
+/// `ctx` should be the campaign's long-lived context — its reuse across
+/// cases is itself under test.
+pub fn run_seed(spec: &CaseSpec, ctx: &mut RunContext) -> RunReport {
+    if let Err(e) = spec.check() {
+        return RunReport {
+            seed: spec.seed,
+            failures: vec![format!("spec: {e}")],
+            signature: String::new(),
+            clock_steps: 0,
+        };
+    }
+
+    let sc = spec.scenario();
+    let losses = spec.loss_events();
+    let arrivals = spec.arrival_events();
+    let weights = spec.weights();
+
+    let mut failures = Vec::new();
+    let mut fingerprint = Fnv::new();
+    let mut clock_steps = 0u64;
+
+    // --- SLRH churn arms -------------------------------------------------
+    for variant in [SlrhVariant::V1, SlrhVariant::V2, SlrhVariant::V3] {
+        let tag = format!("slrh-{variant:?}");
+        let config = spec.config(variant);
+
+        let fresh = run_slrh_churn(&sc, &config, &losses, &arrivals);
+        let reused = run_slrh_churn_in(&sc, &config, &losses, &arrivals, ctx);
+        let fresh_sig = dynamic_signature(&fresh, true);
+        let reused_sig = dynamic_signature(&reused, true);
+        if fresh_sig != reused_sig {
+            failures.push(format!(
+                "{tag}: differential-context: fresh and reused-context runs diverge"
+            ));
+        }
+
+        let scratch_cfg = config.without_pool_cache();
+        let scratch = run_slrh_churn_in(&sc, &scratch_cfg, &losses, &arrivals, ctx);
+        if dynamic_signature(&fresh, false) != dynamic_signature(&scratch, false) {
+            failures.push(format!(
+                "{tag}: differential-poolcache: cached and from-scratch runs diverge"
+            ));
+        }
+        if let Some(f) = accounting_identity(&tag, &fresh.stats, &scratch.stats) {
+            failures.push(f);
+        }
+
+        for f in oracle::check_all(&fresh.state, weights, Some(&config), &losses, &arrivals) {
+            failures.push(format!("{tag}: {f}"));
+        }
+
+        clock_steps += fresh.stats.clock_steps;
+        fingerprint.update(&fresh_sig);
+        ctx.reclaim(reused.state);
+        ctx.reclaim(scratch.state);
+        ctx.reclaim(fresh.state);
+    }
+
+    // --- static baselines: fresh vs reused state buffers -----------------
+    let objective = Objective::paper(weights);
+    let lr_cfg = LrListConfig {
+        weights,
+        ..LrListConfig::default()
+    };
+    macro_rules! baseline_arm {
+        ($name:literal, $fresh:expr, $reused:expr) => {{
+            let fresh = $fresh;
+            let reused = $reused;
+            let fresh_sig = static_signature(&fresh);
+            if fresh_sig != static_signature(&reused) {
+                failures.push(format!(
+                    "{}: differential-buffers: fresh and reused-buffer runs diverge",
+                    $name
+                ));
+            }
+            for f in oracle::check_all(&fresh.state, weights, None, &[], &[]) {
+                failures.push(format!("{}: {f}", $name));
+            }
+            fingerprint.update(&fresh_sig);
+            ctx.reclaim(reused.state);
+            ctx.reclaim(fresh.state);
+        }};
+    }
+    baseline_arm!("greedy", run_greedy(&sc), run_greedy_in(&sc, ctx.buffers_mut()));
+    baseline_arm!("olb", run_olb(&sc), run_olb_in(&sc, ctx.buffers_mut()));
+    baseline_arm!("mct", run_mct(&sc), run_mct_in(&sc, ctx.buffers_mut()));
+    baseline_arm!("minmin", run_minmin(&sc), run_minmin_in(&sc, ctx.buffers_mut()));
+    baseline_arm!("heft", run_heft(&sc), run_heft_in(&sc, ctx.buffers_mut()));
+    baseline_arm!(
+        "maxmax",
+        run_maxmax(&sc, &objective),
+        run_maxmax_in(&sc, &objective, ctx.buffers_mut())
+    );
+    baseline_arm!(
+        "lrlist",
+        run_lr_list(&sc, &lr_cfg),
+        run_lr_list_in(&sc, &lr_cfg, ctx.buffers_mut())
+    );
+
+    // --- the registry under 1-thread and 4-thread rayon pools ------------
+    let registry = |threads: usize| -> Vec<String> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| {
+            Heuristic::ALL
+                .par_iter()
+                .map(|&h| {
+                    let r = h.run(&sc, weights);
+                    let mut s = format!("{} work={} valid={} ", h.name(), r.work, r.valid);
+                    push_metrics(&mut s, &r.metrics);
+                    s
+                })
+                .collect()
+        })
+    };
+    let single = registry(1);
+    let quad = registry(4);
+    for (a, b) in single.iter().zip(quad.iter()) {
+        if a != b {
+            failures.push(format!(
+                "registry: differential-threads: 1-thread and 4-thread runs diverge on {}",
+                a.split(' ').next().unwrap_or("?")
+            ));
+        }
+    }
+    for line in &single {
+        fingerprint.update(line);
+    }
+
+    failures.sort();
+    failures.dedup();
+    RunReport {
+        seed: spec.seed,
+        failures,
+        signature: format!("{:016x}", fingerprint.finish()),
+        clock_steps,
+    }
+}
+
+/// The pool-cache work-accounting identity: every candidate the cached
+/// run served from its cache is a candidate the from-scratch run had to
+/// replan, and the scratch run never hits a cache.
+fn accounting_identity(tag: &str, cached: &RunStats, scratch: &RunStats) -> Option<String> {
+    if scratch.pool_cache_hits != 0 {
+        return Some(format!(
+            "{tag}: accounting: scratch run reports {} cache hits with the cache disabled",
+            scratch.pool_cache_hits
+        ));
+    }
+    if cached.candidates_evaluated + cached.pool_cache_hits != scratch.candidates_evaluated {
+        return Some(format!(
+            "{tag}: accounting: cached {} evaluated + {} hits != scratch {} evaluated",
+            cached.candidates_evaluated, cached.pool_cache_hits, scratch.candidates_evaluated
+        ));
+    }
+    None
+}
+
+/// Canonical signature of a dynamic (churn) outcome. With `with_stats`
+/// the work counters are included (fresh-vs-reused-context must agree on
+/// everything); without, only schedule + metrics + disruptions (the
+/// pool-cache arms legitimately differ in work accounting).
+fn dynamic_signature(out: &DynamicOutcome<'_>, with_stats: bool) -> String {
+    let mut s = String::new();
+    push_schedule(&mut s, out.state.schedule());
+    push_metrics(&mut s, &out.state.metrics());
+    let _ = write!(s, "revision={} ", out.state.revision());
+    for (at, n) in &out.disruptions {
+        let _ = write!(s, "disruption={}@{} ", n, at.0);
+    }
+    if with_stats {
+        let st = &out.stats;
+        let _ = write!(
+            s,
+            "steps={} builds={} cand={} commits={} hits={} inval={} ",
+            st.clock_steps,
+            st.pool_builds,
+            st.candidates_evaluated,
+            st.commits,
+            st.pool_cache_hits,
+            st.pool_cache_invalidations,
+        );
+    }
+    s
+}
+
+/// Canonical signature of a static baseline outcome.
+fn static_signature(out: &StaticOutcome<'_>) -> String {
+    let mut s = String::new();
+    push_schedule(&mut s, out.state.schedule());
+    push_metrics(&mut s, &out.state.metrics());
+    let _ = write!(s, "cand={} ", out.candidates_evaluated);
+    s
+}
+
+fn push_schedule(s: &mut String, schedule: &Schedule) {
+    let mut assignments: Vec<_> = schedule.assignments().copied().collect();
+    assignments.sort_unstable_by_key(|a| a.task.0);
+    for a in assignments {
+        let _ = write!(
+            s,
+            "a:{}/{:?}@{} s={} d={} e={:016x} ",
+            a.task.0,
+            a.version,
+            a.machine.0,
+            a.start.0,
+            a.dur.0,
+            a.energy.units().to_bits(),
+        );
+    }
+    let mut transfers = schedule.transfers().to_vec();
+    transfers.sort_unstable_by_key(|t| (t.parent.0, t.child.0));
+    for t in transfers {
+        let _ = write!(
+            s,
+            "t:{}->{} {}=>{} s={} d={} sz={:016x} e={:016x} ",
+            t.parent.0,
+            t.child.0,
+            t.from.0,
+            t.to.0,
+            t.start.0,
+            t.dur.0,
+            t.size.value().to_bits(),
+            t.energy.units().to_bits(),
+        );
+    }
+}
+
+fn push_metrics(s: &mut String, m: &Metrics) {
+    let _ = write!(
+        s,
+        "m:tasks={} mapped={} t100={} aet={} tec={:016x} tse={:016x} tau={} ",
+        m.tasks,
+        m.mapped,
+        m.t100,
+        m.aet.0,
+        m.tec.units().to_bits(),
+        m.tse.units().to_bits(),
+        m.tau.0,
+    );
+}
+
+/// FNV-1a 64-bit, the fingerprint accumulator (no external hash deps).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, data: &str) {
+        for b in data.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn a_generated_case_runs_green() {
+        let spec = generate(1);
+        let mut ctx = RunContext::new();
+        let report = run_seed(&spec, &mut ctx);
+        assert!(report.passed(), "{:#?}", report.failures);
+        assert!(report.clock_steps > 0);
+    }
+
+    #[test]
+    fn verdict_and_signature_are_deterministic() {
+        let spec = generate(2);
+        let a = run_seed(&spec, &mut RunContext::new());
+        // A context warmed on a different case must not change anything.
+        let mut warmed = RunContext::new();
+        let _ = run_seed(&generate(3), &mut warmed);
+        let b = run_seed(&spec, &mut warmed);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.clock_steps, b.clock_steps);
+    }
+
+    #[test]
+    fn malformed_spec_reports_instead_of_panicking() {
+        let mut spec = generate(4);
+        spec.losses = (0..3)
+            .map(|m| crate::spec::ChurnEvent { machine: m, at: 5 })
+            .collect();
+        spec.case = adhoc_grid::config::GridCase::B;
+        let report = run_seed(&spec, &mut RunContext::new());
+        assert!(!report.passed());
+        assert!(report.failures[0].starts_with("spec:"), "{:?}", report.failures);
+    }
+}

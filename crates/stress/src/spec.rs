@@ -1,0 +1,355 @@
+//! The fuzz case specification and its corpus codec.
+//!
+//! A [`CaseSpec`] is everything one fuzz case needs: the scenario
+//! coordinates (task count, grid case, ETC/DAG suite ids, master seed,
+//! deadline), the SLRH knobs (ΔT, horizon, objective weights) and the
+//! churn trace (losses and arrivals). Specs are plain data — generation
+//! lives in [`crate::gen`], execution in [`crate::runner`].
+//!
+//! The codec is a line-oriented `key=value` text format so reproducers
+//! under `corpus/` diff cleanly in review. Floats are stored as exact
+//! `f64` bit patterns (hex), so a decoded spec re-runs bit-identically.
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::units::{Dur, Time};
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use lagrange::weights::Weights;
+use slrh::{MachineArrivalEvent, MachineLossEvent, SlrhConfig, SlrhVariant};
+
+/// One churn event: machine `machine` at tick `at`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChurnEvent {
+    /// Machine index within the scenario's grid.
+    pub machine: usize,
+    /// Event time, in ticks.
+    pub at: u64,
+}
+
+/// A fully-specified fuzz case.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CaseSpec {
+    /// The fuzz seed the case was generated from (0 for hand-written
+    /// corpus cases).
+    pub seed: u64,
+    /// Number of subtasks `|T|`.
+    pub tasks: usize,
+    /// Grid case (machine mix envelope).
+    pub case: GridCase,
+    /// ETC suite member.
+    pub etc_id: usize,
+    /// DAG suite member.
+    pub dag_id: usize,
+    /// Master seed for the workload generators.
+    pub master_seed: u64,
+    /// Deadline τ, in ticks.
+    pub tau: u64,
+    /// Clock step ΔT, in ticks.
+    pub dt: u64,
+    /// Receding horizon H, in ticks.
+    pub horizon: u64,
+    /// Objective weight α.
+    pub alpha: f64,
+    /// Objective weight β.
+    pub beta: f64,
+    /// Machine losses.
+    pub losses: Vec<ChurnEvent>,
+    /// Machine arrivals.
+    pub arrivals: Vec<ChurnEvent>,
+}
+
+impl CaseSpec {
+    /// Generate the case's scenario. Deterministic in the spec.
+    pub fn scenario(&self) -> Scenario {
+        let params = ScenarioParams::paper_scaled(self.tasks)
+            .with_seed(self.master_seed)
+            .with_tau(Time(self.tau));
+        Scenario::generate(&params, self.case, self.etc_id, self.dag_id)
+    }
+
+    /// The case's objective weights.
+    pub fn weights(&self) -> Weights {
+        Weights::new(self.alpha, self.beta).expect("spec carries valid weights")
+    }
+
+    /// The SLRH configuration for `variant`.
+    pub fn config(&self, variant: SlrhVariant) -> SlrhConfig {
+        SlrhConfig::paper(variant, self.weights())
+            .with_dt(Dur(self.dt))
+            .with_horizon(Dur(self.horizon))
+    }
+
+    /// The loss events, in spec order.
+    pub fn loss_events(&self) -> Vec<MachineLossEvent> {
+        self.losses
+            .iter()
+            .map(|e| MachineLossEvent {
+                machine: MachineId(e.machine),
+                at: Time(e.at),
+            })
+            .collect()
+    }
+
+    /// The arrival events, in spec order.
+    pub fn arrival_events(&self) -> Vec<MachineArrivalEvent> {
+        self.arrivals
+            .iter()
+            .map(|e| MachineArrivalEvent {
+                machine: MachineId(e.machine),
+                at: Time(e.at),
+            })
+            .collect()
+    }
+
+    /// Serialize to the corpus text format.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# stress corpus case (key=value; floats are f64 bit patterns)\n");
+        s.push_str("version=1\n");
+        s.push_str(&format!("seed={}\n", self.seed));
+        s.push_str(&format!("tasks={}\n", self.tasks));
+        s.push_str(&format!("case={}\n", case_name(self.case)));
+        s.push_str(&format!("etc_id={}\n", self.etc_id));
+        s.push_str(&format!("dag_id={}\n", self.dag_id));
+        s.push_str(&format!("master_seed={:#018x}\n", self.master_seed));
+        s.push_str(&format!("tau={}\n", self.tau));
+        s.push_str(&format!("dt={}\n", self.dt));
+        s.push_str(&format!("horizon={}\n", self.horizon));
+        s.push_str(&format!(
+            "alpha={:016x} # {}\n",
+            self.alpha.to_bits(),
+            self.alpha
+        ));
+        s.push_str(&format!("beta={:016x} # {}\n", self.beta.to_bits(), self.beta));
+        for e in &self.losses {
+            s.push_str(&format!("loss={}@{}\n", e.machine, e.at));
+        }
+        for e in &self.arrivals {
+            s.push_str(&format!("arrival={}@{}\n", e.machine, e.at));
+        }
+        s
+    }
+
+    /// Parse the corpus text format.
+    pub fn decode(text: &str) -> Result<CaseSpec, String> {
+        let mut seed = None;
+        let mut tasks = None;
+        let mut case = None;
+        let mut etc_id = None;
+        let mut dag_id = None;
+        let mut master_seed = None;
+        let mut tau = None;
+        let mut dt = None;
+        let mut horizon = None;
+        let mut alpha = None;
+        let mut beta = None;
+        let mut losses = Vec::new();
+        let mut arrivals = Vec::new();
+
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got {raw:?}", no + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ctx = |e: String| format!("line {}: {key}: {e}", no + 1);
+            match key {
+                "version" => {
+                    if value != "1" {
+                        return Err(format!("unsupported corpus version {value}"));
+                    }
+                }
+                "seed" => seed = Some(parse_u64(value).map_err(ctx)?),
+                "tasks" => tasks = Some(parse_u64(value).map_err(ctx)? as usize),
+                "case" => case = Some(parse_case(value).map_err(ctx)?),
+                "etc_id" => etc_id = Some(parse_u64(value).map_err(ctx)? as usize),
+                "dag_id" => dag_id = Some(parse_u64(value).map_err(ctx)? as usize),
+                "master_seed" => master_seed = Some(parse_u64(value).map_err(ctx)?),
+                "tau" => tau = Some(parse_u64(value).map_err(ctx)?),
+                "dt" => dt = Some(parse_u64(value).map_err(ctx)?),
+                "horizon" => horizon = Some(parse_u64(value).map_err(ctx)?),
+                "alpha" => alpha = Some(parse_f64_bits(value).map_err(ctx)?),
+                "beta" => beta = Some(parse_f64_bits(value).map_err(ctx)?),
+                "loss" => losses.push(parse_event(value).map_err(ctx)?),
+                "arrival" => arrivals.push(parse_event(value).map_err(ctx)?),
+                other => return Err(format!("line {}: unknown key {other:?}", no + 1)),
+            }
+        }
+
+        fn req<T>(name: &str, v: Option<T>) -> Result<T, String> {
+            v.ok_or_else(|| format!("missing {name}"))
+        }
+        Ok(CaseSpec {
+            seed: req("seed", seed)?,
+            tasks: req("tasks", tasks)?,
+            case: req("case", case)?,
+            etc_id: req("etc_id", etc_id)?,
+            dag_id: req("dag_id", dag_id)?,
+            master_seed: req("master_seed", master_seed)?,
+            tau: req("tau", tau)?,
+            dt: req("dt", dt)?,
+            horizon: req("horizon", horizon)?,
+            alpha: req("alpha", alpha)?,
+            beta: req("beta", beta)?,
+            losses,
+            arrivals,
+        })
+    }
+
+    /// Sanity-check the spec against the churn API's preconditions
+    /// (duplicate machines, losing the whole grid, loss before arrival),
+    /// so corpus edits fail with a message instead of a panic mid-run.
+    pub fn check(&self) -> Result<(), String> {
+        let grid_len = match self.case {
+            GridCase::A => 4,
+            GridCase::B | GridCase::C => 3,
+        };
+        if self.tasks == 0 {
+            return Err("tasks must be positive".into());
+        }
+        if self.dt == 0 || self.horizon == 0 {
+            return Err("dt and horizon must be positive".into());
+        }
+        if Weights::new(self.alpha, self.beta).is_err() {
+            return Err(format!("invalid weights ({}, {})", self.alpha, self.beta));
+        }
+        if self.losses.len() >= grid_len {
+            return Err("cannot lose every machine".into());
+        }
+        for (list, what) in [(&self.losses, "loss"), (&self.arrivals, "arrival")] {
+            for e in list.iter() {
+                if e.machine >= grid_len {
+                    return Err(format!("{what} names machine {} of {grid_len}", e.machine));
+                }
+            }
+            let mut ms: Vec<usize> = list.iter().map(|e| e.machine).collect();
+            ms.sort_unstable();
+            ms.dedup();
+            if ms.len() != list.len() {
+                return Err(format!("duplicate {what} machine"));
+            }
+        }
+        for a in &self.arrivals {
+            if let Some(l) = self.losses.iter().find(|l| l.machine == a.machine) {
+                if a.at >= l.at {
+                    return Err(format!(
+                        "machine {} lost at {} before arriving at {}",
+                        a.machine, l.at, a.at
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stable name of a grid case.
+pub fn case_name(case: GridCase) -> &'static str {
+    match case {
+        GridCase::A => "A",
+        GridCase::B => "B",
+        GridCase::C => "C",
+    }
+}
+
+fn parse_case(s: &str) -> Result<GridCase, String> {
+    match s {
+        "A" => Ok(GridCase::A),
+        "B" => Ok(GridCase::B),
+        "C" => Ok(GridCase::C),
+        other => Err(format!("unknown grid case {other:?}")),
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
+        None => s.parse(),
+    };
+    r.map_err(|e| format!("bad integer {s:?}: {e}"))
+}
+
+fn parse_f64_bits(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bit pattern {s:?}: {e}"))
+}
+
+fn parse_event(s: &str) -> Result<ChurnEvent, String> {
+    let (m, at) = s
+        .split_once('@')
+        .ok_or_else(|| format!("expected machine@tick, got {s:?}"))?;
+    Ok(ChurnEvent {
+        machine: parse_u64(m.trim())? as usize,
+        at: parse_u64(at.trim())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CaseSpec {
+        CaseSpec {
+            seed: 7,
+            tasks: 16,
+            case: GridCase::B,
+            etc_id: 2,
+            dag_id: 1,
+            master_seed: 0xDEAD_BEEF_1234_5678,
+            tau: 5_000,
+            dt: 5,
+            horizon: 100,
+            alpha: 0.55,
+            beta: 0.2,
+            losses: vec![ChurnEvent { machine: 1, at: 333 }],
+            arrivals: vec![ChurnEvent { machine: 2, at: 333 }],
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let spec = sample();
+        let decoded = CaseSpec::decode(&spec.encode()).expect("decode");
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.alpha.to_bits(), spec.alpha.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(CaseSpec::decode("tasks=abc").is_err());
+        assert!(CaseSpec::decode("nonsense\n").is_err());
+        assert!(CaseSpec::decode("unknown_key=1\n").is_err());
+        // Missing required keys.
+        assert!(CaseSpec::decode("seed=1\n").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn check_catches_api_preconditions() {
+        let mut spec = sample();
+        assert_eq!(spec.check(), Ok(()));
+        spec.losses = vec![
+            ChurnEvent { machine: 0, at: 1 },
+            ChurnEvent { machine: 1, at: 2 },
+            ChurnEvent { machine: 2, at: 3 },
+        ];
+        assert!(spec.check().unwrap_err().contains("every machine"));
+        let mut spec = sample();
+        spec.arrivals = vec![ChurnEvent { machine: 1, at: 400 }];
+        assert!(spec.check().unwrap_err().contains("before arriving"));
+    }
+
+    #[test]
+    fn scenario_generation_is_deterministic() {
+        let spec = sample();
+        let a = spec.scenario();
+        let b = spec.scenario();
+        assert_eq!(a.etc, b.etc);
+        assert_eq!(a.dag, b.dag);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.tau, Time(5_000));
+        assert_eq!(a.grid.len(), 3);
+    }
+}
