@@ -1,0 +1,430 @@
+//! Shared job execution: one function per job type, used by both the
+//! daemon's workers and the one-shot CLI.
+//!
+//! This is where the broker's byte-identity guarantee comes from: the
+//! daemon does not re-implement `lrh-grid run` — both call
+//! [`execute_map`] on the same [`MapRequest`], so the report a client
+//! receives over the wire is the same bytes the CLI would print
+//! locally. Reports are deterministic by construction: they carry only
+//! quantities that are functions of the request (metrics, work
+//! counters), never wall-clock times or thread identities.
+
+use adhoc_grid::io::kv;
+use gridsim::metrics::Metrics;
+use gridsim::validate::validate;
+use grid_sweep::campaign::{canonical_report, run_case_unit, CampaignConfig, CaseRow};
+use grid_sweep::heuristic::Heuristic;
+use adhoc_grid::workload::{ScenarioParams, ScenarioSet};
+use slrh::{
+    run_slrh_churn_observed, run_slrh_observed, RunContext, SlrhVariant, TickEvent,
+};
+
+use crate::checkpoint::Checkpoint;
+use crate::proto::{CampaignRequest, CampaignResponse, Event, MapRequest, MapResponse};
+
+/// The SLRH variant behind a heuristic, when there is one.
+fn slrh_variant(h: Heuristic) -> Option<SlrhVariant> {
+    match h {
+        Heuristic::Slrh1 => Some(SlrhVariant::V1),
+        Heuristic::Slrh2 => Some(SlrhVariant::V2),
+        Heuristic::Slrh3 => Some(SlrhVariant::V3),
+        _ => None,
+    }
+}
+
+/// Reject a request whose churn trace the churn API would panic on:
+/// out-of-range machines, duplicate machines, losing the whole grid, or
+/// an arrival at/after the same machine's loss.
+fn validate_churn(req: &MapRequest, grid_len: usize) -> Result<(), String> {
+    if req.losses.len() >= grid_len && !req.losses.is_empty() {
+        return Err("cannot lose every machine".into());
+    }
+    for (list, what) in [(&req.losses, "loss"), (&req.arrivals, "arrival")] {
+        for &(machine, _) in list.iter() {
+            if machine >= grid_len {
+                return Err(format!("{what} names machine {machine} of {grid_len}"));
+            }
+        }
+        let mut ms: Vec<usize> = list.iter().map(|&(m, _)| m).collect();
+        ms.sort_unstable();
+        ms.dedup();
+        if ms.len() != list.len() {
+            return Err(format!("duplicate {what} machine"));
+        }
+    }
+    for &(machine, at) in &req.arrivals {
+        if let Some(&(_, lost)) = req.losses.iter().find(|&&(m, _)| m == machine) {
+            if at >= lost {
+                return Err(format!(
+                    "machine {machine} lost at {lost} before arriving at {at}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The run-dependent fields of a report, bundled so call sites read as
+/// a literal instead of a positional argument list.
+struct ReportBody<'a> {
+    metrics: &'a Metrics,
+    case: adhoc_grid::config::GridCase,
+    clock_steps: u64,
+    commits: u64,
+    candidates: u64,
+    disruptions: &'a [(u64, usize)],
+    valid: bool,
+}
+
+/// Render the deterministic report for a finished mapping run.
+fn render_report(req: &MapRequest, body: &ReportBody) -> String {
+    let ReportBody {
+        metrics: m,
+        case,
+        clock_steps,
+        commits,
+        candidates,
+        disruptions,
+        valid,
+    } = *body;
+    let mut s = String::new();
+    s.push_str("lrh-grid report v1\n");
+    s.push_str(&format!("label={}\n", req.label));
+    s.push_str(&format!("heuristic={}\n", req.heuristic));
+    s.push_str(&format!("config={}\n", req.config));
+    s.push_str(&format!("case={case}\n"));
+    s.push_str(&format!("tasks={}\n", m.tasks));
+    s.push_str(&format!("tau={}\n", m.tau.0));
+    s.push_str(&format!("mapped={}/{}\n", m.mapped, m.tasks));
+    s.push_str(&format!("t100={}\n", m.t100));
+    s.push_str(&format!("aet={}\n", m.aet.0));
+    s.push_str(&format!("tec={}\n", kv::format_f64(m.tec.units())));
+    s.push_str(&format!("tse={}\n", kv::format_f64(m.tse.units())));
+    s.push_str(&format!(
+        "constraints={}\n",
+        if m.constraints_met() { "met" } else { "violated" }
+    ));
+    s.push_str(&format!("valid={}\n", if valid { "yes" } else { "no" }));
+    s.push_str(&format!("clock-steps={clock_steps}\n"));
+    s.push_str(&format!("commits={commits}\n"));
+    s.push_str(&format!("candidates={candidates}\n"));
+    if !disruptions.is_empty() {
+        let invalidated: usize = disruptions.iter().map(|&(_, n)| n).sum();
+        s.push_str(&format!("disruptions={}\n", disruptions.len()));
+        s.push_str(&format!("invalidated={invalidated}\n"));
+    }
+    s
+}
+
+/// Execute a mapping job, streaming progress through `emit` (tick and
+/// disruption events only — queue lifecycle events belong to the
+/// server). Returns the job's deterministic report.
+pub fn execute_map(
+    job: u64,
+    req: &MapRequest,
+    ctx: &mut RunContext,
+    emit: &mut dyn FnMut(Event),
+) -> Result<MapResponse, String> {
+    let scenario = req.scenario.build()?;
+    let case = scenario.case;
+    let variant = slrh_variant(req.heuristic);
+
+    let report = match variant {
+        Some(variant) => {
+            if req.config.variant != variant {
+                return Err(format!(
+                    "config names {} but the requested heuristic is {}",
+                    req.config.variant, req.heuristic
+                ));
+            }
+            validate_churn(req, scenario.grid.len())?;
+            let mut observer = |t: TickEvent| {
+                emit(Event::Tick {
+                    job,
+                    clock: t.clock.0,
+                    tick: t.tick,
+                    mapped: t.mapped,
+                    commits: t.commits,
+                })
+            };
+            if req.losses.is_empty() && req.arrivals.is_empty() {
+                let out = run_slrh_observed(&scenario, &req.config, ctx, &mut observer);
+                let valid = validate(&out.state).is_empty();
+                let report = render_report(
+                    req,
+                    &ReportBody {
+                        metrics: &out.state.metrics(),
+                        case,
+                        clock_steps: out.stats.clock_steps,
+                        commits: out.stats.commits,
+                        candidates: out.stats.candidates_evaluated,
+                        disruptions: &[],
+                        valid,
+                    },
+                );
+                ctx.reclaim(out.state);
+                report
+            } else {
+                let losses = req.loss_events();
+                let arrivals = req.arrival_events();
+                let out = run_slrh_churn_observed(
+                    &scenario,
+                    &req.config,
+                    &losses,
+                    &arrivals,
+                    ctx,
+                    &mut observer,
+                );
+                let disruptions: Vec<(u64, usize)> = out
+                    .disruptions
+                    .iter()
+                    .map(|&(at, n)| (at.0, n))
+                    .collect();
+                for &(at, invalidated) in &disruptions {
+                    emit(Event::Disruption {
+                        job,
+                        at,
+                        invalidated,
+                    });
+                }
+                let valid = validate(&out.state).is_empty();
+                let report = render_report(
+                    req,
+                    &ReportBody {
+                        metrics: &out.state.metrics(),
+                        case,
+                        clock_steps: out.stats.clock_steps,
+                        commits: out.stats.commits,
+                        candidates: out.stats.candidates_evaluated,
+                        disruptions: &disruptions,
+                        valid,
+                    },
+                );
+                ctx.reclaim(out.state);
+                report
+            }
+        }
+        None => {
+            if !req.losses.is_empty() || !req.arrivals.is_empty() {
+                return Err(format!(
+                    "churn events need an SLRH heuristic, not {}",
+                    req.heuristic
+                ));
+            }
+            let r = req
+                .heuristic
+                .run_in(&scenario, req.config.objective.weights, ctx);
+            render_report(
+                req,
+                &ReportBody {
+                    metrics: &r.metrics,
+                    case,
+                    clock_steps: 0,
+                    commits: 0,
+                    candidates: r.work,
+                    disruptions: &[],
+                    valid: r.valid,
+                },
+            )
+        }
+    };
+    Ok(MapResponse { job, report })
+}
+
+/// Execute a campaign batch job, one [`run_case_unit`] per
+/// (heuristic, case) cell, emitting a [`Event::Unit`] after each and
+/// recording it in the checkpoint (when one was requested) so a killed
+/// daemon resumes at the first unit without a row.
+pub fn execute_campaign(
+    job: u64,
+    req: &CampaignRequest,
+    emit: &mut dyn FnMut(Event),
+) -> Result<CampaignResponse, String> {
+    if req.tasks == 0 {
+        return Err("tasks must be positive".into());
+    }
+    if !(req.coarse > 0.0 && req.fine > 0.0) {
+        return Err("search steps must be positive".into());
+    }
+    let cfg = CampaignConfig {
+        set: ScenarioSet::new(ScenarioParams::paper_scaled(req.tasks), req.etc_count, req.dag_count),
+        heuristics: req.heuristics.clone(),
+        cases: req.cases.clone(),
+        coarse: req.coarse,
+        fine: req.fine,
+    };
+    let units = req.units();
+    let mut checkpoint = match &req.checkpoint {
+        Some(path) => Some(Checkpoint::open(path, &req.fingerprint())?),
+        None => None,
+    };
+    let mut rows: Vec<CaseRow> = checkpoint
+        .as_ref()
+        .map(|cp| cp.rows().to_vec())
+        .unwrap_or_default();
+    if rows.len() > units.len() {
+        return Err(format!(
+            "checkpoint records {} units but the campaign has {}",
+            rows.len(),
+            units.len()
+        ));
+    }
+    let resumed = rows.len();
+
+    // One warm timing context across the campaign's units — the same
+    // regime as `run_campaign`, which this loop mirrors unit by unit.
+    let mut timing_ctx = RunContext::new();
+    for (index, &(h, case)) in units.iter().enumerate().skip(resumed) {
+        let row = run_case_unit(&cfg, h, case, &mut timing_ctx);
+        if let Some(cp) = checkpoint.as_mut() {
+            cp.record(&row)?;
+        }
+        emit(Event::Unit {
+            job,
+            index,
+            total: units.len(),
+            row: row.canonical(),
+        });
+        rows.push(row);
+    }
+
+    Ok(CampaignResponse {
+        job,
+        resumed,
+        report: canonical_report(&rows),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ScenarioSpec;
+    use adhoc_grid::config::GridCase;
+    use lagrange::weights::Weights;
+    use slrh::SlrhConfig;
+
+    fn request(h: Heuristic) -> MapRequest {
+        let variant = slrh_variant(h).unwrap_or(SlrhVariant::V1);
+        MapRequest {
+            client: "test".into(),
+            label: "t".into(),
+            heuristic: h,
+            config: SlrhConfig::paper(variant, Weights::new(0.5, 0.3).unwrap()),
+            scenario: ScenarioSpec::Generate {
+                tasks: 32,
+                case: GridCase::A,
+                etc: 0,
+                dag: 0,
+                seed: None,
+                tau: None,
+            },
+            losses: vec![],
+            arrivals: vec![],
+        }
+    }
+
+    #[test]
+    fn map_reports_are_deterministic_and_context_independent() {
+        for h in [Heuristic::Slrh1, Heuristic::MaxMax, Heuristic::Heft] {
+            let req = request(h);
+            let mut events_a = Vec::new();
+            let mut events_b = Vec::new();
+            let a = execute_map(1, &req, &mut RunContext::new(), &mut |e| events_a.push(e))
+                .unwrap();
+            // A warm, reused context must not change a single byte.
+            let mut warm = RunContext::new();
+            let _ = execute_map(9, &request(Heuristic::Slrh3), &mut warm, &mut |_| {});
+            let b = execute_map(1, &req, &mut warm, &mut |e| events_b.push(e)).unwrap();
+            assert_eq!(a.report, b.report, "{h}");
+            assert_eq!(events_a, events_b, "{h}");
+            assert!(a.report.contains("valid=yes"), "{}", a.report);
+        }
+    }
+
+    #[test]
+    fn slrh_map_streams_ticks() {
+        let req = request(Heuristic::Slrh1);
+        let mut events = Vec::new();
+        execute_map(3, &req, &mut RunContext::new(), &mut |e| events.push(e)).unwrap();
+        assert!(!events.is_empty());
+        let mut last_mapped = 0;
+        for e in &events {
+            let Event::Tick { job, mapped, .. } = e else {
+                panic!("unexpected event {e:?}")
+            };
+            assert_eq!(*job, 3);
+            assert!(*mapped >= last_mapped);
+            last_mapped = *mapped;
+        }
+    }
+
+    #[test]
+    fn churn_map_emits_disruptions() {
+        let mut req = request(Heuristic::Slrh1);
+        req.losses = vec![(1, 2_000)];
+        let mut saw_disruption = false;
+        let out = execute_map(4, &req, &mut RunContext::new(), &mut |e| {
+            if matches!(e, Event::Disruption { .. }) {
+                saw_disruption = true;
+            }
+        })
+        .unwrap();
+        assert!(saw_disruption);
+        assert!(out.report.contains("disruptions=1"), "{}", out.report);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let mut req = request(Heuristic::MaxMax);
+        req.losses = vec![(0, 100)];
+        assert!(execute_map(1, &req, &mut RunContext::new(), &mut |_| {})
+            .unwrap_err()
+            .contains("SLRH"));
+
+        let mut req = request(Heuristic::Slrh1);
+        req.losses = vec![(99, 100)];
+        assert!(execute_map(1, &req, &mut RunContext::new(), &mut |_| {})
+            .unwrap_err()
+            .contains("machine 99"));
+
+        let mut req = request(Heuristic::Slrh2);
+        req.config.variant = SlrhVariant::V1;
+        assert!(execute_map(1, &req, &mut RunContext::new(), &mut |_| {})
+            .unwrap_err()
+            .contains("config names"));
+    }
+
+    #[test]
+    fn campaign_matches_run_campaign() {
+        let req = CampaignRequest {
+            client: "test".into(),
+            label: "sweep".into(),
+            tasks: 32,
+            etc_count: 1,
+            dag_count: 2,
+            heuristics: vec![Heuristic::Slrh1, Heuristic::MaxMax],
+            cases: vec![GridCase::A],
+            coarse: 0.25,
+            fine: 0.25,
+            checkpoint: None,
+        };
+        let mut unit_events = 0;
+        let out = execute_campaign(5, &req, &mut |e| {
+            assert!(matches!(e, Event::Unit { .. }));
+            unit_events += 1;
+        })
+        .unwrap();
+        assert_eq!(unit_events, 2);
+        assert_eq!(out.resumed, 0);
+
+        let cfg = CampaignConfig {
+            set: ScenarioSet::new(ScenarioParams::paper_scaled(32), 1, 2),
+            heuristics: req.heuristics.clone(),
+            cases: req.cases.clone(),
+            coarse: 0.25,
+            fine: 0.25,
+        };
+        let rows = grid_sweep::campaign::run_campaign(&cfg);
+        assert_eq!(out.report, canonical_report(&rows));
+    }
+}

@@ -1,0 +1,894 @@
+//! The typed message layer of the broker wire protocol.
+//!
+//! Every message is one [`Frame`] (`adhoc_grid::io::wire`); this module
+//! decides which kinds and keys exist and converts between frames and
+//! typed Rust values. Each type round-trips:
+//! `from_frame(&to_frame(&m)) == m`, property-tested in
+//! `tests/proptest_wire_roundtrip.rs` and fuzzed by the stress harness.
+//!
+//! Scalar values reuse the workspace's stable `Display`/`FromStr`
+//! pairs — [`Heuristic`], [`GridCase`], [`SlrhConfig`] (which carries
+//! the weights bit-exactly) — so a value printed on either side of the
+//! wire re-parses to the identical value on the other.
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::io::kv::{self, KvError};
+use adhoc_grid::io::wire::Frame;
+use adhoc_grid::units::Time;
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use grid_sweep::heuristic::Heuristic;
+use slrh::{MachineArrivalEvent, MachineLossEvent, SlrhConfig};
+
+/// Frame kind of [`MapRequest`].
+pub const KIND_MAP_REQUEST: &str = "map-request";
+/// Frame kind of [`CampaignRequest`].
+pub const KIND_CAMPAIGN_REQUEST: &str = "campaign-request";
+/// Frame kind of [`StatusRequest`].
+pub const KIND_STATUS_REQUEST: &str = "status-request";
+/// Frame kind of the shutdown request.
+pub const KIND_SHUTDOWN_REQUEST: &str = "shutdown-request";
+/// Frame kind of [`Event`].
+pub const KIND_EVENT: &str = "event";
+/// Frame kind of [`MapResponse`].
+pub const KIND_MAP_RESPONSE: &str = "map-response";
+/// Frame kind of [`CampaignResponse`].
+pub const KIND_CAMPAIGN_RESPONSE: &str = "campaign-response";
+/// Frame kind of [`StatusResponse`].
+pub const KIND_STATUS_RESPONSE: &str = "status-response";
+/// Frame kind of [`ErrorResponse`].
+pub const KIND_ERROR: &str = "error";
+/// Frame kind of the shutdown acknowledgement.
+pub const KIND_OK: &str = "ok";
+
+fn bad<T>(msg: impl Into<String>) -> Result<T, KvError> {
+    kv::err(0, msg)
+}
+
+fn expect_kind(frame: &Frame, kind: &str) -> Result<(), KvError> {
+    if frame.kind == kind {
+        Ok(())
+    } else {
+        bad(format!("expected a {kind} frame, got {:?}", frame.kind))
+    }
+}
+
+/// How a request names its workload.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScenarioSpec {
+    /// Generate deterministically from suite coordinates (the same
+    /// parameters `lrh-grid run` takes).
+    Generate {
+        /// Subtask count `|T|` (paper-scaled parameters).
+        tasks: usize,
+        /// Grid case.
+        case: GridCase,
+        /// ETC suite member.
+        etc: usize,
+        /// DAG suite member.
+        dag: usize,
+        /// Master seed override (default: the paper-scaled default).
+        seed: Option<u64>,
+        /// Deadline override in ticks (default: paper-scaled τ).
+        tau: Option<u64>,
+    },
+    /// A workload previously exported with `lrh-grid export`
+    /// (`adhoc_grid::io` text), carried verbatim in a raw block.
+    Inline(String),
+}
+
+impl ScenarioSpec {
+    /// Materialize the scenario. Deterministic in the spec.
+    pub fn build(&self) -> Result<Scenario, String> {
+        match self {
+            ScenarioSpec::Generate {
+                tasks,
+                case,
+                etc,
+                dag,
+                seed,
+                tau,
+            } => {
+                if *tasks == 0 {
+                    return Err("tasks must be positive".into());
+                }
+                let mut params = ScenarioParams::paper_scaled(*tasks);
+                if let Some(seed) = seed {
+                    params = params.with_seed(*seed);
+                }
+                if let Some(tau) = tau {
+                    params = params.with_tau(Time(*tau));
+                }
+                Ok(Scenario::generate(&params, *case, *etc, *dag))
+            }
+            ScenarioSpec::Inline(text) => {
+                adhoc_grid::io::read(text).map_err(|e| format!("inline scenario: {e}"))
+            }
+        }
+    }
+
+    fn encode_into(&self, f: &mut Frame) {
+        match self {
+            ScenarioSpec::Generate {
+                tasks,
+                case,
+                etc,
+                dag,
+                seed,
+                tau,
+            } => {
+                f.push("tasks", tasks.to_string())
+                    .push("case", case.to_string())
+                    .push("etc", etc.to_string())
+                    .push("dag", dag.to_string());
+                if let Some(seed) = seed {
+                    f.push("seed", format!("0x{seed:016x}"));
+                }
+                if let Some(tau) = tau {
+                    f.push("tau", tau.to_string());
+                }
+            }
+            ScenarioSpec::Inline(text) => {
+                f.block("scenario", text.clone());
+            }
+        }
+    }
+
+    fn decode_from(frame: &Frame) -> Result<ScenarioSpec, KvError> {
+        if let Some(text) = frame.raw("scenario") {
+            return Ok(ScenarioSpec::Inline(text.to_string()));
+        }
+        let tasks = kv::parse_usize(frame.req("tasks")?).map_err(|e| KvError {
+            line: 0,
+            message: format!("tasks: {e}"),
+        })?;
+        let case: GridCase = frame
+            .req("case")?
+            .parse()
+            .map_err(|e| KvError { line: 0, message: e })?;
+        let etc = kv::parse_usize(frame.req("etc")?).map_err(|e| KvError {
+            line: 0,
+            message: format!("etc: {e}"),
+        })?;
+        let dag = kv::parse_usize(frame.req("dag")?).map_err(|e| KvError {
+            line: 0,
+            message: format!("dag: {e}"),
+        })?;
+        let seed = match frame.get("seed") {
+            Some(s) => Some(kv::parse_u64(s).map_err(|e| KvError {
+                line: 0,
+                message: format!("seed: {e}"),
+            })?),
+            None => None,
+        };
+        let tau = match frame.get("tau") {
+            Some(s) => Some(kv::parse_u64(s).map_err(|e| KvError {
+                line: 0,
+                message: format!("tau: {e}"),
+            })?),
+            None => None,
+        };
+        Ok(ScenarioSpec::Generate {
+            tasks,
+            case,
+            etc,
+            dag,
+            seed,
+            tau,
+        })
+    }
+}
+
+/// A workload submission: map one scenario with one heuristic under one
+/// configuration, optionally under machine churn.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MapRequest {
+    /// Client identity; the daemon queues jobs FIFO per client and
+    /// serves clients round-robin.
+    pub client: String,
+    /// Client-chosen job label, echoed in the report.
+    pub label: String,
+    /// Which heuristic to run.
+    pub heuristic: Heuristic,
+    /// The full configuration (carries the objective weights). For the
+    /// SLRH heuristics the variant must match `heuristic`; baselines
+    /// read only the weights.
+    pub config: SlrhConfig,
+    /// The workload.
+    pub scenario: ScenarioSpec,
+    /// Machine losses (ticks); SLRH heuristics only.
+    pub losses: Vec<(usize, u64)>,
+    /// Machine arrivals (ticks); SLRH heuristics only.
+    pub arrivals: Vec<(usize, u64)>,
+}
+
+impl MapRequest {
+    /// The losses as the churn API's event type.
+    pub fn loss_events(&self) -> Vec<MachineLossEvent> {
+        self.losses
+            .iter()
+            .map(|&(machine, at)| MachineLossEvent {
+                machine: MachineId(machine),
+                at: Time(at),
+            })
+            .collect()
+    }
+
+    /// The arrivals as the churn API's event type.
+    pub fn arrival_events(&self) -> Vec<MachineArrivalEvent> {
+        self.arrivals
+            .iter()
+            .map(|&(machine, at)| MachineArrivalEvent {
+                machine: MachineId(machine),
+                at: Time(at),
+            })
+            .collect()
+    }
+
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_MAP_REQUEST);
+        f.push("client", self.client.clone())
+            .push("label", self.label.clone())
+            .push("heuristic", self.heuristic.flag_name())
+            .push("config", self.config.to_string());
+        self.scenario.encode_into(&mut f);
+        for &(m, t) in &self.losses {
+            f.push("loss", format!("{m}@{t}"));
+        }
+        for &(m, t) in &self.arrivals {
+            f.push("arrival", format!("{m}@{t}"));
+        }
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<MapRequest, KvError> {
+        expect_kind(frame, KIND_MAP_REQUEST)?;
+        let heuristic: Heuristic = frame
+            .req("heuristic")?
+            .parse()
+            .map_err(|e| KvError { line: 0, message: e })?;
+        let config: SlrhConfig = frame
+            .req("config")?
+            .parse()
+            .map_err(|e: String| KvError {
+                line: 0,
+                message: format!("config: {e}"),
+            })?;
+        let events = |key: &str| -> Result<Vec<(usize, u64)>, KvError> {
+            frame
+                .all(key)
+                .map(|s| {
+                    kv::parse_at_pair(s).map_err(|e| KvError {
+                        line: 0,
+                        message: format!("{key}: {e}"),
+                    })
+                })
+                .collect()
+        };
+        let losses = events("loss")?;
+        let arrivals = events("arrival")?;
+        Ok(MapRequest {
+            client: frame.get("client").unwrap_or("anon").to_string(),
+            label: frame.get("label").unwrap_or("").to_string(),
+            heuristic,
+            config,
+            scenario: ScenarioSpec::decode_from(frame)?,
+            losses,
+            arrivals,
+        })
+    }
+}
+
+/// A campaign sweep submitted as a batch job: the full
+/// (heuristic × case) grid over a scenario suite, one checkpointable
+/// unit per cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignRequest {
+    /// Client identity (see [`MapRequest::client`]).
+    pub client: String,
+    /// Client-chosen job label.
+    pub label: String,
+    /// Subtask count per scenario (paper-scaled parameters).
+    pub tasks: usize,
+    /// ETC suite size.
+    pub etc_count: usize,
+    /// DAG suite size.
+    pub dag_count: usize,
+    /// Heuristics to evaluate, in order.
+    pub heuristics: Vec<Heuristic>,
+    /// Cases to evaluate, in order.
+    pub cases: Vec<GridCase>,
+    /// Coarse weight-search step.
+    pub coarse: f64,
+    /// Fine weight-search step.
+    pub fine: f64,
+    /// Checkpoint file path on the daemon host; units already recorded
+    /// there are not re-run.
+    pub checkpoint: Option<String>,
+}
+
+impl CampaignRequest {
+    /// Deterministic description of the campaign's parameters. Stored in
+    /// the checkpoint header so a checkpoint can only resume the
+    /// campaign that wrote it.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "tasks={};etc={};dag={};heuristics={};cases={};coarse={};fine={}",
+            self.tasks,
+            self.etc_count,
+            self.dag_count,
+            self.heuristics
+                .iter()
+                .map(|h| h.flag_name())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.cases
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            kv::format_f64(self.coarse),
+            kv::format_f64(self.fine),
+        )
+    }
+
+    /// The (heuristic, case) unit grid, in execution order.
+    pub fn units(&self) -> Vec<(Heuristic, GridCase)> {
+        let mut out = Vec::new();
+        for &h in &self.heuristics {
+            for &c in &self.cases {
+                out.push((h, c));
+            }
+        }
+        out
+    }
+
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_CAMPAIGN_REQUEST);
+        f.push("client", self.client.clone())
+            .push("label", self.label.clone())
+            .push("tasks", self.tasks.to_string())
+            .push("etc-count", self.etc_count.to_string())
+            .push("dag-count", self.dag_count.to_string())
+            .push("coarse", kv::format_f64(self.coarse))
+            .push("fine", kv::format_f64(self.fine));
+        for h in &self.heuristics {
+            f.push("heuristic", h.flag_name());
+        }
+        for c in &self.cases {
+            f.push("case", c.to_string());
+        }
+        if let Some(cp) = &self.checkpoint {
+            f.push("checkpoint", cp.clone());
+        }
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<CampaignRequest, KvError> {
+        expect_kind(frame, KIND_CAMPAIGN_REQUEST)?;
+        let num = |key: &str| -> Result<usize, KvError> {
+            kv::parse_usize(frame.req(key)?).map_err(|e| KvError {
+                line: 0,
+                message: format!("{key}: {e}"),
+            })
+        };
+        let float = |key: &str| -> Result<f64, KvError> {
+            kv::parse_f64(frame.req(key)?).map_err(|e| KvError {
+                line: 0,
+                message: format!("{key}: {e}"),
+            })
+        };
+        let heuristics: Vec<Heuristic> = frame
+            .all("heuristic")
+            .map(|s| s.parse().map_err(|e| KvError { line: 0, message: e }))
+            .collect::<Result<_, _>>()?;
+        let cases: Vec<GridCase> = frame
+            .all("case")
+            .map(|s| s.parse().map_err(|e| KvError { line: 0, message: e }))
+            .collect::<Result<_, _>>()?;
+        if heuristics.is_empty() || cases.is_empty() {
+            return bad("campaign-request needs at least one heuristic and one case");
+        }
+        Ok(CampaignRequest {
+            client: frame.get("client").unwrap_or("anon").to_string(),
+            label: frame.get("label").unwrap_or("").to_string(),
+            tasks: num("tasks")?,
+            etc_count: num("etc-count")?,
+            dag_count: num("dag-count")?,
+            heuristics,
+            cases,
+            coarse: float("coarse")?,
+            fine: float("fine")?,
+            checkpoint: frame.get("checkpoint").map(str::to_string),
+        })
+    }
+}
+
+/// A progress event streamed while a job runs. Event payloads are
+/// deterministic in the job — they never name wall-clock times or
+/// worker identities, so the stream a client sees is byte-identical
+/// regardless of daemon thread count.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Event {
+    /// The job was accepted and queued.
+    Queued {
+        /// Daemon-assigned job id.
+        job: u64,
+    },
+    /// A worker started executing the job.
+    Started {
+        /// Job id.
+        job: u64,
+    },
+    /// One SLRH clock tick (from the mapper's observer hook).
+    Tick {
+        /// Job id.
+        job: u64,
+        /// Simulation clock, in ticks.
+        clock: u64,
+        /// 1-based tick ordinal.
+        tick: u64,
+        /// Subtasks mapped so far.
+        mapped: usize,
+        /// Mappings committed during this tick.
+        commits: u64,
+    },
+    /// A churn disruption took effect.
+    Disruption {
+        /// Job id.
+        job: u64,
+        /// Effective time, in ticks.
+        at: u64,
+        /// Subtask mappings invalidated.
+        invalidated: usize,
+    },
+    /// One campaign unit finished.
+    Unit {
+        /// Job id.
+        job: u64,
+        /// 0-based unit index in the campaign grid.
+        index: usize,
+        /// Total units in the grid.
+        total: usize,
+        /// The unit's canonical row ([`grid_sweep::CaseRow::canonical`]).
+        row: String,
+    },
+    /// The job finished; the response frame follows.
+    Done {
+        /// Job id.
+        job: u64,
+    },
+}
+
+impl Event {
+    /// The job this event belongs to.
+    pub fn job(&self) -> u64 {
+        match *self {
+            Event::Queued { job }
+            | Event::Started { job }
+            | Event::Tick { job, .. }
+            | Event::Disruption { job, .. }
+            | Event::Unit { job, .. }
+            | Event::Done { job } => job,
+        }
+    }
+
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_EVENT);
+        f.push("job", self.job().to_string());
+        match self {
+            Event::Queued { .. } => {
+                f.push("event", "queued");
+            }
+            Event::Started { .. } => {
+                f.push("event", "started");
+            }
+            Event::Tick {
+                clock,
+                tick,
+                mapped,
+                commits,
+                ..
+            } => {
+                f.push("event", "tick")
+                    .push("clock", clock.to_string())
+                    .push("tick", tick.to_string())
+                    .push("mapped", mapped.to_string())
+                    .push("commits", commits.to_string());
+            }
+            Event::Disruption {
+                at, invalidated, ..
+            } => {
+                f.push("event", "disruption")
+                    .push("at", at.to_string())
+                    .push("invalidated", invalidated.to_string());
+            }
+            Event::Unit {
+                index, total, row, ..
+            } => {
+                f.push("event", "unit")
+                    .push("index", index.to_string())
+                    .push("total", total.to_string())
+                    .push("row", row.clone());
+            }
+            Event::Done { .. } => {
+                f.push("event", "done");
+            }
+        }
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<Event, KvError> {
+        expect_kind(frame, KIND_EVENT)?;
+        let num = |key: &str| -> Result<u64, KvError> {
+            kv::parse_u64(frame.req(key)?).map_err(|e| KvError {
+                line: 0,
+                message: format!("{key}: {e}"),
+            })
+        };
+        let job = num("job")?;
+        match frame.req("event")? {
+            "queued" => Ok(Event::Queued { job }),
+            "started" => Ok(Event::Started { job }),
+            "tick" => Ok(Event::Tick {
+                job,
+                clock: num("clock")?,
+                tick: num("tick")?,
+                mapped: num("mapped")? as usize,
+                commits: num("commits")?,
+            }),
+            "disruption" => Ok(Event::Disruption {
+                job,
+                at: num("at")?,
+                invalidated: num("invalidated")? as usize,
+            }),
+            "unit" => Ok(Event::Unit {
+                job,
+                index: num("index")? as usize,
+                total: num("total")? as usize,
+                row: frame.req("row")?.to_string(),
+            }),
+            "done" => Ok(Event::Done { job }),
+            other => bad(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+/// The final answer to a [`MapRequest`]: the deterministic report.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MapResponse {
+    /// Job id.
+    pub job: u64,
+    /// The deterministic report text (`crate::execute`); byte-identical
+    /// to what `lrh-grid run` prints for the same request.
+    pub report: String,
+}
+
+impl MapResponse {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_MAP_RESPONSE);
+        f.push("job", self.job.to_string());
+        f.block("report", self.report.clone());
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<MapResponse, KvError> {
+        expect_kind(frame, KIND_MAP_RESPONSE)?;
+        Ok(MapResponse {
+            job: kv::parse_u64(frame.req("job")?).map_err(|e| KvError {
+                line: 0,
+                message: format!("job: {e}"),
+            })?,
+            report: frame.req_raw("report")?.to_string(),
+        })
+    }
+}
+
+/// The final answer to a [`CampaignRequest`]: the canonical report.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignResponse {
+    /// Job id.
+    pub job: u64,
+    /// Units restored from the checkpoint (not re-run).
+    pub resumed: usize,
+    /// The canonical campaign report
+    /// ([`grid_sweep::campaign::canonical_report`]).
+    pub report: String,
+}
+
+impl CampaignResponse {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_CAMPAIGN_RESPONSE);
+        f.push("job", self.job.to_string())
+            .push("resumed", self.resumed.to_string());
+        f.block("report", self.report.clone());
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<CampaignResponse, KvError> {
+        expect_kind(frame, KIND_CAMPAIGN_RESPONSE)?;
+        let num = |key: &str| -> Result<u64, KvError> {
+            kv::parse_u64(frame.req(key)?).map_err(|e| KvError {
+                line: 0,
+                message: format!("{key}: {e}"),
+            })
+        };
+        Ok(CampaignResponse {
+            job: num("job")?,
+            resumed: num("resumed")? as usize,
+            report: frame.req_raw("report")?.to_string(),
+        })
+    }
+}
+
+/// A daemon status snapshot.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StatusResponse {
+    /// Jobs queued but not yet started.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs completed since the daemon started.
+    pub completed: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+impl StatusResponse {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_STATUS_RESPONSE);
+        f.push("queued", self.queued.to_string())
+            .push("running", self.running.to_string())
+            .push("completed", self.completed.to_string())
+            .push("workers", self.workers.to_string());
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<StatusResponse, KvError> {
+        expect_kind(frame, KIND_STATUS_RESPONSE)?;
+        let num = |key: &str| -> Result<u64, KvError> {
+            kv::parse_u64(frame.req(key)?).map_err(|e| KvError {
+                line: 0,
+                message: format!("{key}: {e}"),
+            })
+        };
+        Ok(StatusResponse {
+            queued: num("queued")? as usize,
+            running: num("running")? as usize,
+            completed: num("completed")?,
+            workers: num("workers")? as usize,
+        })
+    }
+}
+
+/// A status request (no payload).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StatusRequest;
+
+impl StatusRequest {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        Frame::new(KIND_STATUS_REQUEST)
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<StatusRequest, KvError> {
+        expect_kind(frame, KIND_STATUS_REQUEST)?;
+        Ok(StatusRequest)
+    }
+}
+
+/// A request the daemon rejected, or a job that failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ErrorResponse {
+    /// Job id, when the error concerns an accepted job.
+    pub job: Option<u64>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ErrorResponse {
+    /// Encode to a wire frame. Error text travels in a raw block so it
+    /// may contain anything.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_ERROR);
+        if let Some(job) = self.job {
+            f.push("job", job.to_string());
+        }
+        f.block("message", self.message.clone());
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<ErrorResponse, KvError> {
+        expect_kind(frame, KIND_ERROR)?;
+        let job = match frame.get("job") {
+            Some(s) => Some(kv::parse_u64(s).map_err(|e| KvError {
+                line: 0,
+                message: format!("job: {e}"),
+            })?),
+            None => None,
+        };
+        Ok(ErrorResponse {
+            job,
+            message: frame
+                .req_raw("message")?
+                .trim_end_matches('\n')
+                .to_string(),
+        })
+    }
+}
+
+/// Any message a client may send.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Submit a mapping job.
+    Map(MapRequest),
+    /// Submit a campaign batch job.
+    Campaign(CampaignRequest),
+    /// Ask for a status snapshot.
+    Status(StatusRequest),
+    /// Ask the daemon to shut down.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Request::Map(r) => r.to_frame(),
+            Request::Campaign(r) => r.to_frame(),
+            Request::Status(r) => r.to_frame(),
+            Request::Shutdown => Frame::new(KIND_SHUTDOWN_REQUEST),
+        }
+    }
+
+    /// Decode from a wire frame, dispatching on the kind.
+    pub fn from_frame(frame: &Frame) -> Result<Request, KvError> {
+        match frame.kind.as_str() {
+            KIND_MAP_REQUEST => MapRequest::from_frame(frame).map(Request::Map),
+            KIND_CAMPAIGN_REQUEST => CampaignRequest::from_frame(frame).map(Request::Campaign),
+            KIND_STATUS_REQUEST => StatusRequest::from_frame(frame).map(Request::Status),
+            KIND_SHUTDOWN_REQUEST => Ok(Request::Shutdown),
+            other => bad(format!("unknown request kind {other:?}")),
+        }
+    }
+}
+
+/// Any message a daemon may send.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ServerMsg {
+    /// A streamed progress event.
+    Event(Event),
+    /// A mapping job's final report.
+    Map(MapResponse),
+    /// A campaign job's final report.
+    Campaign(CampaignResponse),
+    /// A status snapshot.
+    Status(StatusResponse),
+    /// An error.
+    Error(ErrorResponse),
+    /// Shutdown acknowledged.
+    Ok,
+}
+
+impl ServerMsg {
+    /// Encode to a wire frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            ServerMsg::Event(m) => m.to_frame(),
+            ServerMsg::Map(m) => m.to_frame(),
+            ServerMsg::Campaign(m) => m.to_frame(),
+            ServerMsg::Status(m) => m.to_frame(),
+            ServerMsg::Error(m) => m.to_frame(),
+            ServerMsg::Ok => Frame::new(KIND_OK),
+        }
+    }
+
+    /// Decode from a wire frame, dispatching on the kind.
+    pub fn from_frame(frame: &Frame) -> Result<ServerMsg, KvError> {
+        match frame.kind.as_str() {
+            KIND_EVENT => Event::from_frame(frame).map(ServerMsg::Event),
+            KIND_MAP_RESPONSE => MapResponse::from_frame(frame).map(ServerMsg::Map),
+            KIND_CAMPAIGN_RESPONSE => {
+                CampaignResponse::from_frame(frame).map(ServerMsg::Campaign)
+            }
+            KIND_STATUS_RESPONSE => StatusResponse::from_frame(frame).map(ServerMsg::Status),
+            KIND_ERROR => ErrorResponse::from_frame(frame).map(ServerMsg::Error),
+            KIND_OK => Ok(ServerMsg::Ok),
+            other => bad(format!("unknown server message kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagrange::weights::Weights;
+    use slrh::SlrhVariant;
+
+    fn map_request() -> MapRequest {
+        MapRequest {
+            client: "cli".into(),
+            label: "demo".into(),
+            heuristic: Heuristic::Slrh1,
+            config: SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap()),
+            scenario: ScenarioSpec::Generate {
+                tasks: 64,
+                case: GridCase::A,
+                etc: 0,
+                dag: 0,
+                seed: Some(0xDEAD_BEEF),
+                tau: None,
+            },
+            losses: vec![(1, 500)],
+            arrivals: vec![(2, 300)],
+        }
+    }
+
+    #[test]
+    fn map_request_round_trips() {
+        let req = map_request();
+        let text = req.to_frame().encode();
+        let back = MapRequest::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn inline_scenario_round_trips() {
+        let sc = Scenario::generate(
+            &ScenarioParams::paper_scaled(16),
+            GridCase::B,
+            1,
+            1,
+        );
+        let mut req = map_request();
+        req.scenario = ScenarioSpec::Inline(adhoc_grid::io::write(&sc));
+        let text = req.to_frame().encode();
+        let back = MapRequest::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+        let rebuilt = back.scenario.build().unwrap();
+        assert_eq!(rebuilt.etc, sc.etc);
+    }
+
+    #[test]
+    fn request_dispatch_rejects_unknown_kind() {
+        let f = Frame::new("no-such-kind");
+        assert!(Request::from_frame(&f).is_err());
+        assert!(ServerMsg::from_frame(&f).is_err());
+    }
+
+    #[test]
+    fn campaign_fingerprint_is_single_line() {
+        let req = CampaignRequest {
+            client: "cli".into(),
+            label: "sweep".into(),
+            tasks: 32,
+            etc_count: 2,
+            dag_count: 2,
+            heuristics: vec![Heuristic::Slrh1, Heuristic::MaxMax],
+            cases: vec![GridCase::A, GridCase::C],
+            coarse: 0.25,
+            fine: 0.25,
+            checkpoint: None,
+        };
+        let fp = req.fingerprint();
+        assert!(!fp.contains('\n') && !fp.contains('#'), "{fp}");
+        let back = CampaignRequest::from_frame(&Frame::decode(&req.to_frame().encode()).unwrap())
+            .unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.fingerprint(), fp);
+        assert_eq!(back.units().len(), 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! The broker daemon: a TCP server executing mapping and campaign jobs
+//! on a pool of worker threads.
+//!
+//! Threading model:
+//!
+//! * one **accept** thread turning connections into connection threads;
+//! * one **connection** thread per client socket, reading request
+//!   frames and streaming each job's events and final response back;
+//! * `workers` **worker** threads, each owning one recycled
+//!   [`RunContext`], popping jobs from the fair [`JobQueue`].
+//!
+//! Workers are plain threads (never rayon workers), so a campaign
+//! unit's internal weight-search parallelism nests correctly. Events
+//! flow worker → connection over a per-job channel; a client that
+//! disconnects mid-job only breaks that channel — the worker keeps
+//! executing (campaign checkpoints keep advancing) and the send errors
+//! are ignored.
+//!
+//! Shutdown (`shutdown-request` frame or [`BrokerHandle::shutdown`]) is
+//! graceful: admissions stop, queued jobs drain, workers exit, the
+//! accept thread is poked awake and joins.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use adhoc_grid::io::wire::read_frame;
+use slrh::RunContext;
+
+use crate::execute::{execute_campaign, execute_map};
+use crate::proto::{
+    CampaignRequest, ErrorResponse, Event, MapRequest, Request, ServerMsg, StatusResponse,
+};
+use crate::queue::JobQueue;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`BrokerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+        }
+    }
+}
+
+enum JobBody {
+    Map(MapRequest),
+    Campaign(CampaignRequest),
+}
+
+struct QueuedJob {
+    id: u64,
+    body: JobBody,
+    tx: Sender<ServerMsg>,
+}
+
+struct Shared {
+    queue: JobQueue<QueuedJob>,
+    addr: SocketAddr,
+    workers: usize,
+    running: AtomicUsize,
+    completed: AtomicU64,
+    next_job: AtomicU64,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn status(&self) -> StatusResponse {
+        StatusResponse {
+            queued: self.queue.len(),
+            running: self.running.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            workers: self.workers,
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Poke the accept loop awake so it notices the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon.
+pub struct BrokerHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BrokerHandle {
+    /// The daemon's actual bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Ask the daemon to shut down (stop admissions, drain, exit).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Block until the daemon has shut down (either via
+    /// [`BrokerHandle::shutdown`] or a client's `shutdown-request`).
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start a daemon. Returns once the listener is bound; jobs are
+/// processed on background threads until shutdown.
+pub fn serve(cfg: &BrokerConfig) -> std::io::Result<BrokerHandle> {
+    assert!(cfg.workers > 0, "the broker needs at least one worker");
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(),
+        addr,
+        workers: cfg.workers,
+        running: AtomicUsize::new(0),
+        completed: AtomicU64::new(0),
+        next_job: AtomicU64::new(0),
+        stopping: AtomicBool::new(false),
+    });
+
+    let workers = (0..cfg.workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, &shared))
+    };
+
+    Ok(BrokerHandle {
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &shared);
+        });
+    }
+}
+
+fn write_msg(stream: &mut TcpStream, msg: &ServerMsg) -> std::io::Result<()> {
+    stream.write_all(msg.to_frame().encode().as_bytes())?;
+    stream.flush()
+}
+
+/// Handle one client connection: a sequence of requests, each answered
+/// in full (events then response) before the next is read.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // client closed cleanly
+            Err(e) => {
+                // Framing is broken; report and drop the connection.
+                let _ = write_msg(
+                    &mut writer,
+                    &ServerMsg::Error(ErrorResponse {
+                        job: None,
+                        message: e.to_string(),
+                    }),
+                );
+                return Ok(());
+            }
+        };
+        let request = match Request::from_frame(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was sound: reject the request but
+                // keep the connection.
+                write_msg(
+                    &mut writer,
+                    &ServerMsg::Error(ErrorResponse {
+                        job: None,
+                        message: e.to_string(),
+                    }),
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Status(_) => {
+                write_msg(&mut writer, &ServerMsg::Status(shared.status()))?;
+            }
+            Request::Shutdown => {
+                write_msg(&mut writer, &ServerMsg::Ok)?;
+                shared.initiate_shutdown();
+                return Ok(());
+            }
+            Request::Map(req) => {
+                let client = req.client.clone();
+                submit(shared, &client, JobBody::Map(req), &mut writer)?;
+            }
+            Request::Campaign(req) => {
+                let client = req.client.clone();
+                submit(shared, &client, JobBody::Campaign(req), &mut writer)?;
+            }
+        }
+    }
+}
+
+/// Enqueue a job and stream its events and final response to `writer`.
+fn submit(
+    shared: &Arc<Shared>,
+    client: &str,
+    body: JobBody,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let id = shared.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+    let (tx, rx) = channel();
+    if !shared.queue.push(client, QueuedJob { id, body, tx }) {
+        return write_msg(
+            writer,
+            &ServerMsg::Error(ErrorResponse {
+                job: None,
+                message: "daemon is shutting down".into(),
+            }),
+        );
+    }
+    write_msg(writer, &ServerMsg::Event(Event::Queued { job: id }))?;
+    for msg in rx {
+        let terminal = matches!(
+            msg,
+            ServerMsg::Map(_) | ServerMsg::Campaign(_) | ServerMsg::Error(_)
+        );
+        write_msg(writer, &msg)?;
+        if terminal {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One worker: pop, execute, stream, repeat until the queue closes.
+/// The context persists across jobs, so consecutive jobs on a worker
+/// recycle the same buffers.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut ctx = RunContext::new();
+    while let Some(job) = shared.queue.pop() {
+        shared.running.fetch_add(1, Ordering::SeqCst);
+        let QueuedJob { id, body, tx } = job;
+        // Send errors mean the client went away; the job still runs to
+        // completion (campaign checkpoints must keep advancing).
+        let _ = tx.send(ServerMsg::Event(Event::Started { job: id }));
+        let mut emit = |event: Event| {
+            let _ = tx.send(ServerMsg::Event(event));
+        };
+        let outcome = match &body {
+            JobBody::Map(req) => {
+                execute_map(id, req, &mut ctx, &mut emit).map(ServerMsg::Map)
+            }
+            JobBody::Campaign(req) => {
+                execute_campaign(id, req, &mut emit).map(ServerMsg::Campaign)
+            }
+        };
+        let final_msg = match outcome {
+            Ok(msg) => {
+                let _ = tx.send(ServerMsg::Event(Event::Done { job: id }));
+                msg
+            }
+            Err(message) => ServerMsg::Error(ErrorResponse {
+                job: Some(id),
+                message,
+            }),
+        };
+        let _ = tx.send(final_msg);
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}

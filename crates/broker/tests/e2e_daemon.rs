@@ -1,0 +1,412 @@
+//! End-to-end daemon tests: concurrent submissions, byte-identity with
+//! local execution, event-stream well-formedness, checkpointed campaign
+//! resume across daemon restarts, status counters and graceful
+//! shutdown.
+
+use std::sync::Arc;
+
+use adhoc_grid::config::GridCase;
+use grid_broker::proto::{CampaignRequest, Event, MapRequest, ScenarioSpec};
+use grid_broker::server::{serve, BrokerConfig, BrokerHandle};
+use grid_broker::{execute_map, Connection};
+use grid_sweep::heuristic::Heuristic;
+use lagrange::weights::Weights;
+use slrh::{RunContext, SlrhConfig, SlrhVariant};
+
+fn daemon(workers: usize) -> BrokerHandle {
+    serve(&BrokerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+    })
+    .expect("bind daemon")
+}
+
+fn map_request(client: &str, heuristic: Heuristic, tasks: usize, seed: u64) -> MapRequest {
+    let config = match heuristic {
+        Heuristic::Slrh2 => SlrhConfig::paper(SlrhVariant::V2, Weights::new(0.4, 0.4).unwrap()),
+        Heuristic::Slrh3 => SlrhConfig::paper(SlrhVariant::V3, Weights::new(0.4, 0.4).unwrap()),
+        _ => SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap()),
+    };
+    MapRequest {
+        client: client.into(),
+        label: format!("{client}-job"),
+        heuristic,
+        config,
+        scenario: ScenarioSpec::Generate {
+            tasks,
+            case: GridCase::A,
+            etc: 0,
+            dag: 0,
+            seed: Some(seed),
+            tau: None,
+        },
+        losses: vec![],
+        arrivals: vec![],
+    }
+}
+
+/// Run a request through `execute_map` locally, discarding events.
+fn local_report(req: &MapRequest) -> String {
+    let mut ctx = RunContext::new();
+    execute_map(0, req, &mut ctx, &mut |_| {})
+        .expect("local run")
+        .report
+}
+
+/// Assert a submission's event stream is well-formed: Queued first,
+/// Started second, Done last, ticks in between with monotone clock and
+/// non-decreasing mapped count, and every event tagged with `job`.
+fn check_stream(events: &[Event], job: u64, expect_ticks: bool) {
+    assert!(events.len() >= 3, "stream too short: {events:?}");
+    assert!(matches!(events[0], Event::Queued { .. }), "{events:?}");
+    assert!(matches!(events[1], Event::Started { .. }), "{events:?}");
+    assert!(
+        matches!(events.last(), Some(Event::Done { .. })),
+        "{events:?}"
+    );
+    for e in events {
+        assert_eq!(e.job(), job, "event for the wrong job: {e:?}");
+    }
+    let ticks: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Tick { clock, mapped, .. } => Some((*clock, *mapped)),
+            _ => None,
+        })
+        .collect();
+    if expect_ticks {
+        assert!(!ticks.is_empty(), "SLRH job streamed no ticks");
+    }
+    for pair in ticks.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "clock went backwards: {ticks:?}");
+        assert!(pair[0].1 <= pair[1].1, "mapped count shrank: {ticks:?}");
+    }
+}
+
+#[test]
+fn concurrent_submissions_match_local_execution() {
+    let daemon = daemon(2);
+    let addr = daemon.addr();
+
+    let jobs = [
+        ("alice", Heuristic::Slrh1, 16, 7u64),
+        ("bob", Heuristic::Slrh3, 24, 11u64),
+        ("carol", Heuristic::MaxMax, 32, 13u64),
+    ];
+
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|&(client, h, tasks, seed)| {
+            std::thread::spawn(move || {
+                let req = map_request(client, h, tasks, seed);
+                let mut events = Vec::new();
+                let mut conn = Connection::connect(addr).expect("connect");
+                let resp = conn
+                    .submit_map(&req, |e| events.push(e.clone()))
+                    .expect("submit");
+                (req, events, resp)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (req, events, resp) = handle.join().expect("client thread");
+        check_stream(&events, resp.job, req.heuristic != Heuristic::MaxMax);
+        // The daemon's report must be byte-identical to a local
+        // one-shot run of the same request.
+        assert_eq!(
+            resp.report,
+            local_report(&req),
+            "daemon report diverged from local run for {}",
+            req.client
+        );
+    }
+
+    // All three jobs were admitted under distinct ids and completed.
+    let mut conn = Connection::connect(addr).expect("connect");
+    let status = conn.status().expect("status");
+    assert_eq!(status.completed, 3);
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.running, 0);
+    assert_eq!(status.workers, 2);
+
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn one_connection_can_submit_sequential_jobs() {
+    let daemon = daemon(1);
+    let mut conn = Connection::connect(daemon.addr()).expect("connect");
+    let mut job_ids = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let req = map_request("serial", Heuristic::Slrh1, 12, seed);
+        let resp = conn.submit_map(&req, |_| {}).expect("submit");
+        assert_eq!(resp.report, local_report(&req));
+        job_ids.push(resp.job);
+    }
+    assert_eq!(job_ids, vec![1, 2, 3], "job ids must be sequential");
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn invalid_requests_are_rejected_without_killing_the_connection() {
+    let daemon = daemon(1);
+    let mut conn = Connection::connect(daemon.addr()).expect("connect");
+
+    // Config names V2 but the heuristic is SLRH-1.
+    let mut bad = map_request("probe", Heuristic::Slrh1, 8, 1);
+    bad.config = SlrhConfig::paper(SlrhVariant::V2, Weights::new(0.4, 0.4).unwrap());
+    let err = conn.submit_map(&bad, |_| {}).expect_err("must be rejected");
+    assert!(err.contains("config names"), "{err}");
+
+    // Churn events on a baseline heuristic.
+    let mut bad = map_request("probe", Heuristic::MaxMax, 8, 1);
+    bad.losses = vec![(0, 50)];
+    let err = conn.submit_map(&bad, |_| {}).expect_err("must be rejected");
+    assert!(err.contains("SLRH"), "{err}");
+
+    // The connection survives and still serves valid work.
+    let good = map_request("probe", Heuristic::Slrh1, 8, 1);
+    let resp = conn.submit_map(&good, |_| {}).expect("valid submit");
+    assert_eq!(resp.report, local_report(&good));
+
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+fn campaign_request(checkpoint: &str) -> CampaignRequest {
+    CampaignRequest {
+        client: "batch".into(),
+        label: "resume-test".into(),
+        tasks: 12,
+        etc_count: 2,
+        dag_count: 1,
+        heuristics: vec![Heuristic::Slrh1, Heuristic::MaxMax],
+        cases: vec![GridCase::A],
+        coarse: 0.25,
+        fine: 0.05,
+        checkpoint: Some(checkpoint.into()),
+    }
+}
+
+fn temp_checkpoint(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("lrh-e2e-{}-{name}.ckpt", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn restarted_daemon_resumes_checkpointed_campaign() {
+    let path = temp_checkpoint("restart");
+    let _ = std::fs::remove_file(&path);
+    let req = campaign_request(&path);
+
+    // First daemon runs the whole campaign, checkpointing each unit.
+    let first = daemon(1);
+    let mut unit_events = Vec::new();
+    let report_a = {
+        let mut conn = Connection::connect(first.addr()).expect("connect");
+        let resp = conn
+            .submit_campaign(&req, |e| {
+                if let Event::Unit { index, .. } = e {
+                    unit_events.push(*index);
+                }
+            })
+            .expect("first campaign");
+        assert_eq!(resp.resumed, 0);
+        conn.shutdown().expect("shutdown");
+        resp.report
+    };
+    first.join();
+    assert_eq!(unit_events, vec![0, 1], "both units must stream");
+
+    // "Restart": a fresh daemon process given the same request and
+    // checkpoint must resume past every recorded unit — re-running
+    // nothing — and reproduce the report byte-for-byte.
+    let second = daemon(1);
+    let mut re_ran = Vec::new();
+    let report_b = {
+        let mut conn = Connection::connect(second.addr()).expect("connect");
+        let resp = conn
+            .submit_campaign(&req, |e| {
+                if let Event::Unit { index, .. } = e {
+                    re_ran.push(*index);
+                }
+            })
+            .expect("resumed campaign");
+        assert_eq!(resp.resumed, 2, "both units restore from checkpoint");
+        conn.shutdown().expect("shutdown");
+        resp.report
+    };
+    second.join();
+    assert!(re_ran.is_empty(), "resume re-ran units {re_ran:?}");
+    assert_eq!(report_a, report_b, "resumed report diverged");
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn resume_skips_sentinel_rows_without_executing_them() {
+    // Pre-fill the checkpoint with a fabricated row for unit 0. The
+    // daemon must take it at face value — proof that recorded units are
+    // never re-executed — and only run unit 1.
+    let path = temp_checkpoint("sentinel");
+    let _ = std::fs::remove_file(&path);
+    let req = campaign_request(&path);
+    let sentinel = "SLRH-1|Case A|t100=123456.0|ub_frac=0.25|feasible=1/2";
+    std::fs::write(
+        &path,
+        format!(
+            "lrh-grid-checkpoint v1\ncampaign={}\nrow={sentinel}\n",
+            req.fingerprint()
+        ),
+    )
+    .unwrap();
+
+    let daemon = daemon(1);
+    let mut ran = Vec::new();
+    let mut conn = Connection::connect(daemon.addr()).expect("connect");
+    let resp = conn
+        .submit_campaign(&req, |e| {
+            if let Event::Unit { index, .. } = e {
+                ran.push(*index);
+            }
+        })
+        .expect("campaign");
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+
+    assert_eq!(resp.resumed, 1);
+    assert_eq!(ran, vec![1], "only the unrecorded unit may execute");
+    let first_line = resp.report.lines().next().unwrap();
+    assert_eq!(
+        first_line, sentinel,
+        "restored row must appear verbatim in the report"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mismatched_checkpoint_is_refused() {
+    let path = temp_checkpoint("mismatch");
+    let _ = std::fs::remove_file(&path);
+    std::fs::write(
+        &path,
+        "lrh-grid-checkpoint v1\ncampaign=some other campaign\n",
+    )
+    .unwrap();
+
+    let daemon = daemon(1);
+    let mut conn = Connection::connect(daemon.addr()).expect("connect");
+    let err = conn
+        .submit_campaign(&campaign_request(&path), |_| {})
+        .expect_err("must refuse");
+    assert!(err.contains("different campaign"), "{err}");
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn shutdown_refuses_new_work_but_drains_accepted_jobs() {
+    let daemon = Arc::new(daemon(1));
+    let addr = daemon.addr();
+
+    // Occupy the single worker with a job, then shut down while it runs.
+    let runner = std::thread::spawn(move || {
+        let req = map_request("drain", Heuristic::Slrh1, 48, 3);
+        let mut conn = Connection::connect(addr).expect("connect");
+        conn.submit_map(&req, |_| {}).expect("accepted job completes")
+    });
+
+    // Wait until the job is actually running.
+    let mut conn = Connection::connect(addr).expect("connect");
+    loop {
+        let status = conn.status().expect("status");
+        if status.running > 0 || status.completed > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    conn.shutdown().expect("shutdown");
+
+    // The in-flight job still finishes with a well-formed report.
+    let resp = runner.join().expect("runner thread");
+    assert!(resp.report.starts_with("lrh-grid report v1\n"));
+
+    // New submissions are refused once the daemon is stopping.
+    let req = map_request("late", Heuristic::Slrh1, 8, 1);
+    // A connect error means the listener is already gone — also a
+    // valid refusal.
+    if let Ok(mut late) = Connection::connect(addr) {
+        match late.submit_map(&req, |_| {}) {
+            Ok(_) => panic!("daemon accepted work after shutdown"),
+            Err(err) => assert!(
+                err.contains("shutting down")
+                    || err.contains("closed")
+                    || err.contains("daemon"),
+                "{err}"
+            ),
+        }
+    }
+
+    match Arc::try_unwrap(daemon) {
+        Ok(d) => d.join(),
+        Err(_) => unreachable!("runner thread has exited"),
+    }
+}
+
+#[test]
+fn disconnecting_client_does_not_kill_the_job() {
+    let daemon = daemon(1);
+    let addr = daemon.addr();
+    let path = temp_checkpoint("disconnect");
+    let _ = std::fs::remove_file(&path);
+    let req = campaign_request(&path);
+
+    // Submit, read the queued event, then drop the connection.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(
+                grid_broker::proto::Request::Campaign(req.clone())
+                    .to_frame()
+                    .encode()
+                    .as_bytes(),
+            )
+            .expect("send");
+        stream.flush().expect("flush");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let frame = adhoc_grid::io::wire::read_frame(&mut reader)
+            .expect("read")
+            .expect("queued event");
+        assert_eq!(frame.kind, "event");
+        // Dropping the stream here abandons the job mid-flight.
+    }
+
+    // The worker must finish the campaign anyway: poll the checkpoint
+    // until both units are recorded.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let recorded = std::fs::read_to_string(&path)
+            .map(|t| t.lines().filter(|l| l.starts_with("row=")).count())
+            .unwrap_or(0);
+        if recorded == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned campaign never completed (recorded {recorded}/2 rows)"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let mut conn = Connection::connect(addr).expect("connect");
+    conn.shutdown().expect("shutdown");
+    daemon.join();
+    std::fs::remove_file(&path).unwrap();
+}

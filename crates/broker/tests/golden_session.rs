@@ -1,0 +1,91 @@
+//! Golden fixture of a recorded submit → events → result session.
+//!
+//! One fixed [`MapRequest`] is submitted to a live daemon and every
+//! frame the client receives is recorded (re-encoded — frame encoding
+//! is a fixpoint, so this is byte-identical to the wire). The recording
+//! must match the committed fixture under a 1-worker daemon **and**
+//! under a 4-worker daemon: event payloads carry no worker identities
+//! or wall-clock readings, so daemon parallelism must not move a byte.
+//!
+//! Regenerate with `GOLDEN_BLESS=1 cargo test -p grid-broker --test
+//! golden_session` — only for a deliberate protocol or report change,
+//! and say so in the commit.
+
+use std::path::PathBuf;
+
+use adhoc_grid::config::GridCase;
+use grid_broker::proto::{MapRequest, ScenarioSpec};
+use grid_broker::server::{serve, BrokerConfig};
+use grid_broker::Connection;
+use grid_sweep::heuristic::Heuristic;
+use lagrange::weights::Weights;
+use slrh::{SlrhConfig, SlrhVariant};
+
+fn request() -> MapRequest {
+    MapRequest {
+        client: "golden".into(),
+        label: "session".into(),
+        heuristic: Heuristic::Slrh1,
+        config: SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap()),
+        scenario: ScenarioSpec::Generate {
+            tasks: 16,
+            case: GridCase::A,
+            etc: 0,
+            dag: 0,
+            seed: None,
+            tau: None,
+        },
+        losses: vec![(1, 400)],
+        arrivals: vec![],
+    }
+}
+
+/// Run the session against a fresh daemon with `workers` workers and
+/// return the concatenated frames the client received.
+fn record_session(workers: usize) -> String {
+    let daemon = serve(&BrokerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+    })
+    .expect("bind");
+    let mut recording = String::new();
+    {
+        let mut conn = Connection::connect(daemon.addr()).expect("connect");
+        let resp = conn
+            .submit_map(&request(), |event| {
+                recording.push_str(&event.to_frame().encode());
+            })
+            .expect("submit");
+        recording.push_str(&resp.to_frame().encode());
+        conn.shutdown().expect("shutdown");
+    }
+    daemon.join();
+    recording
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/session.txt")
+}
+
+#[test]
+fn session_matches_fixture_at_1_and_4_workers() {
+    let one = record_session(1);
+    let four = record_session(4);
+    assert_eq!(
+        one, four,
+        "worker count changed the session byte stream"
+    );
+
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &one).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with GOLDEN_BLESS=1"));
+    assert_eq!(
+        one, expected,
+        "recorded session diverged from tests/golden/session.txt"
+    );
+}

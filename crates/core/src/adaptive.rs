@@ -137,7 +137,7 @@ pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> Ad
     let mut now = Time::ZERO;
     loop {
         let stop = now.saturating_add(cfg.control_interval);
-        now = drive_with(&mut state, &config, &mut stats, cache.as_mut(), now, Some(stop));
+        now = drive_with(&mut state, &config, &mut stats, cache.as_mut(), now, Some(stop), None);
         if state.all_mapped() || now > scenario.tau {
             break;
         }

@@ -1,7 +1,7 @@
 //! SLRH configuration: variant, clock step ΔT, horizon H, objective.
 
 use adhoc_grid::units::Dur;
-use lagrange::weights::{Objective, Weights};
+use lagrange::weights::{AetSign, Objective, Weights};
 
 /// The three SLRH variants of §V.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -34,6 +34,22 @@ impl SlrhVariant {
 impl std::fmt::Display for SlrhVariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SlrhVariant {
+    type Err = String;
+
+    /// Accepts the paper name (`"SLRH-1"`, case-insensitive) and the
+    /// terse forms `"slrh1"`/`"v1"`, so `v.to_string().parse()` always
+    /// round-trips.
+    fn from_str(s: &str) -> Result<SlrhVariant, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "slrh-1" | "slrh1" | "v1" => Ok(SlrhVariant::V1),
+            "slrh-2" | "slrh2" | "v2" => Ok(SlrhVariant::V2),
+            "slrh-3" | "slrh3" | "v3" => Ok(SlrhVariant::V3),
+            other => Err(format!("unknown SLRH variant {other:?} (expected SLRH-1|2|3)")),
+        }
     }
 }
 
@@ -184,6 +200,159 @@ impl SlrhConfig {
     pub fn without_pool_cache(mut self) -> SlrhConfig {
         self.use_pool_cache = false;
         self
+    }
+}
+
+impl Trigger {
+    /// Stable name used by [`SlrhConfig`]'s `Display`/`FromStr` pair.
+    pub fn name(self) -> &'static str {
+        match self {
+            Trigger::Clock => "clock",
+            Trigger::MachineAvailable => "machine-available",
+        }
+    }
+}
+
+impl std::str::FromStr for Trigger {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Trigger, String> {
+        match s.trim() {
+            "clock" => Ok(Trigger::Clock),
+            "machine-available" => Ok(Trigger::MachineAvailable),
+            other => Err(format!(
+                "unknown trigger {other:?} (expected clock|machine-available)"
+            )),
+        }
+    }
+}
+
+impl MachineOrder {
+    /// Stable name used by [`SlrhConfig`]'s `Display`/`FromStr` pair.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineOrder::Numerical => "numerical",
+            MachineOrder::Reversed => "reversed",
+            MachineOrder::Rotating => "rotating",
+        }
+    }
+}
+
+impl std::str::FromStr for MachineOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<MachineOrder, String> {
+        match s.trim() {
+            "numerical" => Ok(MachineOrder::Numerical),
+            "reversed" => Ok(MachineOrder::Reversed),
+            "rotating" => Ok(MachineOrder::Rotating),
+            other => Err(format!(
+                "unknown machine order {other:?} (expected numerical|reversed|rotating)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SlrhConfig {
+    /// The canonical one-line rendering of a full configuration:
+    ///
+    /// ```text
+    /// SLRH-1; w=(α=0.5, β=0.3, γ=0.2); aet=+; trigger=clock; order=numerical; dt=10; h=100; secondary=on; cache=on
+    /// ```
+    ///
+    /// Every field is printed (floats shortest-round-trip), so
+    /// `config.to_string().parse::<SlrhConfig>()` reproduces the
+    /// configuration exactly — the CLI, the broker wire protocol and
+    /// fixture headers all name configurations through this one form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; w={}; aet={}; trigger={}; order={}; dt={}; h={}; secondary={}; cache={}",
+            self.variant,
+            self.objective.weights,
+            match self.objective.aet_sign {
+                AetSign::Positive => "+",
+                AetSign::Negative => "-",
+            },
+            self.trigger.name(),
+            self.machine_order.name(),
+            self.dt.0,
+            self.horizon.0,
+            if self.allow_secondary { "on" } else { "off" },
+            if self.use_pool_cache { "on" } else { "off" },
+        )
+    }
+}
+
+impl std::str::FromStr for SlrhConfig {
+    type Err = String;
+
+    /// Parse the [`Display`] form. The variant and `w=` are required;
+    /// every other component is optional and defaults to the paper
+    /// value, so `"SLRH-1; w=(0.5, 0.3)"` is a valid terse spelling.
+    /// Unknown components and duplicate keys are hard errors.
+    fn from_str(s: &str) -> Result<SlrhConfig, String> {
+        let mut parts = s.split(';').map(str::trim);
+        let variant: SlrhVariant = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("empty SLRH config {s:?}"))?
+            .parse()?;
+        let mut weights: Option<Weights> = None;
+        let mut config = SlrhConfig::paper(variant, Weights::new(0.0, 0.0).expect("placeholder"));
+        let mut seen: Vec<String> = Vec::new();
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("expected key=value in SLRH config, got {part:?}"))?;
+            if seen.iter().any(|k| k == key) {
+                return Err(format!("duplicate component {key:?} in SLRH config"));
+            }
+            seen.push(key.to_string());
+            match key {
+                "w" => weights = Some(value.parse()?),
+                "aet" => {
+                    config.objective.aet_sign = match value {
+                        "+" => AetSign::Positive,
+                        "-" => AetSign::Negative,
+                        other => return Err(format!("bad aet sign {other:?} (expected + or -)")),
+                    }
+                }
+                "trigger" => config.trigger = value.parse()?,
+                "order" => config.machine_order = value.parse()?,
+                "dt" => {
+                    config.dt = Dur(value.parse().map_err(|e| format!("bad dt {value:?}: {e}"))?)
+                }
+                "h" => {
+                    config.horizon =
+                        Dur(value.parse().map_err(|e| format!("bad h {value:?}: {e}"))?)
+                }
+                "secondary" => config.allow_secondary = parse_on_off("secondary", value)?,
+                "cache" => config.use_pool_cache = parse_on_off("cache", value)?,
+                other => return Err(format!("unknown SLRH config component {other:?}")),
+            }
+        }
+        config.objective.weights =
+            weights.ok_or_else(|| format!("SLRH config {s:?} names no weights (w=...)"))?;
+        if config.dt.is_zero() {
+            return Err(ConfigError::ZeroDt.to_string());
+        }
+        if config.horizon.is_zero() {
+            return Err(ConfigError::ZeroHorizon.to_string());
+        }
+        Ok(config)
+    }
+}
+
+fn parse_on_off(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("bad {key} value {other:?} (expected on|off)")),
     }
 }
 

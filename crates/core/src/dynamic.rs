@@ -127,6 +127,32 @@ pub fn run_slrh_churn_in<'a>(
     arrivals: &[MachineArrivalEvent],
     ctx: &mut RunContext,
 ) -> DynamicOutcome<'a> {
+    churn_inner(scenario, config, losses, arrivals, ctx, None)
+}
+
+/// [`run_slrh_churn_in`] with a per-tick observer (see
+/// [`crate::mapper::run_slrh_observed`]): every executed clock tick of
+/// every segment is reported, in clock order across loss boundaries.
+/// Results are bit-identical to the unobserved run.
+pub fn run_slrh_churn_observed<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    losses: &[MachineLossEvent],
+    arrivals: &[MachineArrivalEvent],
+    ctx: &mut RunContext,
+    observer: &mut dyn FnMut(crate::mapper::TickEvent),
+) -> DynamicOutcome<'a> {
+    churn_inner(scenario, config, losses, arrivals, ctx, Some(observer))
+}
+
+fn churn_inner<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    losses: &[MachineLossEvent],
+    arrivals: &[MachineArrivalEvent],
+    ctx: &mut RunContext,
+    mut observer: Option<&mut dyn FnMut(crate::mapper::TickEvent)>,
+) -> DynamicOutcome<'a> {
     let mut arrivals = arrivals.to_vec();
     arrivals.sort_by_key(|e| (e.machine, e.at));
     for w in arrivals.windows(2) {
@@ -172,7 +198,14 @@ pub fn run_slrh_churn_in<'a>(
     let mut now = Time::ZERO;
 
     for ev in &events {
-        now = drive_with(&mut state, config, &mut stats, cache.as_deref_mut(), now, Some(ev.at));
+        // Manual reborrow: `as_deref_mut` would pin the trait object's
+        // lifetime to the outer borrow; `&mut **o` lets it shorten.
+        #[allow(clippy::manual_map)] // a `map` closure cannot return the reborrow
+        let obs = match observer {
+            Some(ref mut o) => Some(&mut **o as &mut dyn FnMut(crate::mapper::TickEvent)),
+            None => None,
+        };
+        now = drive_with(&mut state, config, &mut stats, cache.as_deref_mut(), now, Some(ev.at), obs);
         // The loss takes effect at the clock tick the driver stopped on.
         // Every event is applied, even past τ: mappings only happen at
         // clocks <= τ, but work mapped near τ can still be *executing*
@@ -183,7 +216,7 @@ pub fn run_slrh_churn_in<'a>(
         let n = apply_loss_tracked(&mut state, cache.as_deref_mut(), &mut stats, ev.machine, effective);
         disruptions.push((effective, n));
     }
-    drive_with(&mut state, config, &mut stats, cache, now, None);
+    drive_with(&mut state, config, &mut stats, cache, now, None, observer);
 
     DynamicOutcome {
         state,

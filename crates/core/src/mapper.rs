@@ -93,7 +93,51 @@ impl gridsim::MappingOutcome for SlrhOutcome<'_> {
 pub fn run_slrh<'a>(scenario: &'a Scenario, config: &SlrhConfig) -> SlrhOutcome<'a> {
     let mut state = SimState::new(scenario);
     let mut stats = RunStats::default();
-    drive(&mut state, config, &mut stats, Time::ZERO, None);
+    drive(&mut state, config, &mut stats, Time::ZERO, None, None);
+    SlrhOutcome { state, stats }
+}
+
+/// One executed clock tick, as observed by [`run_slrh_observed`].
+///
+/// Emitted once per tick the loop actually ran, in clock order, after
+/// the tick's machine sweep. Observation is pure: an observed run is
+/// bit-identical to the same run without an observer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TickEvent {
+    /// The clock value the tick ran at.
+    pub clock: Time,
+    /// 0-based tick index ([`RunStats::clock_steps`] − 1 at emission).
+    pub tick: u64,
+    /// Cumulative subtasks mapped after the tick.
+    pub mapped: usize,
+    /// Mappings committed during this tick.
+    pub commits: u64,
+}
+
+/// [`run_slrh_in`] with a per-tick observer — the hook the broker daemon
+/// uses to stream live progress events to clients while a mapping runs.
+pub fn run_slrh_observed<'a>(
+    scenario: &'a Scenario,
+    config: &SlrhConfig,
+    ctx: &mut RunContext,
+    observer: &mut dyn FnMut(TickEvent),
+) -> SlrhOutcome<'a> {
+    let mut state = ctx.state(scenario);
+    let mut stats = RunStats::default();
+    if config.use_pool_cache {
+        let cache = ctx.cache_for(&state, config.allow_secondary);
+        drive_with(
+            &mut state,
+            config,
+            &mut stats,
+            Some(cache),
+            Time::ZERO,
+            None,
+            Some(observer),
+        );
+    } else {
+        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None, Some(observer));
+    }
     SlrhOutcome { state, stats }
 }
 
@@ -111,9 +155,9 @@ pub fn run_slrh_in<'a>(
     let mut stats = RunStats::default();
     if config.use_pool_cache {
         let cache = ctx.cache_for(&state, config.allow_secondary);
-        drive_with(&mut state, config, &mut stats, Some(cache), Time::ZERO, None);
+        drive_with(&mut state, config, &mut stats, Some(cache), Time::ZERO, None, None);
     } else {
-        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None);
+        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None, None);
     }
     SlrhOutcome { state, stats }
 }
@@ -128,11 +172,12 @@ pub(crate) fn drive(
     stats: &mut RunStats,
     start_clock: Time,
     stop_at: Option<Time>,
+    observer: Option<&mut dyn FnMut(TickEvent)>,
 ) -> Time {
     let mut cache = config
         .use_pool_cache
         .then(|| PoolCache::new(state, config.allow_secondary));
-    drive_with(state, config, stats, cache.as_mut(), start_clock, stop_at)
+    drive_with(state, config, stats, cache.as_mut(), start_clock, stop_at, observer)
 }
 
 /// Advance the SLRH clock loop on an existing state from `start_clock`
@@ -150,6 +195,7 @@ pub(crate) fn drive_with(
     mut cache: Option<&mut PoolCache>,
     start_clock: Time,
     stop_at: Option<Time>,
+    mut observer: Option<&mut dyn FnMut(TickEvent)>,
 ) -> Time {
     let tau = state.scenario().tau;
     let mut now = start_clock;
@@ -164,6 +210,7 @@ pub(crate) fn drive_with(
         }
         let tick = stats.clock_steps;
         stats.clock_steps += 1;
+        let commits_before = stats.commits;
         let mut any_commit = false;
         let mut every_live_machine_available = true;
 
@@ -184,6 +231,16 @@ pub(crate) fn drive_with(
             if map_on_machine(state, config, stats, cache.as_deref_mut(), j, now) > 0 {
                 any_commit = true;
             }
+        }
+
+        // Observation is pure — it sees the tick, it cannot steer it.
+        if let Some(obs) = observer.as_mut() {
+            obs(TickEvent {
+                clock: now,
+                tick,
+                mapped: state.mapped_count(),
+                commits: stats.commits - commits_before,
+            });
         }
 
         // Early exit (pure optimization): nothing was mapped although every
@@ -344,6 +401,32 @@ mod tests {
 
     fn config(variant: SlrhVariant) -> SlrhConfig {
         SlrhConfig::paper(variant, Weights::new(0.5, 0.2).unwrap())
+    }
+
+    /// The observer is pure: an observed run produces a bit-identical
+    /// schedule and stats, and the event stream is internally consistent
+    /// (clock-ordered ticks, monotone mapped counts, commits adding up).
+    #[test]
+    fn observed_run_is_bit_identical_and_consistent() {
+        let sc = scenario(48);
+        for variant in SlrhVariant::ALL {
+            let cfg = config(variant);
+            let plain = run_slrh(&sc, &cfg);
+            let mut events = Vec::new();
+            let observed =
+                run_slrh_observed(&sc, &cfg, &mut RunContext::new(), &mut |e| events.push(e));
+            assert_eq!(format!("{:?}", observed.state.schedule()), format!("{:?}", plain.state.schedule()));
+            assert_eq!(observed.stats, plain.stats);
+            assert_eq!(events.len() as u64, plain.stats.clock_steps, "{variant}");
+            for w in events.windows(2) {
+                assert!(w[0].clock < w[1].clock, "{variant}: clock not increasing");
+                assert!(w[0].mapped <= w[1].mapped);
+                assert_eq!(w[0].tick + 1, w[1].tick);
+            }
+            let total: u64 = events.iter().map(|e| e.commits).sum();
+            assert_eq!(total, plain.stats.commits, "{variant}");
+            assert_eq!(events.last().unwrap().mapped, plain.state.mapped_count());
+        }
     }
 
     #[test]

@@ -65,6 +65,22 @@ impl fmt::Display for GridCase {
     }
 }
 
+impl std::str::FromStr for GridCase {
+    type Err = String;
+
+    /// Accepts the canonical [`GridCase::name`] form (`"Case A"`) and the
+    /// bare letter (`"A"`/`"a"`), so `case.to_string().parse()` always
+    /// round-trips and CLI/wire spellings stay terse.
+    fn from_str(s: &str) -> Result<GridCase, String> {
+        match s.trim().strip_prefix("Case ").unwrap_or(s.trim()) {
+            "A" | "a" => Ok(GridCase::A),
+            "B" | "b" => Ok(GridCase::B),
+            "C" | "c" => Ok(GridCase::C),
+            other => Err(format!("unknown grid case {other:?} (expected A, B or C)")),
+        }
+    }
+}
+
 /// A concrete grid: an ordered list of machines.
 #[derive(Clone, PartialEq, Debug)]
 pub struct GridConfig {

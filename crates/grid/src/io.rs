@@ -28,6 +28,9 @@
 use std::fmt::Write as _;
 use std::str::FromStr;
 
+pub mod kv;
+pub mod wire;
+
 use crate::config::{GridCase, GridConfig, MachineId};
 use crate::dag::Dag;
 use crate::data::DataSizes;
@@ -37,29 +40,13 @@ use crate::task::TaskId;
 use crate::units::{Energy, Megabits, Time};
 use crate::workload::Scenario;
 
-/// Errors from parsing a scenario file.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ParseError {
-    /// 1-based line number of the offending line (0 = structural).
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
+/// Errors from parsing a scenario file. An alias of the shared
+/// [`kv::KvError`]: every text format in the workspace (scenario files,
+/// the stress corpus, the broker wire protocol) reports parse failures
+/// the same way — a 1-based line number plus a message.
+pub type ParseError = kv::KvError;
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError {
-        line,
-        message: message.into(),
-    })
-}
+use kv::err;
 
 /// Serialize a scenario to the v1 text format.
 ///

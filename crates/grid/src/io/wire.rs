@@ -1,0 +1,381 @@
+//! Generic framing for the broker's line-delimited wire protocol.
+//!
+//! A *frame* is the unit of exchange between a broker daemon and its
+//! clients: a versioned header naming the message kind, `key=value`
+//! entries, optional named raw blocks (verbatim multi-line payloads,
+//! e.g. an embedded scenario or a final report), and an `end` line:
+//!
+//! ```text
+//! lrh-grid-wire v1 <kind>
+//! key=value
+//! ...
+//! raw <name> <line-count>
+//! <line-count verbatim lines>
+//! end
+//! ```
+//!
+//! This module knows nothing about *which* kinds and keys exist — that
+//! typed layer lives with the broker (`crates/broker`'s `proto`
+//! module). Keeping the framing here, next to [`super::kv`], means the
+//! scenario codec, the stress corpus and the wire protocol all share
+//! one set of lexical conventions.
+//!
+//! ## Versioning rules
+//!
+//! * The header pins the **protocol version** (`v1`). A reader must
+//!   reject any other version — there is no cross-version negotiation.
+//! * Within a version, adding a new *optional* key to an existing kind
+//!   is a compatible change: readers ignore unknown keys. Adding a new
+//!   kind, removing a key, or changing a key's meaning requires a
+//!   version bump.
+//! * Entry lines may carry `#` comments; raw-block lines are verbatim
+//!   (never trimmed, comments preserved).
+//!
+//! ## Robustness limits
+//!
+//! [`read_frame`] enforces hard caps on line length, entry count and
+//! raw-block size so a malformed or hostile peer cannot make the
+//! daemon buffer unbounded input.
+
+use std::io::BufRead;
+
+use super::kv::{split_pair, KvError};
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: &str = "v1";
+
+/// Header prefix of every frame.
+pub const WIRE_MAGIC: &str = "lrh-grid-wire";
+
+/// Longest accepted line, in bytes.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most entries accepted in one frame.
+pub const MAX_ENTRIES: usize = 1 << 16;
+
+/// Most verbatim lines accepted in one raw block.
+pub const MAX_BLOCK_LINES: usize = 1 << 20;
+
+/// A decoded (or to-be-encoded) frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// The message kind from the header line.
+    pub kind: String,
+    /// `key=value` entries, in order; repeated keys are allowed.
+    pub entries: Vec<(String, String)>,
+    /// Named raw blocks, in order. Block text is newline-terminated.
+    pub blocks: Vec<(String, String)>,
+}
+
+impl Frame {
+    /// A new, empty frame of the given kind.
+    pub fn new(kind: impl Into<String>) -> Frame {
+        Frame {
+            kind: kind.into(),
+            entries: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Append an entry. Keys must be bare identifiers; values must be a
+    /// single line and must not contain `#` (the comment delimiter).
+    /// Both are enforced here so every encoded frame re-parses.
+    pub fn push(&mut self, key: &str, value: impl Into<String>) -> &mut Frame {
+        let value = value.into();
+        debug_assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "bad wire key {key:?}"
+        );
+        assert!(
+            !value.contains('\n') && !value.contains('#'),
+            "wire value for {key:?} contains a newline or '#': {value:?}"
+        );
+        self.entries.push((key.to_string(), value));
+        self
+    }
+
+    /// Append a raw block. `text` is carried verbatim line by line; a
+    /// missing final newline is added (block text is always
+    /// newline-terminated on both sides of the wire).
+    pub fn block(&mut self, name: &str, text: impl Into<String>) -> &mut Frame {
+        let mut text = text.into();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        self.blocks.push((name.to_string(), text));
+        self
+    }
+
+    /// First value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of `key`, or a structural [`KvError`].
+    pub fn req(&self, key: &str) -> Result<&str, KvError> {
+        self.get(key).ok_or_else(|| KvError {
+            line: 0,
+            message: format!("{} frame missing required key {key:?}", self.kind),
+        })
+    }
+
+    /// Every value of `key`, in order.
+    pub fn all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First raw block named `name`, if present.
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.blocks
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// First raw block named `name`, or a structural [`KvError`].
+    pub fn req_raw(&self, name: &str) -> Result<&str, KvError> {
+        self.raw(name).ok_or_else(|| KvError {
+            line: 0,
+            message: format!("{} frame missing required block {name:?}", self.kind),
+        })
+    }
+
+    /// Encode to the wire text. The result always re-parses to an equal
+    /// frame ([`Frame::decode`]), which the stress harness fuzzes.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(WIRE_MAGIC);
+        out.push(' ');
+        out.push_str(WIRE_VERSION);
+        out.push(' ');
+        out.push_str(&self.kind);
+        out.push('\n');
+        for (k, v) in &self.entries {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        for (name, text) in &self.blocks {
+            let lines = text.lines().count();
+            out.push_str(&format!("raw {name} {lines}\n"));
+            out.push_str(text);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decode a single frame from a complete text.
+    pub fn decode(text: &str) -> Result<Frame, KvError> {
+        let mut bytes = text.as_bytes();
+        match read_frame(&mut bytes)? {
+            Some(frame) => Ok(frame),
+            None => super::kv::err(0, "empty input where a frame was expected"),
+        }
+    }
+}
+
+/// Read one frame from `reader`.
+///
+/// Returns `Ok(None)` on clean end-of-stream (no bytes before EOF),
+/// an error on a truncated or malformed frame. Blank and comment-only
+/// lines between frames and between entries are skipped; raw-block
+/// lines are verbatim.
+pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Frame>, KvError> {
+    // Locate the header, skipping blank/comment lines between frames.
+    let header = loop {
+        let Some(line) = read_line(reader, 0)? else {
+            return Ok(None);
+        };
+        let meaningful = line.split('#').next().unwrap_or("").trim().to_string();
+        if !meaningful.is_empty() {
+            break meaningful;
+        }
+    };
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(WIRE_MAGIC) {
+        return super::kv::err(1, format!("bad wire header {header:?}"));
+    }
+    match parts.next() {
+        Some(WIRE_VERSION) => {}
+        Some(other) => {
+            return super::kv::err(
+                1,
+                format!("unsupported wire version {other:?} (this build speaks {WIRE_VERSION})"),
+            )
+        }
+        None => return super::kv::err(1, format!("wire header {header:?} names no version")),
+    }
+    let Some(kind) = parts.next() else {
+        return super::kv::err(1, format!("wire header {header:?} names no kind"));
+    };
+    if parts.next().is_some() {
+        return super::kv::err(1, format!("trailing tokens in wire header {header:?}"));
+    }
+
+    let mut frame = Frame::new(kind);
+    let mut line_no = 1usize;
+    loop {
+        let Some(raw) = read_line(reader, line_no)? else {
+            return super::kv::err(0, format!("{kind} frame truncated before end"));
+        };
+        line_no += 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "end" {
+            return Ok(Some(frame));
+        }
+        if let Some(rest) = line.strip_prefix("raw ") {
+            let mut p = rest.split_whitespace();
+            let (name, count) = match (p.next(), p.next(), p.next()) {
+                (Some(n), Some(c), None) => (n.to_string(), c),
+                _ => return super::kv::err(line_no, format!("bad raw block header {raw:?}")),
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| KvError {
+                    line: line_no,
+                    message: format!("bad raw block line count {count:?}"),
+                })?;
+            if count > MAX_BLOCK_LINES {
+                return super::kv::err(line_no, format!("raw block of {count} lines exceeds cap"));
+            }
+            let mut text = String::new();
+            for _ in 0..count {
+                let Some(raw) = read_line(reader, line_no)? else {
+                    return super::kv::err(0, format!("raw block {name:?} truncated"));
+                };
+                line_no += 1;
+                text.push_str(&raw);
+                text.push('\n');
+            }
+            frame.blocks.push((name, text));
+            continue;
+        }
+        let (k, v) = split_pair(line_no, line)?;
+        if frame.entries.len() >= MAX_ENTRIES {
+            return super::kv::err(line_no, "frame exceeds entry cap");
+        }
+        frame.entries.push((k.to_string(), v.to_string()));
+    }
+}
+
+/// Read one `\n`-terminated line (without the terminator), enforcing the
+/// length cap. `Ok(None)` on EOF before any byte.
+fn read_line(reader: &mut impl BufRead, at: usize) -> Result<Option<String>, KvError> {
+    let mut buf = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let chunk = reader.fill_buf().map_err(|e| KvError {
+            line: at,
+            message: format!("read error: {e}"),
+        })?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break; // final unterminated line
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&chunk[..i]);
+                reader.consume(i + 1);
+                break;
+            }
+            None => {
+                total += chunk.len();
+                if total > MAX_LINE_BYTES {
+                    return super::kv::err(at, "line exceeds length cap");
+                }
+                buf.extend_from_slice(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| KvError {
+            line: at,
+            message: "line is not valid UTF-8".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        let mut f = Frame::new("map-request");
+        f.push("job", "7")
+            .push("heuristic", "SLRH-1")
+            .push("loss", "0@100")
+            .push("loss", "1@200")
+            .block("scenario", "lrh-grid-scenario v1\ncase A\nend\n");
+        f
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let f = sample();
+        let text = f.encode();
+        let back = Frame::decode(&text).expect("decode");
+        assert_eq!(back, f);
+        // Encoding again is a fixpoint.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn repeated_keys_keep_order() {
+        let f = Frame::decode(&sample().encode()).unwrap();
+        let losses: Vec<&str> = f.all("loss").collect();
+        assert_eq!(losses, vec!["0@100", "1@200"]);
+    }
+
+    #[test]
+    fn streaming_reads_consecutive_frames() {
+        let mut text = sample().encode();
+        let mut second = Frame::new("status-request");
+        second.push("client", "cli");
+        text.push_str("\n# separator comment\n");
+        text.push_str(&second.encode());
+        let mut bytes = text.as_bytes();
+        let a = read_frame(&mut bytes).unwrap().unwrap();
+        let b = read_frame(&mut bytes).unwrap().unwrap();
+        assert_eq!(a.kind, "map-request");
+        assert_eq!(b.kind, "status-request");
+        assert!(read_frame(&mut bytes).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        let e = Frame::decode("lrh-grid-wire v9 nope\nend\n").unwrap_err();
+        assert!(e.message.contains("unsupported wire version"));
+        let text = sample().encode();
+        for cut in [text.len() / 3, text.len() / 2, text.len() - 2] {
+            assert!(Frame::decode(&text[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn raw_blocks_are_verbatim() {
+        let mut f = Frame::new("x");
+        f.block("b", "  indented # not a comment\n\nblank kept\n");
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(back.raw("b").unwrap(), "  indented # not a comment\n\nblank kept\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "newline")]
+    fn push_rejects_multiline_values() {
+        Frame::new("x").push("k", "a\nb");
+    }
+}

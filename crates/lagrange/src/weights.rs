@@ -108,14 +108,80 @@ impl Weights {
 }
 
 impl fmt::Display for Weights {
+    /// The canonical, machine-readable rendering: shortest-round-trip
+    /// decimals (`{:?}`), so `w.to_string().parse::<Weights>()` returns
+    /// a bit-identical triple. The CLI, the broker wire protocol and the
+    /// golden fixtures all name weight triples through this one form.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "(α={:.3}, β={:.3}, γ={:.3})",
+            "(α={:?}, β={:?}, γ={:?})",
             self.alpha,
             self.beta,
             self.gamma()
         )
+    }
+}
+
+impl std::str::FromStr for Weights {
+    type Err = String;
+
+    /// Parse the [`Display`] form `(α=A, β=B, γ=G)`. ASCII key spellings
+    /// (`alpha=`/`beta=`/`gamma=`, `a=`/`b=`/`g=`) are accepted, the
+    /// parentheses and the γ component are optional (γ is derived; when
+    /// present it is checked for consistency), and a bare `A,B` pair
+    /// also parses. The result is validated by [`Weights::new`].
+    fn from_str(s: &str) -> Result<Weights, String> {
+        let inner = s.trim();
+        let inner = inner
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .unwrap_or(inner);
+        let mut alpha = None;
+        let mut beta = None;
+        let mut gamma = None;
+        for (i, part) in inner.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(format!("empty component in weights {s:?}"));
+            }
+            let (slot, value) = match part.split_once('=') {
+                Some((k, v)) => {
+                    let slot = match k.trim() {
+                        "α" | "alpha" | "a" => &mut alpha,
+                        "β" | "beta" | "b" => &mut beta,
+                        "γ" | "gamma" | "g" => &mut gamma,
+                        other => return Err(format!("unknown weight component {other:?}")),
+                    };
+                    (slot, v)
+                }
+                // Bare positional form: alpha, beta.
+                None => match i {
+                    0 => (&mut alpha, part),
+                    1 => (&mut beta, part),
+                    _ => return Err(format!("too many bare components in weights {s:?}")),
+                },
+            };
+            let parsed: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad weight value {value:?}: {e}"))?;
+            if slot.replace(parsed).is_some() {
+                return Err(format!("duplicate weight component in {s:?}"));
+            }
+        }
+        let alpha = alpha.ok_or_else(|| format!("weights {s:?} name no α"))?;
+        let beta = beta.ok_or_else(|| format!("weights {s:?} name no β"))?;
+        let w = Weights::new(alpha, beta).map_err(|e| e.to_string())?;
+        if let Some(g) = gamma {
+            if (g - w.gamma()).abs() > 1e-9 {
+                return Err(format!(
+                    "inconsistent γ = {g} for α = {alpha}, β = {beta} (derived γ = {})",
+                    w.gamma()
+                ));
+            }
+        }
+        Ok(w)
     }
 }
 
@@ -284,6 +350,50 @@ mod tests {
     #[test]
     fn display() {
         let w = Weights::new(0.5, 0.25).unwrap();
-        assert_eq!(w.to_string(), "(α=0.500, β=0.250, γ=0.250)");
+        assert_eq!(w.to_string(), "(α=0.5, β=0.25, γ=0.25)");
+    }
+
+    #[test]
+    fn display_from_str_round_trips_bit_exactly() {
+        // Values chosen to stress shortest-round-trip printing: exact
+        // dyadics, repeating decimals, grid-arithmetic residue.
+        for (a, b) in [
+            (0.5, 0.25),
+            (0.1, 0.2),
+            (0.6000000000000001, 0.35000000000000003),
+            (1.0, 0.0),
+            (0.0, 0.0),
+            (1.0 / 3.0, 1.0 / 3.0),
+        ] {
+            let w = Weights::new(a, b).unwrap();
+            let back: Weights = w.to_string().parse().expect("parse Display form");
+            assert_eq!(back.alpha().to_bits(), w.alpha().to_bits());
+            assert_eq!(back.beta().to_bits(), w.beta().to_bits());
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_alternate_spellings() {
+        let w = Weights::new(0.5, 0.3).unwrap();
+        for s in [
+            "(α=0.5, β=0.3, γ=0.2)",
+            "alpha=0.5, beta=0.3",
+            "a=0.5,b=0.3",
+            "0.5, 0.3",
+            "(0.5, 0.3)",
+        ] {
+            assert_eq!(s.parse::<Weights>().expect(s), w, "{s}");
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_and_inconsistent() {
+        assert!("".parse::<Weights>().is_err());
+        assert!("(α=0.5)".parse::<Weights>().is_err());
+        assert!("(α=0.5, β=0.3, γ=0.9)".parse::<Weights>().is_err(), "wrong γ");
+        assert!("(α=0.9, β=0.9)".parse::<Weights>().is_err(), "off simplex");
+        assert!("(q=0.5, β=0.3)".parse::<Weights>().is_err());
+        assert!("(α=0.5, α=0.5, β=0.3)".parse::<Weights>().is_err());
+        assert!("0.1, 0.2, 0.7".parse::<Weights>().is_err(), "bare γ");
     }
 }

@@ -1,0 +1,22 @@
+//! Property test: the `Weights` `Display`/`FromStr` pair is a bit-exact
+//! round-trip over the whole simplex. The CLI, the broker wire protocol
+//! and the golden fixtures all rely on this — a triple printed anywhere
+//! re-parses to the identical `f64` pair everywhere.
+
+use lagrange::weights::Weights;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn display_round_trips_bit_exactly(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        // Project the free pair onto the simplex the way callers do.
+        let b = b.min(1.0 - a);
+        let w = Weights::new(a, b).expect("on-simplex pair");
+        let text = w.to_string();
+        let back: Weights = text.parse().expect("Display form parses");
+        prop_assert_eq!(back.alpha().to_bits(), w.alpha().to_bits());
+        prop_assert_eq!(back.beta().to_bits(), w.beta().to_bits());
+        // And printing again is a fixpoint.
+        prop_assert_eq!(back.to_string(), text);
+    }
+}

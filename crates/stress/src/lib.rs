@@ -34,6 +34,12 @@
 //! The CLI (`cargo run -p stress -- --seeds N [--ticks-budget B]`) runs a
 //! seed campaign; the same seed always produces the same scenario and the
 //! same verdict.
+//!
+//! A second fuzzing target ([`wire`], `--wire-seeds N`) hammers the
+//! broker's wire protocol instead of the churn machinery: generated
+//! typed messages must round-trip bit-exactly through their encodings
+//! (the fixpoint the daemon's byte-identity guarantee rides on), and
+//! mutated/truncated/garbage frames must never panic a decoder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,8 +49,10 @@ pub mod oracle;
 pub mod runner;
 pub mod shrink;
 pub mod spec;
+pub mod wire;
 
 pub use gen::generate;
 pub use runner::{run_seed, RunReport};
 pub use shrink::shrink;
 pub use spec::{CaseSpec, ChurnEvent};
+pub use wire::{fuzz_wire, WireReport};

@@ -4,6 +4,7 @@
 //! cargo run --release -p stress -- --seeds 256
 //! cargo run --release -p stress -- --seeds 64 --start-seed 1000 --ticks-budget 2000000
 //! cargo run --release -p stress -- --replay crates/stress/corpus/loss-arrival-same-tick.case
+//! cargo run --release -p stress -- --seeds 0 --wire-seeds 256
 //! ```
 //!
 //! Runs seeds `start..start+n` through every heuristic and every oracle.
@@ -24,6 +25,7 @@ struct Args {
     corpus: PathBuf,
     replay: Option<PathBuf>,
     shrink_budget: usize,
+    wire_seeds: u64,
 }
 
 fn default_corpus() -> PathBuf {
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         corpus: default_corpus(),
         replay: None,
         shrink_budget: 200,
+        wire_seeds: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,10 +54,12 @@ fn parse_args() -> Result<Args, String> {
             "--corpus" => args.corpus = PathBuf::from(value("--corpus")?),
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--shrink-budget" => args.shrink_budget = num(&value("--shrink-budget")?)? as usize,
+            "--wire-seeds" => args.wire_seeds = num(&value("--wire-seeds")?)?,
             "--help" | "-h" => {
                 println!(
                     "usage: stress [--seeds N] [--start-seed S] [--ticks-budget B]\n\
-                     \x20             [--corpus DIR] [--shrink-budget N] [--replay FILE]"
+                     \x20             [--corpus DIR] [--shrink-budget N] [--replay FILE]\n\
+                     \x20             [--wire-seeds N]"
                 );
                 std::process::exit(0);
             }
@@ -115,6 +120,31 @@ fn main() -> ExitCode {
         };
     }
 
+    let mut wire_failing: Vec<u64> = Vec::new();
+    for seed in args.start_seed..args.start_seed + args.wire_seeds {
+        let report = stress::fuzz_wire(seed);
+        if report.passed() {
+            if seed.is_multiple_of(64) {
+                println!(
+                    "wire seed {seed}: ok ({} messages, {} mutants)",
+                    report.messages, report.mutants
+                );
+            }
+            continue;
+        }
+        println!(
+            "wire seed {seed}: FAILED ({} oracle failures)",
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        wire_failing.push(seed);
+    }
+    if args.wire_seeds > 0 && wire_failing.is_empty() {
+        println!("all {} wire seeds green", args.wire_seeds);
+    }
+
     let mut ticks_spent = 0u64;
     let mut ran = 0u64;
     let mut failing: Vec<u64> = Vec::new();
@@ -171,14 +201,17 @@ fn main() -> ExitCode {
         }
     }
 
-    if failing.is_empty() {
-        println!("all {ran} seeds green ({ticks_spent} clock steps)");
-        ExitCode::SUCCESS
-    } else {
+    if !failing.is_empty() {
         println!(
             "{} of {ran} seeds failed: {failing:?} ({ticks_spent} clock steps)",
             failing.len()
         );
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    if !wire_failing.is_empty() {
+        println!("{} wire seeds failed: {wire_failing:?}", wire_failing.len());
+        return ExitCode::FAILURE;
+    }
+    println!("all {ran} seeds green ({ticks_spent} clock steps)");
+    ExitCode::SUCCESS
 }

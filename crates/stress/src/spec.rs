@@ -11,6 +11,7 @@
 //! `f64` bit patterns (hex), so a decoded spec re-runs bit-identically.
 
 use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::io::kv;
 use adhoc_grid::units::{Dur, Time};
 use adhoc_grid::workload::{Scenario, ScenarioParams};
 use lagrange::weights::Weights;
@@ -115,11 +116,15 @@ impl CaseSpec {
         s.push_str(&format!("dt={}\n", self.dt));
         s.push_str(&format!("horizon={}\n", self.horizon));
         s.push_str(&format!(
-            "alpha={:016x} # {}\n",
-            self.alpha.to_bits(),
+            "alpha={} # {}\n",
+            kv::format_f64_bits(self.alpha),
             self.alpha
         ));
-        s.push_str(&format!("beta={:016x} # {}\n", self.beta.to_bits(), self.beta));
+        s.push_str(&format!(
+            "beta={} # {}\n",
+            kv::format_f64_bits(self.beta),
+            self.beta
+        ));
         for e in &self.losses {
             s.push_str(&format!("loss={}@{}\n", e.machine, e.at));
         }
@@ -129,7 +134,9 @@ impl CaseSpec {
         s
     }
 
-    /// Parse the corpus text format.
+    /// Parse the corpus text format. Built on the shared
+    /// [`adhoc_grid::io::kv`] codec; this method only decides which keys
+    /// exist and which are required.
     pub fn decode(text: &str) -> Result<CaseSpec, String> {
         let mut seed = None;
         let mut tasks = None;
@@ -145,36 +152,32 @@ impl CaseSpec {
         let mut losses = Vec::new();
         let mut arrivals = Vec::new();
 
-        for (no, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected key=value, got {raw:?}", no + 1))?;
-            let (key, value) = (key.trim(), value.trim());
-            let ctx = |e: String| format!("line {}: {key}: {e}", no + 1);
+        for (no, line) in kv::Lines::new(text) {
+            let (key, value) = kv::split_pair(no, line).map_err(|e| e.to_string())?;
+            let ctx = |e: String| format!("line {no}: {key}: {e}");
+            let event = |s: &str| {
+                kv::parse_at_pair(s).map(|(machine, at)| ChurnEvent { machine, at })
+            };
             match key {
                 "version" => {
                     if value != "1" {
                         return Err(format!("unsupported corpus version {value}"));
                     }
                 }
-                "seed" => seed = Some(parse_u64(value).map_err(ctx)?),
-                "tasks" => tasks = Some(parse_u64(value).map_err(ctx)? as usize),
-                "case" => case = Some(parse_case(value).map_err(ctx)?),
-                "etc_id" => etc_id = Some(parse_u64(value).map_err(ctx)? as usize),
-                "dag_id" => dag_id = Some(parse_u64(value).map_err(ctx)? as usize),
-                "master_seed" => master_seed = Some(parse_u64(value).map_err(ctx)?),
-                "tau" => tau = Some(parse_u64(value).map_err(ctx)?),
-                "dt" => dt = Some(parse_u64(value).map_err(ctx)?),
-                "horizon" => horizon = Some(parse_u64(value).map_err(ctx)?),
-                "alpha" => alpha = Some(parse_f64_bits(value).map_err(ctx)?),
-                "beta" => beta = Some(parse_f64_bits(value).map_err(ctx)?),
-                "loss" => losses.push(parse_event(value).map_err(ctx)?),
-                "arrival" => arrivals.push(parse_event(value).map_err(ctx)?),
-                other => return Err(format!("line {}: unknown key {other:?}", no + 1)),
+                "seed" => seed = Some(kv::parse_u64(value).map_err(ctx)?),
+                "tasks" => tasks = Some(kv::parse_usize(value).map_err(ctx)?),
+                "case" => case = Some(value.parse::<GridCase>().map_err(ctx)?),
+                "etc_id" => etc_id = Some(kv::parse_usize(value).map_err(ctx)?),
+                "dag_id" => dag_id = Some(kv::parse_usize(value).map_err(ctx)?),
+                "master_seed" => master_seed = Some(kv::parse_u64(value).map_err(ctx)?),
+                "tau" => tau = Some(kv::parse_u64(value).map_err(ctx)?),
+                "dt" => dt = Some(kv::parse_u64(value).map_err(ctx)?),
+                "horizon" => horizon = Some(kv::parse_u64(value).map_err(ctx)?),
+                "alpha" => alpha = Some(kv::parse_f64_bits(value).map_err(ctx)?),
+                "beta" => beta = Some(kv::parse_f64_bits(value).map_err(ctx)?),
+                "loss" => losses.push(event(value).map_err(ctx)?),
+                "arrival" => arrivals.push(event(value).map_err(ctx)?),
+                other => return Err(format!("line {no}: unknown key {other:?}")),
             }
         }
 
@@ -245,46 +248,15 @@ impl CaseSpec {
     }
 }
 
-/// Stable name of a grid case.
+/// Stable corpus name of a grid case (the bare letter; the corpus
+/// predates [`GridCase`]'s `Display`, whose `"Case A"` form would churn
+/// every checked-in reproducer).
 pub fn case_name(case: GridCase) -> &'static str {
     match case {
         GridCase::A => "A",
         GridCase::B => "B",
         GridCase::C => "C",
     }
-}
-
-fn parse_case(s: &str) -> Result<GridCase, String> {
-    match s {
-        "A" => Ok(GridCase::A),
-        "B" => Ok(GridCase::B),
-        "C" => Ok(GridCase::C),
-        other => Err(format!("unknown grid case {other:?}")),
-    }
-}
-
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let r = match s.strip_prefix("0x") {
-        Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
-        None => s.parse(),
-    };
-    r.map_err(|e| format!("bad integer {s:?}: {e}"))
-}
-
-fn parse_f64_bits(s: &str) -> Result<f64, String> {
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|e| format!("bad f64 bit pattern {s:?}: {e}"))
-}
-
-fn parse_event(s: &str) -> Result<ChurnEvent, String> {
-    let (m, at) = s
-        .split_once('@')
-        .ok_or_else(|| format!("expected machine@tick, got {s:?}"))?;
-    Ok(ChurnEvent {
-        machine: parse_u64(m.trim())? as usize,
-        at: parse_u64(at.trim())?,
-    })
 }
 
 #[cfg(test)]

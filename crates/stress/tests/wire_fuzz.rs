@@ -1,0 +1,29 @@
+//! Regression slice of the wire-protocol fuzz campaign: a fixed seed
+//! range must stay green on every push. The full campaign runs from the
+//! CLI (`--wire-seeds N`); this pins a reproducible prefix of it.
+
+use stress::fuzz_wire;
+
+#[test]
+fn wire_seeds_0_to_63_hold_both_oracles() {
+    let mut failures = Vec::new();
+    for seed in 0..64 {
+        let report = fuzz_wire(seed);
+        assert!(report.messages > 0 && report.mutants > 0, "seed {seed} ran nothing");
+        for f in report.failures {
+            failures.push(format!("seed {seed}: {f}"));
+        }
+    }
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+#[test]
+fn wire_reports_are_reproducible() {
+    for seed in [0u64, 17, 42] {
+        let a = fuzz_wire(seed);
+        let b = fuzz_wire(seed);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.mutants, b.mutants);
+        assert_eq!(a.failures, b.failures);
+    }
+}

@@ -101,6 +101,51 @@ impl CaseRow {
             self.heuristic, self.case, self.mean_t100, self.mean_ub_fraction, self.feasible, self.total
         )
     }
+
+    /// Parse a [`CaseRow::canonical`] line back into a row — the inverse
+    /// the broker's batch-job checkpoints need to resume a campaign
+    /// without re-running completed units. The two wall-clock-derived
+    /// fields are not part of the canonical form and come back zero;
+    /// `parsed.canonical()` reproduces the input byte for byte.
+    pub fn parse_canonical(line: &str) -> Result<CaseRow, String> {
+        let mut parts = line.trim().split('|');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("canonical row {line:?} missing {what}"))
+        };
+        let heuristic: Heuristic = next("heuristic")?.parse()?;
+        let case: GridCase = next("case")?.parse()?;
+        let field = |part: &str, key: &str| -> Result<String, String> {
+            part.strip_prefix(key)
+                .and_then(|r| r.strip_prefix('='))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {key}=... in canonical row, got {part:?}"))
+        };
+        let mean_t100: f64 = field(next("t100")?, "t100")?
+            .parse()
+            .map_err(|e| format!("bad t100: {e}"))?;
+        let mean_ub_fraction: f64 = field(next("ub_frac")?, "ub_frac")?
+            .parse()
+            .map_err(|e| format!("bad ub_frac: {e}"))?;
+        let feas = field(next("feasible")?, "feasible")?;
+        let (feasible, total) = feas
+            .split_once('/')
+            .ok_or_else(|| format!("bad feasible field {feas:?}"))?;
+        if parts.next().is_some() {
+            return Err(format!("trailing fields in canonical row {line:?}"));
+        }
+        Ok(CaseRow {
+            heuristic,
+            case,
+            mean_t100,
+            mean_ub_fraction,
+            mean_wall: Duration::ZERO,
+            mean_t100_per_second: 0.0,
+            feasible: feasible.parse().map_err(|e| format!("bad feasible: {e}"))?,
+            total: total.parse().map_err(|e| format!("bad total: {e}"))?,
+        })
+    }
 }
 
 /// Run the campaign. Weight searches run rayon-parallel across scenarios;
@@ -118,7 +163,6 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CaseRow> {
         "run_campaign must not be called from inside a parallel worker: \
          its timing pass needs an uncontended thread"
     );
-    let ids: Vec<(usize, usize)> = cfg.set.ids().collect();
     let mut rows = Vec::new();
     // One context for every sequential timing run in the campaign: after
     // the first run its buffers are warm, so the Figure 6/7 wall-clock
@@ -127,68 +171,88 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CaseRow> {
 
     for &h in &cfg.heuristics {
         for &case in &cfg.cases {
-            // Phase 1 (parallel): tune weights per scenario. Each
-            // executor chunk carries one RunContext, so every heuristic
-            // run in a chunk's searches recycles the same buffers.
-            let tuned: Vec<Option<lagrange::weights::Weights>> = ids
-                .par_iter()
-                .map_init(RunContext::new, |ctx, &(e, d)| {
-                    let sc = cfg.set.scenario(case, e, d);
-                    if h.uses_weights() {
-                        optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx)
-                            .map(|o| o.weights)
-                    } else {
-                        // Weightless heuristics: any placeholder works.
-                        Some(lagrange::weights::Weights::new(0.5, 0.3).expect("static"))
-                    }
-                })
-                .collect();
-
-            // Phase 2 (sequential): timed, validated measurement runs.
-            let mut t100s = Vec::new();
-            let mut ub_fracs = Vec::new();
-            let mut walls = Vec::new();
-            let mut rates = Vec::new();
-            for (&(e, d), weights) in ids.iter().zip(&tuned) {
-                let Some(w) = weights else { continue };
-                let sc = cfg.set.scenario(case, e, d);
-                let r = h.run_in(&sc, *w, &mut timing_ctx);
-                assert!(r.valid, "{h} produced an invalid schedule on {case}");
-                let ub = upper_bound(&sc.etc, &sc.grid, sc.tau);
-                t100s.push(r.metrics.t100 as f64);
-                ub_fracs.push(r.metrics.t100 as f64 / ub.t100.max(1) as f64);
-                walls.push(r.wall);
-                rates.push(r.t100_per_second());
-            }
-
-            let n = t100s.len();
-            if n == 0 {
-                rows.push(CaseRow {
-                    heuristic: h,
-                    case,
-                    mean_t100: 0.0,
-                    mean_ub_fraction: 0.0,
-                    mean_wall: Duration::ZERO,
-                    mean_t100_per_second: 0.0,
-                    feasible: 0,
-                    total: ids.len(),
-                });
-                continue;
-            }
-            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-            rows.push(CaseRow {
-                heuristic: h,
-                case,
-                mean_t100: mean(&t100s),
-                mean_ub_fraction: mean(&ub_fracs),
-                mean_wall: walls.iter().sum::<Duration>() / n as u32,
-                mean_t100_per_second: mean(&rates),
-                feasible: n,
-                total: ids.len(),
-            });
+            rows.push(run_case_unit(cfg, h, case, &mut timing_ctx));
         }
     }
     rows
+}
+
+/// One campaign unit: evaluate `h` on `case` over the whole scenario
+/// suite. This is the checkpointable quantum of work — the broker's
+/// batch jobs run the (heuristic × case) grid one unit at a time and
+/// record the resulting canonical row after each, so a restarted daemon
+/// resumes at the first unit without a row.
+///
+/// Callers own the sequencing contract that [`run_campaign`] documents:
+/// call from an uncontended, non-worker thread, one unit at a time, with
+/// a single `timing_ctx` shared across the units of a campaign (warm
+/// buffers keep the Figure 6/7 wall-clock numbers honest).
+pub fn run_case_unit(
+    cfg: &CampaignConfig,
+    h: Heuristic,
+    case: GridCase,
+    timing_ctx: &mut RunContext,
+) -> CaseRow {
+    let ids: Vec<(usize, usize)> = cfg.set.ids().collect();
+
+    // Phase 1 (parallel): tune weights per scenario. Each
+    // executor chunk carries one RunContext, so every heuristic
+    // run in a chunk's searches recycles the same buffers.
+    let tuned: Vec<Option<lagrange::weights::Weights>> = ids
+        .par_iter()
+        .map_init(RunContext::new, |ctx, &(e, d)| {
+            let sc = cfg.set.scenario(case, e, d);
+            if h.uses_weights() {
+                optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx)
+                    .map(|o| o.weights)
+            } else {
+                // Weightless heuristics: any placeholder works.
+                Some(lagrange::weights::Weights::new(0.5, 0.3).expect("static"))
+            }
+        })
+        .collect();
+
+    // Phase 2 (sequential): timed, validated measurement runs.
+    let mut t100s = Vec::new();
+    let mut ub_fracs = Vec::new();
+    let mut walls = Vec::new();
+    let mut rates = Vec::new();
+    for (&(e, d), weights) in ids.iter().zip(&tuned) {
+        let Some(w) = weights else { continue };
+        let sc = cfg.set.scenario(case, e, d);
+        let r = h.run_in(&sc, *w, timing_ctx);
+        assert!(r.valid, "{h} produced an invalid schedule on {case}");
+        let ub = upper_bound(&sc.etc, &sc.grid, sc.tau);
+        t100s.push(r.metrics.t100 as f64);
+        ub_fracs.push(r.metrics.t100 as f64 / ub.t100.max(1) as f64);
+        walls.push(r.wall);
+        rates.push(r.t100_per_second());
+    }
+
+    let n = t100s.len();
+    if n == 0 {
+        return CaseRow {
+            heuristic: h,
+            case,
+            mean_t100: 0.0,
+            mean_ub_fraction: 0.0,
+            mean_wall: Duration::ZERO,
+            mean_t100_per_second: 0.0,
+            feasible: 0,
+            total: ids.len(),
+        };
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    CaseRow {
+        heuristic: h,
+        case,
+        mean_t100: mean(&t100s),
+        mean_ub_fraction: mean(&ub_fracs),
+        mean_wall: walls.iter().sum::<Duration>() / n as u32,
+        mean_t100_per_second: mean(&rates),
+        feasible: n,
+        total: ids.len(),
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +275,20 @@ mod tests {
         };
         let rows = run_campaign(&cfg);
         assert_eq!(rows.len(), 4);
+
+        // Unit extraction: replaying the grid one unit at a time with a
+        // shared timing context reproduces the campaign's canonical
+        // report byte for byte — the broker's checkpoint resume hinges
+        // on this.
+        let mut timing_ctx = RunContext::new();
+        let mut unit_rows = Vec::new();
+        for &h in &cfg.heuristics {
+            for &case in &cfg.cases {
+                unit_rows.push(run_case_unit(&cfg, h, case, &mut timing_ctx));
+            }
+        }
+        assert_eq!(canonical_report(&rows), canonical_report(&unit_rows));
+
         for row in &rows {
             assert_eq!(row.total, 2);
             assert!(row.feasible > 0, "{} {} infeasible", row.heuristic, row.case);
@@ -221,6 +299,35 @@ mod tests {
             assert!(row.mean_ub_fraction > 0.0);
             assert!(row.mean_wall > Duration::ZERO);
             assert!(row.mean_t100_per_second > 0.0);
+
+            // Canonical rows parse back and re-serialize identically.
+            let line = row.canonical();
+            let parsed = CaseRow::parse_canonical(&line).expect("canonical row parses");
+            assert_eq!(parsed.canonical(), line);
+            assert_eq!(parsed.heuristic, row.heuristic);
+            assert_eq!(parsed.case, row.case);
+            assert_eq!(parsed.mean_t100.to_bits(), row.mean_t100.to_bits());
+            assert_eq!(parsed.mean_ub_fraction.to_bits(), row.mean_ub_fraction.to_bits());
+            assert_eq!((parsed.feasible, parsed.total), (row.feasible, row.total));
+        }
+    }
+
+    #[test]
+    fn parse_canonical_rejects_malformed_rows() {
+        for bad in [
+            "",
+            "SLRH-1",
+            "SLRH-1|Case A",
+            "SLRH-1|Case A|t100=1.0",
+            "SLRH-1|Case A|t100=1.0|ub_frac=0.5",
+            "SLRH-1|Case A|t100=1.0|ub_frac=0.5|feasible=2-2",
+            "SLRH-1|Case A|t100=1.0|ub_frac=0.5|feasible=2/2|extra",
+            "SLRH-1|Case A|ub_frac=0.5|t100=1.0|feasible=2/2",
+            "NOSUCH|Case A|t100=1.0|ub_frac=0.5|feasible=2/2",
+            "SLRH-1|Case Z|t100=1.0|ub_frac=0.5|feasible=2/2",
+            "SLRH-1|Case A|t100=nope|ub_frac=0.5|feasible=2/2",
+        ] {
+            assert!(CaseRow::parse_canonical(bad).is_err(), "accepted {bad:?}");
         }
     }
 }

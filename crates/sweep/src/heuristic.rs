@@ -77,6 +77,22 @@ impl Heuristic {
         }
     }
 
+    /// Terse, flag-friendly spelling of the name — what the CLI's
+    /// `--heuristic` flag takes and what usage text lists.
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            Heuristic::Slrh1 => "slrh1",
+            Heuristic::Slrh2 => "slrh2",
+            Heuristic::Slrh3 => "slrh3",
+            Heuristic::MaxMax => "maxmax",
+            Heuristic::Greedy => "greedy",
+            Heuristic::Olb => "olb",
+            Heuristic::MinMin => "minmin",
+            Heuristic::Heft => "heft",
+            Heuristic::LrList => "lrlist",
+        }
+    }
+
     /// True when the heuristic's behaviour depends on the objective
     /// weights (and therefore needs the Figure 3 weight search).
     pub fn uses_weights(self) -> bool {
@@ -185,6 +201,26 @@ impl std::fmt::Display for Heuristic {
     }
 }
 
+impl std::str::FromStr for Heuristic {
+    type Err = String;
+
+    /// Parse a heuristic name. Accepts the canonical [`Heuristic::name`]
+    /// form (so `h.to_string().parse()` always round-trips) and the terse
+    /// [`Heuristic::flag_name`] form, both case-insensitively — the CLI,
+    /// the broker wire protocol and checkpoint files all go through this
+    /// one parser.
+    fn from_str(s: &str) -> Result<Heuristic, String> {
+        let key = s.trim().to_ascii_lowercase();
+        Heuristic::ALL
+            .into_iter()
+            .find(|h| key == h.name().to_ascii_lowercase() || key == h.flag_name())
+            .ok_or_else(|| {
+                let known: Vec<&str> = Heuristic::ALL.iter().map(|h| h.flag_name()).collect();
+                format!("unknown heuristic {s:?} (expected one of {})", known.join("|"))
+            })
+    }
+}
+
 /// One validated, timed heuristic run.
 #[derive(Copy, Clone, Debug)]
 pub struct RunResult {
@@ -230,6 +266,17 @@ mod tests {
         assert!(Heuristic::Slrh1.uses_weights());
         assert!(!Heuristic::Olb.uses_weights());
         assert_eq!(Heuristic::MaxMax.to_string(), "Max-Max");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for h in Heuristic::ALL {
+            assert_eq!(h.to_string().parse::<Heuristic>().unwrap(), h);
+            assert_eq!(h.flag_name().parse::<Heuristic>().unwrap(), h);
+            assert_eq!(h.name().to_uppercase().parse::<Heuristic>().unwrap(), h);
+        }
+        let e = "quantum".parse::<Heuristic>().unwrap_err();
+        assert!(e.contains("slrh1") && e.contains("lrlist"), "{e}");
     }
 
     #[test]

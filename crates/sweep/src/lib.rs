@@ -33,7 +33,7 @@ pub mod report;
 pub mod stats;
 pub mod weight_search;
 
-pub use campaign::{canonical_report, run_campaign, CampaignConfig, CaseRow};
+pub use campaign::{canonical_report, run_campaign, run_case_unit, CampaignConfig, CaseRow};
 pub use dt_sweep::{dt_sweep, horizon_sweep, SweepPoint};
 pub use heuristic::{Heuristic, RunResult};
 pub use replicate::{replicated_tuned_t100, Estimate, ReplicationConfig};

@@ -1,279 +1,256 @@
 //! `lrh-grid` — the command-line interface to the resource manager.
 //!
-//! ```text
-//! lrh-grid run    [--case A|B|C] [--tasks N] [--etc I] [--dag I]
-//!                 [--heuristic NAME] [--alpha X] [--beta Y] [--gantt]
-//! lrh-grid tune   [--case A|B|C] [--tasks N] [--etc I] [--dag I]
-//!                 [--heuristic NAME]
-//! lrh-grid export [--case A|B|C] [--tasks N] [--etc I] [--dag I] --out FILE
-//! lrh-grid replay --in FILE [--heuristic NAME] [--alpha X] [--beta Y]
-//! lrh-grid churn  [--case A|B|C] [--tasks N] [--lose M@T ...] [--join M@T ...]
-//! ```
-//!
-//! `export` writes the generated workload to the versioned text format of
-//! `adhoc_grid::io`; `replay` maps a previously exported workload, so
-//! results can be exchanged and re-examined without sharing seeds.
+//! Arguments are parsed by the typed layer in [`lrh_grid::cli`]; run
+//! `lrh-grid` with no arguments for the full usage text. The mapping
+//! commands (`run`, `replay`, `churn`, `submit`, `watch`) all build the
+//! same [`MapRequest`] and execute it through `grid_broker::execute`,
+//! so a submitted job's stdout is byte-identical to a local run of the
+//! same flags: the deterministic report goes to stdout, timing and
+//! progress chatter to stderr.
 
 use std::process::exit;
+use std::time::Instant;
 
+use lrh_grid::broker::proto::{Event, MapRequest};
+use lrh_grid::broker::server::{serve, BrokerConfig};
+use lrh_grid::broker::{execute_map, Connection};
+use lrh_grid::cli::{self, Addr, Command, Export, Job, Remote, Serve, Tune};
 use lrh_grid::grid::io;
-use lrh_grid::grid::{GridCase, MachineId, Scenario, ScenarioParams, Time};
-use lrh_grid::lagrange::weights::Weights;
 use lrh_grid::sim::trace::Trace;
-use lrh_grid::sim::validate::validate_schedule;
-use lrh_grid::slrh::dynamic::{validate_arrivals, validate_loss};
-use lrh_grid::slrh::{
-    run_slrh_churn, MachineArrivalEvent, MachineLossEvent, SlrhConfig, SlrhVariant,
-};
+use lrh_grid::slrh::{run_slrh, RunContext, SlrhConfig, SlrhVariant};
 use lrh_grid::sweep::heuristic::Heuristic;
 use lrh_grid::sweep::weight_search::optimal_weights_with_steps;
 
-struct Args(Vec<String>);
-
-impl Args {
-    fn flag(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
-    }
-
-    fn multi(&self, name: &str) -> Vec<&str> {
-        self.0
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| *a == name)
-            .filter_map(|(i, _)| self.0.get(i + 1))
-            .map(String::as_str)
-            .collect()
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.0.iter().any(|a| a == name)
-    }
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: lrh-grid <run|tune|export|replay|churn> [options]\n\
-         \n\
-         common options:\n\
-           --case A|B|C       grid case (default A)\n\
-           --tasks N          subtask count (default 256; tau/batteries scale)\n\
-           --etc I --dag I    suite member ids (default 0, 0)\n\
-           --heuristic NAME   slrh1|slrh2|slrh3|maxmax|greedy|olb|minmin|heft|lrlist\n\
-           --alpha X --beta Y objective weights (default 0.5, 0.3)\n\
-         run:    map the workload, print metrics (--gantt for a chart)\n\
-         tune:   search the compliant (alpha, beta) maximizing T100\n\
-         export: write the workload to --out FILE\n\
-         replay: map a workload read from --in FILE\n\
-         churn:  SLRH-1 with --lose M@T / --join M@T events (T in seconds)"
-    );
-    exit(2)
-}
-
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    exit(1)
-}
-
-fn parse_case(args: &Args) -> GridCase {
-    match args.flag("--case").unwrap_or("A") {
-        "A" | "a" => GridCase::A,
-        "B" | "b" => GridCase::B,
-        "C" | "c" => GridCase::C,
-        other => fail(&format!("unknown case {other:?}")),
-    }
-}
-
-fn parse_usize(args: &Args, name: &str, default: usize) -> usize {
-    args.flag(name)
-        .map(|v| v.parse().unwrap_or_else(|_| fail(&format!("bad {name} value {v:?}"))))
-        .unwrap_or(default)
-}
-
-fn parse_weights(args: &Args) -> Weights {
-    let a = args
-        .flag("--alpha")
-        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --alpha")))
-        .unwrap_or(0.5);
-    let b = args
-        .flag("--beta")
-        .map(|v| v.parse().unwrap_or_else(|_| fail("bad --beta")))
-        .unwrap_or(0.3);
-    Weights::new(a, b).unwrap_or_else(|e| fail(&format!("invalid weights: {e}")))
-}
-
-fn parse_heuristic(args: &Args) -> Heuristic {
-    match args.flag("--heuristic").unwrap_or("slrh1") {
-        "slrh1" => Heuristic::Slrh1,
-        "slrh2" => Heuristic::Slrh2,
-        "slrh3" => Heuristic::Slrh3,
-        "maxmax" => Heuristic::MaxMax,
-        "greedy" => Heuristic::Greedy,
-        "olb" => Heuristic::Olb,
-        "minmin" => Heuristic::MinMin,
-        "heft" => Heuristic::Heft,
-        "lrlist" => Heuristic::LrList,
-        other => fail(&format!("unknown heuristic {other:?}")),
-    }
-}
-
-fn scenario_from_args(args: &Args) -> Scenario {
-    let tasks = parse_usize(args, "--tasks", 256);
-    let params = ScenarioParams::paper_scaled(tasks);
-    Scenario::generate(
-        &params,
-        parse_case(args),
-        parse_usize(args, "--etc", 0),
-        parse_usize(args, "--dag", 0),
-    )
-}
-
-fn parse_event(spec: &str) -> (MachineId, Time) {
-    let (m, t) = spec
-        .split_once('@')
-        .unwrap_or_else(|| fail(&format!("event {spec:?} must be M@SECONDS")));
-    let machine = MachineId(m.parse().unwrap_or_else(|_| fail("bad event machine")));
-    let secs: u64 = t.parse().unwrap_or_else(|_| fail("bad event time"));
-    (machine, Time::from_seconds(secs))
-}
-
-fn report(sc: &Scenario, h: Heuristic, w: Weights, gantt: bool) {
-    let r = h.run(sc, w);
-    if !r.valid {
-        fail("heuristic produced an invalid schedule (bug — please report)");
-    }
-    let m = r.metrics;
-    println!(
-        "{h} on {} (|T| = {}, tau = {:.0}s) at {w}:",
-        sc.case,
-        sc.tasks(),
-        sc.tau.as_seconds()
-    );
-    println!(
-        "  mapped {}/{}  T100 {}  AET {:.0}s  TEC {:.1}/{:.1} eu  [{}]",
-        m.mapped,
-        m.tasks,
-        m.t100,
-        m.aet.as_seconds(),
-        m.tec.units(),
-        m.tse.units(),
-        if m.constraints_met() {
-            "constraints met"
-        } else {
-            "CONSTRAINTS VIOLATED"
-        }
-    );
-    println!(
-        "  heuristic time {:?}, {} candidates evaluated",
-        r.wall, r.work
-    );
-    if gantt {
-        // RunResult carries metrics only; re-run to get the schedule. The
-        // chart is supported for the SLRH variants (the heuristics whose
-        // drivers expose their final state here).
-        let variant = match h {
-            Heuristic::Slrh1 => Some(SlrhVariant::V1),
-            Heuristic::Slrh2 => Some(SlrhVariant::V2),
-            Heuristic::Slrh3 => Some(SlrhVariant::V3),
-            _ => None,
-        };
-        match variant {
-            Some(v) => {
-                let out = lrh_grid::slrh::run_slrh(sc, &SlrhConfig::paper(v, w));
-                let trace = Trace::from_state(&out.state);
-                print!("{}", trace.render_gantt(out.state.schedule(), 64));
-            }
-            None => eprintln!("(--gantt is available for the SLRH heuristics)"),
-        }
-    }
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first().cloned() else { usage() };
-    let args = Args(argv[1..].to_vec());
+    let command = match cli::parse(&argv) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            exit(2);
+        }
+    };
+    let code = match command {
+        Command::Run(job) | Command::Replay(job) | Command::Churn(job) => run_local(&job),
+        Command::Tune(tune) => run_tune(&tune),
+        Command::Export(export) => run_export(&export),
+        Command::Serve(serve) => run_serve(&serve),
+        Command::Submit(remote) => run_submit(&remote, false),
+        Command::Watch(remote) => run_submit(&remote, true),
+        Command::Status(addr) => run_status(&addr),
+        Command::Stop(addr) => run_stop(&addr),
+    };
+    exit(code);
+}
 
-    match cmd.as_str() {
-        "run" => {
-            let sc = scenario_from_args(&args);
-            report(&sc, parse_heuristic(&args), parse_weights(&args), args.has("--gantt"));
-        }
-        "tune" => {
-            let sc = scenario_from_args(&args);
-            let h = parse_heuristic(&args);
-            match optimal_weights_with_steps(h, &sc, 0.1, 0.02) {
-                Some(o) => {
-                    println!(
-                        "{h} on {}: best compliant weights {} -> T100 = {} ({} runs searched)",
-                        sc.case, o.weights, o.t100, o.evaluations
-                    );
-                }
-                None => println!("{h} on {}: no compliant (alpha, beta) pair found", sc.case),
-            }
-        }
-        "export" => {
-            let sc = scenario_from_args(&args);
-            let out = args.flag("--out").unwrap_or_else(|| fail("--out FILE required"));
-            std::fs::write(out, io::write(&sc))
-                .unwrap_or_else(|e| fail(&format!("writing {out}: {e}")));
-            println!(
-                "wrote {} ({} tasks, {} machines, case {})",
-                out,
-                sc.tasks(),
-                sc.grid.len(),
-                sc.case
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+/// Execute a mapping job locally through the same code path the daemon
+/// workers use. The deterministic report is the only stdout.
+fn run_local(job: &Job) -> i32 {
+    let started = Instant::now();
+    let mut ctx = RunContext::new();
+    let mut ticks = 0usize;
+    let mut invalidated = 0usize;
+    let outcome = execute_map(0, &job.request, &mut ctx, &mut |event| match event {
+        Event::Tick { .. } => ticks += 1,
+        Event::Disruption {
+            invalidated: n, ..
+        } => invalidated += n,
+        _ => {}
+    });
+    match outcome {
+        Ok(resp) => {
+            print!("{}", resp.report);
+            eprintln!(
+                "mapped in {:?} ({ticks} clock ticks, {invalidated} mappings invalidated)",
+                started.elapsed()
             );
-        }
-        "replay" => {
-            let path = args.flag("--in").unwrap_or_else(|| fail("--in FILE required"));
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
-            let sc = io::read(&text).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")));
-            report(&sc, parse_heuristic(&args), parse_weights(&args), args.has("--gantt"));
-        }
-        "churn" => {
-            let sc = scenario_from_args(&args);
-            let losses: Vec<MachineLossEvent> = args
-                .multi("--lose")
-                .into_iter()
-                .map(|s| {
-                    let (machine, at) = parse_event(s);
-                    MachineLossEvent { machine, at }
-                })
-                .collect();
-            let arrivals: Vec<MachineArrivalEvent> = args
-                .multi("--join")
-                .into_iter()
-                .map(|s| {
-                    let (machine, at) = parse_event(s);
-                    MachineArrivalEvent { machine, at }
-                })
-                .collect();
-            let cfg = SlrhConfig::paper(SlrhVariant::V1, parse_weights(&args));
-            let out = run_slrh_churn(&sc, &cfg, &losses, &arrivals);
-            let m = out.metrics();
-            println!(
-                "churn run on {}: mapped {}/{}, T100 = {}, {} mappings invalidated",
-                sc.case,
-                m.mapped,
-                m.tasks,
-                m.t100,
-                out.disruptions.iter().map(|&(_, n)| n).sum::<usize>()
-            );
-            let phys = validate_schedule(&sc, out.state.schedule());
-            let loss = validate_loss(&out.state, &losses);
-            let arr = validate_arrivals(&out.state, &arrivals);
-            if phys.is_empty() && loss.is_empty() && arr.is_empty() {
-                println!("validated: physical model + churn timeline OK");
-            } else {
-                fail(&format!("validation failed: {phys:?} {loss:?} {arr:?}"));
+            if job.gantt {
+                render_gantt(&job.request);
             }
-            let trace = Trace::from_state(&out.state);
-            print!("{}", trace.render_gantt(out.state.schedule(), 64));
+            0
         }
-        _ => usage(),
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// Render a Gantt chart to stderr. The chart needs the final simulator
+/// state, which the executor recycles, so the SLRH run is repeated; the
+/// report on stdout is untouched either way.
+fn render_gantt(request: &MapRequest) {
+    let variant = match request.heuristic {
+        Heuristic::Slrh1 => Some(SlrhVariant::V1),
+        Heuristic::Slrh2 => Some(SlrhVariant::V2),
+        Heuristic::Slrh3 => Some(SlrhVariant::V3),
+        _ => None,
+    };
+    let Some(variant) = variant else {
+        eprintln!("(--gantt is available for the SLRH heuristics)");
+        return;
+    };
+    let scenario = match request.scenario.build() {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("(--gantt skipped: {e})");
+            return;
+        }
+    };
+    let config = SlrhConfig {
+        variant,
+        ..request.config
+    };
+    let state = if request.losses.is_empty() && request.arrivals.is_empty() {
+        run_slrh(&scenario, &config).state
+    } else {
+        lrh_grid::slrh::run_slrh_churn(
+            &scenario,
+            &config,
+            &request.loss_events(),
+            &request.arrival_events(),
+        )
+        .state
+    };
+    let trace = Trace::from_state(&state);
+    eprint!("{}", trace.render_gantt(state.schedule(), 64));
+}
+
+fn run_tune(tune: &Tune) -> i32 {
+    let scenario = match tune.scenario.build() {
+        Ok(scenario) => scenario,
+        Err(e) => return fail(&e),
+    };
+    match optimal_weights_with_steps(tune.heuristic, &scenario, tune.coarse, tune.fine) {
+        Some(o) => {
+            println!(
+                "{} on {}: best compliant weights {} -> T100 = {} ({} runs searched)",
+                tune.heuristic, scenario.case, o.weights, o.t100, o.evaluations
+            );
+            0
+        }
+        None => {
+            println!(
+                "{} on {}: no compliant (alpha, beta) pair found",
+                tune.heuristic, scenario.case
+            );
+            0
+        }
+    }
+}
+
+fn run_export(export: &Export) -> i32 {
+    let scenario = match export.scenario.build() {
+        Ok(scenario) => scenario,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = std::fs::write(&export.out, io::write(&scenario)) {
+        return fail(&format!("writing {}: {e}", export.out));
+    }
+    println!(
+        "wrote {} ({} tasks, {} machines, case {})",
+        export.out,
+        scenario.tasks(),
+        scenario.grid.len(),
+        scenario.case
+    );
+    0
+}
+
+fn run_serve(opts: &Serve) -> i32 {
+    let handle = match serve(&BrokerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+    }) {
+        Ok(handle) => handle,
+        Err(e) => return fail(&format!("binding {}: {e}", opts.addr)),
+    };
+    eprintln!(
+        "lrh-grid broker listening on {} ({} workers)",
+        handle.addr(),
+        opts.workers
+    );
+    handle.join();
+    eprintln!("lrh-grid broker stopped");
+    0
+}
+
+fn run_submit(remote: &Remote, narrate: bool) -> i32 {
+    let mut conn = match Connection::connect(&remote.addr) {
+        Ok(conn) => conn,
+        Err(e) => return fail(&format!("connecting to {}: {e}", remote.addr)),
+    };
+    let started = Instant::now();
+    let outcome = conn.submit_map(&remote.job.request, |event| {
+        if narrate {
+            narrate_event(event);
+        }
+    });
+    match outcome {
+        Ok(resp) => {
+            print!("{}", resp.report);
+            eprintln!("job {} completed in {:?}", resp.job, started.elapsed());
+            0
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// One human-readable stderr line per streamed event.
+fn narrate_event(event: &Event) {
+    match event {
+        Event::Queued { job } => eprintln!("[job {job}] queued"),
+        Event::Started { job } => eprintln!("[job {job}] started"),
+        Event::Tick {
+            job,
+            clock,
+            tick,
+            mapped,
+            commits,
+        } => eprintln!(
+            "[job {job}] tick {tick} at clock {clock}: {mapped} mapped (+{commits})"
+        ),
+        Event::Disruption {
+            job,
+            at,
+            invalidated,
+        } => eprintln!("[job {job}] disruption at clock {at}: {invalidated} mappings invalidated"),
+        Event::Unit {
+            job, index, total, ..
+        } => eprintln!("[job {job}] campaign unit {}/{total} done", index + 1),
+        Event::Done { job } => eprintln!("[job {job}] done"),
+    }
+}
+
+fn run_status(addr: &Addr) -> i32 {
+    let mut conn = match Connection::connect(&addr.addr) {
+        Ok(conn) => conn,
+        Err(e) => return fail(&format!("connecting to {}: {e}", addr.addr)),
+    };
+    match conn.status() {
+        Ok(s) => {
+            println!(
+                "queued={} running={} completed={} workers={}",
+                s.queued, s.running, s.completed, s.workers
+            );
+            0
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn run_stop(addr: &Addr) -> i32 {
+    let mut conn = match Connection::connect(&addr.addr) {
+        Ok(conn) => conn,
+        Err(e) => return fail(&format!("connecting to {}: {e}", addr.addr)),
+    };
+    match conn.shutdown() {
+        Ok(()) => {
+            eprintln!("daemon at {} is shutting down", addr.addr);
+            0
+        }
+        Err(msg) => fail(&msg),
     }
 }

@@ -1,0 +1,623 @@
+//! Typed command-line layer for the `lrh-grid` binary.
+//!
+//! Every command's arguments are parsed into one [`Command`] value
+//! before any work happens: unknown flags, missing values and malformed
+//! values are hard errors carrying a message suitable for printing
+//! above [`USAGE`]. There is no stringly flag scraping — each flag is
+//! parsed by the same `FromStr` implementations the wire protocol and
+//! checkpoint files use, so the CLI, the broker and the golden fixtures
+//! all name heuristics, cases and configurations identically.
+//!
+//! `run` and `submit` both build a [`MapRequest`] here and execute it
+//! through `grid_broker::execute`, which is what makes a submitted
+//! job's report byte-identical to a local run of the same flags.
+
+use std::fmt;
+use std::str::FromStr;
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::units::Dur;
+use grid_broker::proto::{MapRequest, ScenarioSpec};
+use grid_sweep::heuristic::Heuristic;
+use lagrange::weights::Weights;
+use slrh::{SlrhConfig, SlrhVariant};
+
+/// Usage text printed under every argument error (and for `--help`).
+pub const USAGE: &str = "\
+usage: lrh-grid <command> [options]
+
+workload options (run, tune, export, replay, churn, submit, watch):
+  --case A|B|C        grid case (default A)
+  --tasks N           subtask count (default 256; tau/batteries scale)
+  --etc I  --dag I    suite member ids (default 0, 0)
+  --seed S            master seed override (decimal or 0x hex)
+  --tau T             deadline override in ticks (10 ticks = 1 s)
+  --in FILE           read the workload from FILE instead of generating
+
+mapping options (run, replay, churn, submit, watch):
+  --heuristic NAME    slrh1|slrh2|slrh3|maxmax|greedy|olb|minmin|heft|lrlist
+  --alpha X --beta Y  objective weights (default 0.5, 0.3)
+  --dt T --horizon T  receding-horizon knobs in ticks (paper defaults)
+  --lose M@T          machine M lost at tick T (repeatable; SLRH only)
+  --join M@T          machine M arrives at tick T (repeatable; SLRH only)
+  --label NAME        job label echoed in the report (default \"job\")
+  --gantt             render a Gantt chart to stderr after the report
+
+commands:
+  run      map the workload locally; deterministic report on stdout
+  tune     search the compliant (alpha, beta) maximizing T100
+           [--coarse X --fine Y  search steps (default 0.1, 0.02)]
+  export   write the generated workload to --out FILE
+  replay   map a workload read from --in FILE (alias of run --in)
+  churn    run --heuristic slrh1 with churn events and a Gantt chart
+  serve    start the broker daemon
+           [--addr HOST:PORT (default 127.0.0.1:7171), --workers N (default 2)]
+  submit   send the job to a daemon; identical stdout to `run`
+           [--addr HOST:PORT, --client NAME]
+  watch    submit, narrating queue/tick/disruption events to stderr
+  status   print the daemon's queue/worker counters
+  stop     ask the daemon to shut down gracefully";
+
+/// Default daemon address for `serve`/`submit`/`watch`/`status`/`stop`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// An argument error: a message to print above [`USAGE`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// Map a workload locally.
+    Run(Job),
+    /// Weight search.
+    Tune(Tune),
+    /// Write a generated workload to a file.
+    Export(Export),
+    /// Map a previously exported workload.
+    Replay(Job),
+    /// SLRH under machine churn, with a Gantt chart.
+    Churn(Job),
+    /// Start the broker daemon.
+    Serve(Serve),
+    /// Submit a job to a daemon.
+    Submit(Remote),
+    /// Submit and narrate the event stream.
+    Watch(Remote),
+    /// Query daemon counters.
+    Status(Addr),
+    /// Graceful daemon shutdown.
+    Stop(Addr),
+}
+
+/// A local mapping job.
+#[derive(Debug, PartialEq)]
+pub struct Job {
+    /// The request — the same type the wire protocol carries.
+    pub request: MapRequest,
+    /// Render a Gantt chart to stderr after the report.
+    pub gantt: bool,
+}
+
+/// A job addressed to a daemon.
+#[derive(Debug, PartialEq)]
+pub struct Remote {
+    /// Daemon address.
+    pub addr: String,
+    /// The job.
+    pub job: Job,
+}
+
+/// `tune` arguments.
+#[derive(Debug, PartialEq)]
+pub struct Tune {
+    /// The workload to tune on.
+    pub scenario: ScenarioSpec,
+    /// The heuristic whose weights are searched.
+    pub heuristic: Heuristic,
+    /// Coarse search step.
+    pub coarse: f64,
+    /// Fine refinement step.
+    pub fine: f64,
+}
+
+/// `export` arguments.
+#[derive(Debug, PartialEq)]
+pub struct Export {
+    /// The workload to write.
+    pub scenario: ScenarioSpec,
+    /// Output path.
+    pub out: String,
+}
+
+/// `serve` arguments.
+#[derive(Debug, PartialEq)]
+pub struct Serve {
+    /// Bind address.
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+/// A bare daemon address (`status`, `stop`).
+#[derive(Debug, PartialEq)]
+pub struct Addr {
+    /// Daemon address.
+    pub addr: String,
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(CliError::new("missing command"));
+    };
+    match cmd.as_str() {
+        "run" => Ok(Command::Run(parse_job("run", rest, false)?.job)),
+        "replay" => {
+            let parsed = parse_job("replay", rest, false)?;
+            if !matches!(parsed.job.request.scenario, ScenarioSpec::Inline(_)) {
+                return Err(CliError::new("replay requires --in FILE"));
+            }
+            Ok(Command::Replay(parsed.job))
+        }
+        "churn" => {
+            let mut parsed = parse_job("churn", rest, false)?;
+            parsed.job.gantt = true;
+            Ok(Command::Churn(parsed.job))
+        }
+        "tune" => parse_tune(rest).map(Command::Tune),
+        "export" => parse_export(rest).map(Command::Export),
+        "serve" => parse_serve(rest).map(Command::Serve),
+        "submit" => {
+            let parsed = parse_job("submit", rest, true)?;
+            Ok(Command::Submit(Remote {
+                addr: parsed.addr,
+                job: parsed.job,
+            }))
+        }
+        "watch" => {
+            let parsed = parse_job("watch", rest, true)?;
+            Ok(Command::Watch(Remote {
+                addr: parsed.addr,
+                job: parsed.job,
+            }))
+        }
+        "status" => parse_addr("status", rest).map(Command::Status),
+        "stop" => parse_addr("stop", rest).map(Command::Stop),
+        other => Err(CliError::new(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Flag cursor over an argument slice.
+struct Cursor<'a> {
+    argv: &'a [String],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(argv: &'a [String]) -> Cursor<'a> {
+        Cursor { argv, i: 0 }
+    }
+
+    /// The next flag, or an error for a positional argument.
+    fn next_flag(&mut self) -> Result<Option<&'a str>, CliError> {
+        let Some(arg) = self.argv.get(self.i) else {
+            return Ok(None);
+        };
+        self.i += 1;
+        if !arg.starts_with("--") {
+            return Err(CliError::new(format!("unexpected argument {arg:?}")));
+        }
+        Ok(Some(arg))
+    }
+
+    /// The value following `flag`.
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        let Some(arg) = self.argv.get(self.i) else {
+            return Err(CliError::new(format!("{flag} needs a value")));
+        };
+        self.i += 1;
+        Ok(arg)
+    }
+}
+
+/// Parse `raw` as a `T`, attributing failures to `flag`.
+fn typed<T: FromStr>(flag: &str, raw: &str) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| CliError::new(format!("bad value {raw:?} for {flag}: {e}")))
+}
+
+/// Parse a seed: decimal or `0x` hex (the wire spelling).
+fn parse_seed(flag: &str, raw: &str) -> Result<u64, CliError> {
+    adhoc_grid::io::kv::parse_u64(raw)
+        .map_err(|e| CliError::new(format!("bad value {raw:?} for {flag}: {e}")))
+}
+
+/// Parse a churn event `M@T` (machine id at tick).
+fn parse_event(flag: &str, raw: &str) -> Result<(usize, u64), CliError> {
+    let Some((m, t)) = raw.split_once('@') else {
+        return Err(CliError::new(format!(
+            "bad value {raw:?} for {flag}: expected MACHINE@TICK"
+        )));
+    };
+    Ok((typed(flag, m)?, typed(flag, t)?))
+}
+
+/// Workload flags shared by every scenario-consuming command.
+#[derive(Default)]
+struct WorkloadFlags {
+    tasks: Option<usize>,
+    case: Option<GridCase>,
+    etc: Option<usize>,
+    dag: Option<usize>,
+    seed: Option<u64>,
+    tau: Option<u64>,
+    input: Option<String>,
+}
+
+impl WorkloadFlags {
+    /// Try to consume `flag`; `Ok(false)` means it is not a workload flag.
+    fn accept(&mut self, flag: &str, cursor: &mut Cursor) -> Result<bool, CliError> {
+        match flag {
+            "--tasks" => self.tasks = Some(typed(flag, cursor.value(flag)?)?),
+            "--case" => self.case = Some(typed(flag, cursor.value(flag)?)?),
+            "--etc" => self.etc = Some(typed(flag, cursor.value(flag)?)?),
+            "--dag" => self.dag = Some(typed(flag, cursor.value(flag)?)?),
+            "--seed" => self.seed = Some(parse_seed(flag, cursor.value(flag)?)?),
+            "--tau" => self.tau = Some(typed(flag, cursor.value(flag)?)?),
+            "--in" => self.input = Some(cursor.value(flag)?.to_string()),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn build(self) -> Result<ScenarioSpec, CliError> {
+        if let Some(path) = self.input {
+            if self.tasks.is_some()
+                || self.case.is_some()
+                || self.etc.is_some()
+                || self.dag.is_some()
+                || self.seed.is_some()
+                || self.tau.is_some()
+            {
+                return Err(CliError::new(
+                    "--in reads a complete workload; it cannot be combined \
+                     with --tasks/--case/--etc/--dag/--seed/--tau",
+                ));
+            }
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::new(format!("reading {path}: {e}")))?;
+            return Ok(ScenarioSpec::Inline(text));
+        }
+        Ok(ScenarioSpec::Generate {
+            tasks: self.tasks.unwrap_or(256),
+            case: self.case.unwrap_or(GridCase::A),
+            etc: self.etc.unwrap_or(0),
+            dag: self.dag.unwrap_or(0),
+            seed: self.seed,
+            tau: self.tau,
+        })
+    }
+}
+
+struct ParsedJob {
+    job: Job,
+    addr: String,
+}
+
+fn parse_job(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedJob, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut workload = WorkloadFlags::default();
+    let mut heuristic = Heuristic::Slrh1;
+    let mut alpha = 0.5f64;
+    let mut beta = 0.3f64;
+    let mut dt: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    let mut losses: Vec<(usize, u64)> = Vec::new();
+    let mut arrivals: Vec<(usize, u64)> = Vec::new();
+    let mut gantt = false;
+    let mut label: Option<String> = None;
+    let mut client: Option<String> = None;
+    let mut addr: Option<String> = None;
+
+    while let Some(flag) = cursor.next_flag()? {
+        if workload.accept(flag, &mut cursor)? {
+            continue;
+        }
+        match flag {
+            "--heuristic" => heuristic = typed(flag, cursor.value(flag)?)?,
+            "--alpha" => alpha = typed(flag, cursor.value(flag)?)?,
+            "--beta" => beta = typed(flag, cursor.value(flag)?)?,
+            "--dt" => dt = Some(typed(flag, cursor.value(flag)?)?),
+            "--horizon" => horizon = Some(typed(flag, cursor.value(flag)?)?),
+            "--lose" => losses.push(parse_event(flag, cursor.value(flag)?)?),
+            "--join" => arrivals.push(parse_event(flag, cursor.value(flag)?)?),
+            "--gantt" => gantt = true,
+            "--label" => label = Some(cursor.value(flag)?.to_string()),
+            "--client" if remote => client = Some(cursor.value(flag)?.to_string()),
+            "--addr" if remote => addr = Some(cursor.value(flag)?.to_string()),
+            other => {
+                return Err(CliError::new(format!("unknown flag {other:?} for {cmd}")));
+            }
+        }
+    }
+
+    let weights =
+        Weights::new(alpha, beta).map_err(|e| CliError::new(format!("invalid weights: {e}")))?;
+    let variant = match heuristic {
+        Heuristic::Slrh2 => SlrhVariant::V2,
+        Heuristic::Slrh3 => SlrhVariant::V3,
+        // Baselines read only the weights out of the config; the
+        // variant field is inert for them.
+        _ => SlrhVariant::V1,
+    };
+    let mut config = SlrhConfig::paper(variant, weights);
+    if let Some(dt) = dt {
+        if dt == 0 {
+            return Err(CliError::new("--dt must be positive"));
+        }
+        config.dt = Dur(dt);
+    }
+    if let Some(h) = horizon {
+        if h == 0 {
+            return Err(CliError::new("--horizon must be positive"));
+        }
+        config.horizon = Dur(h);
+    }
+
+    Ok(ParsedJob {
+        job: Job {
+            request: MapRequest {
+                client: client.unwrap_or_else(|| "cli".into()),
+                label: label.unwrap_or_else(|| "job".into()),
+                heuristic,
+                config,
+                scenario: workload.build()?,
+                losses,
+                arrivals,
+            },
+            gantt,
+        },
+        addr: addr.unwrap_or_else(|| DEFAULT_ADDR.into()),
+    })
+}
+
+fn parse_tune(argv: &[String]) -> Result<Tune, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut workload = WorkloadFlags::default();
+    let mut heuristic = Heuristic::Slrh1;
+    let mut coarse = 0.1f64;
+    let mut fine = 0.02f64;
+    while let Some(flag) = cursor.next_flag()? {
+        if workload.accept(flag, &mut cursor)? {
+            continue;
+        }
+        match flag {
+            "--heuristic" => heuristic = typed(flag, cursor.value(flag)?)?,
+            "--coarse" => coarse = typed(flag, cursor.value(flag)?)?,
+            "--fine" => fine = typed(flag, cursor.value(flag)?)?,
+            other => return Err(CliError::new(format!("unknown flag {other:?} for tune"))),
+        }
+    }
+    if !(coarse > 0.0 && fine > 0.0) {
+        return Err(CliError::new("--coarse and --fine must be positive"));
+    }
+    Ok(Tune {
+        scenario: workload.build()?,
+        heuristic,
+        coarse,
+        fine,
+    })
+}
+
+fn parse_export(argv: &[String]) -> Result<Export, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut workload = WorkloadFlags::default();
+    let mut out: Option<String> = None;
+    while let Some(flag) = cursor.next_flag()? {
+        if workload.accept(flag, &mut cursor)? {
+            continue;
+        }
+        match flag {
+            "--out" => out = Some(cursor.value(flag)?.to_string()),
+            other => return Err(CliError::new(format!("unknown flag {other:?} for export"))),
+        }
+    }
+    Ok(Export {
+        scenario: workload.build()?,
+        out: out.ok_or_else(|| CliError::new("export requires --out FILE"))?,
+    })
+}
+
+fn parse_serve(argv: &[String]) -> Result<Serve, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut addr: Option<String> = None;
+    let mut workers = 2usize;
+    while let Some(flag) = cursor.next_flag()? {
+        match flag {
+            "--addr" => addr = Some(cursor.value(flag)?.to_string()),
+            "--workers" => workers = typed(flag, cursor.value(flag)?)?,
+            other => return Err(CliError::new(format!("unknown flag {other:?} for serve"))),
+        }
+    }
+    if workers == 0 {
+        return Err(CliError::new("--workers must be positive"));
+    }
+    Ok(Serve {
+        addr: addr.unwrap_or_else(|| DEFAULT_ADDR.into()),
+        workers,
+    })
+}
+
+fn parse_addr(cmd: &str, argv: &[String]) -> Result<Addr, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut addr: Option<String> = None;
+    while let Some(flag) = cursor.next_flag()? {
+        match flag {
+            "--addr" => addr = Some(cursor.value(flag)?.to_string()),
+            other => return Err(CliError::new(format!("unknown flag {other:?} for {cmd}"))),
+        }
+    }
+    Ok(Addr {
+        addr: addr.unwrap_or_else(|| DEFAULT_ADDR.into()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn run_defaults_are_typed() {
+        let Command::Run(job) = parse(&args("run")).unwrap() else {
+            panic!()
+        };
+        assert!(!job.gantt);
+        assert_eq!(job.request.heuristic, Heuristic::Slrh1);
+        assert_eq!(job.request.label, "job");
+        assert_eq!(
+            job.request.scenario,
+            ScenarioSpec::Generate {
+                tasks: 256,
+                case: GridCase::A,
+                etc: 0,
+                dag: 0,
+                seed: None,
+                tau: None,
+            }
+        );
+    }
+
+    #[test]
+    fn run_and_submit_build_the_same_request() {
+        let flags = "--tasks 64 --case B --heuristic slrh2 --alpha 0.4 --beta 0.4 \
+                     --seed 0x2a --lose 1@400 --join 2@800";
+        let Command::Run(local) = parse(&args(&format!("run {flags}"))).unwrap() else {
+            panic!()
+        };
+        let Command::Submit(remote) = parse(&args(&format!("submit {flags}"))).unwrap() else {
+            panic!()
+        };
+        // `client` is transport identity, not job identity; everything
+        // the report depends on must be identical.
+        let mut submitted = remote.job.request.clone();
+        submitted.client = local.request.client.clone();
+        assert_eq!(submitted, local.request);
+        assert_eq!(local.request.losses, vec![(1, 400)]);
+        assert_eq!(local.request.arrivals, vec![(2, 800)]);
+        assert_eq!(remote.addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn unknown_flags_are_hard_errors() {
+        for (cmd, flag) in [
+            ("run", "--addr"),      // remote-only flag on a local command
+            ("run", "--frobnicate"),
+            ("tune", "--gantt"),
+            ("serve", "--tasks"),
+            ("status", "--workers"),
+        ] {
+            let err = parse(&args(&format!("{cmd} {flag} x"))).unwrap_err();
+            assert!(
+                err.message.contains("unknown flag"),
+                "{cmd} {flag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_values_are_hard_errors() {
+        for bad in [
+            "run --tasks many",
+            "run --case D",
+            "run --heuristic slrh9",
+            "run --alpha x",
+            "run --lose 1",
+            "run --lose one@5",
+            "run --dt 0",
+            "serve --workers 0",
+            "tune --coarse -0.1",
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn missing_values_and_positionals_are_hard_errors() {
+        assert!(parse(&args("run --tasks")).unwrap_err().message.contains("needs a value"));
+        assert!(parse(&args("run 64")).unwrap_err().message.contains("unexpected argument"));
+        assert!(parse(&args("frobnicate")).unwrap_err().message.contains("unknown command"));
+        assert!(parse(&[]).unwrap_err().message.contains("missing command"));
+    }
+
+    #[test]
+    fn replay_requires_an_input_file() {
+        let err = parse(&args("replay --tasks 64")).unwrap_err();
+        assert!(err.message.contains("--in"), "{err}");
+    }
+
+    #[test]
+    fn in_excludes_generation_flags() {
+        let err = parse(&args("run --in file.txt --tasks 64")).unwrap_err();
+        assert!(err.message.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn churn_always_renders_a_chart() {
+        let Command::Churn(job) = parse(&args("churn --lose 1@50")).unwrap() else {
+            panic!()
+        };
+        assert!(job.gantt);
+        assert_eq!(job.request.losses, vec![(1, 50)]);
+    }
+
+    #[test]
+    fn serve_and_status_parse_addresses() {
+        assert_eq!(
+            parse(&args("serve --addr 0.0.0.0:9000 --workers 4")).unwrap(),
+            Command::Serve(Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 4
+            })
+        );
+        assert_eq!(
+            parse(&args("status")).unwrap(),
+            Command::Status(Addr {
+                addr: DEFAULT_ADDR.into()
+            })
+        );
+    }
+
+    #[test]
+    fn config_knobs_reach_the_request() {
+        let Command::Run(job) = parse(&args("run --dt 5 --horizon 50")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(job.request.config.dt, Dur(5));
+        assert_eq!(job.request.config.horizon, Dur(50));
+    }
+}

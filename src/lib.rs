@@ -18,7 +18,12 @@
 //!   and a Lagrangian-relaxation list scheduler;
 //! * [`bounds`] — the equivalent-computing-cycles upper bound;
 //! * [`sweep`] — the experiment harness regenerating every paper table
-//!   and figure.
+//!   and figure;
+//! * [`broker`] — scheduler-as-a-service: the broker daemon, its typed
+//!   wire protocol, and the shared job executor that makes a submitted
+//!   job byte-identical to a local run;
+//! * [`cli`] — the typed command/argument layer behind the `lrh-grid`
+//!   binary.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +73,7 @@
 
 pub use adhoc_grid as grid;
 pub use grid_baselines as baselines;
+pub use grid_broker as broker;
 pub use grid_bounds as bounds;
 pub use grid_sweep as sweep;
 pub use gridsim as sim;
@@ -77,5 +83,7 @@ pub use slrh;
 // The configuration surface and the heuristic-agnostic result view are
 // re-exported at the crate root: they are what almost every user of the
 // library touches first.
+pub mod cli;
+
 pub use gridsim::MappingOutcome;
 pub use slrh::{run_slrh, ConfigError, SlrhConfig, SlrhConfigBuilder, SlrhVariant};
