@@ -74,6 +74,11 @@ struct ReportBody<'a> {
     candidates: u64,
     disruptions: &'a [(u64, usize)],
     valid: bool,
+    /// Weights in force when the run finished, and how many times the
+    /// online adaptation moved them. Rendered only for adaptive
+    /// requests so legacy reports stay byte-identical.
+    final_weights: lagrange::weights::Weights,
+    weight_updates: u64,
 }
 
 /// Render the deterministic report for a finished mapping run.
@@ -86,6 +91,8 @@ fn render_report(req: &MapRequest, body: &ReportBody) -> String {
         candidates,
         disruptions,
         valid,
+        final_weights,
+        weight_updates,
     } = *body;
     let mut s = String::new();
     s.push_str("lrh-grid report v1\n");
@@ -112,6 +119,10 @@ fn render_report(req: &MapRequest, body: &ReportBody) -> String {
         let invalidated: usize = disruptions.iter().map(|&(_, n)| n).sum();
         s.push_str(&format!("disruptions={}\n", disruptions.len()));
         s.push_str(&format!("invalidated={invalidated}\n"));
+    }
+    if req.config.adaptation.is_some() {
+        s.push_str(&format!("weight-updates={weight_updates}\n"));
+        s.push_str(&format!("final-weights={final_weights}\n"));
     }
     s
 }
@@ -160,6 +171,8 @@ pub fn execute_map(
                         candidates: out.stats.candidates_evaluated,
                         disruptions: &[],
                         valid,
+                        final_weights: out.final_weights,
+                        weight_updates: out.stats.weight_updates,
                     },
                 );
                 ctx.reclaim(out.state);
@@ -198,6 +211,8 @@ pub fn execute_map(
                         candidates: out.stats.candidates_evaluated,
                         disruptions: &disruptions,
                         valid,
+                        final_weights: out.final_weights,
+                        weight_updates: out.stats.weight_updates,
                     },
                 );
                 ctx.reclaim(out.state);
@@ -224,6 +239,8 @@ pub fn execute_map(
                     candidates: r.work,
                     disruptions: &[],
                     valid: r.valid,
+                    final_weights: req.config.objective.weights,
+                    weight_updates: 0,
                 },
             )
         }
@@ -252,6 +269,7 @@ pub fn execute_campaign(
         cases: req.cases.clone(),
         coarse: req.coarse,
         fine: req.fine,
+        searcher: req.searcher,
     };
     let units = req.units();
     let mut checkpoint = match &req.checkpoint {
@@ -395,6 +413,32 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_map_reports_weight_lines_and_legacy_reports_do_not() {
+        let plain = request(Heuristic::Slrh1);
+        let base = execute_map(1, &plain, &mut RunContext::new(), &mut |_| {}).unwrap();
+        assert!(!base.report.contains("weight-updates="), "{}", base.report);
+        assert!(!base.report.contains("final-weights="), "{}", base.report);
+
+        let mut req = request(Heuristic::Slrh1);
+        req.config = req.config.with_adaptation(slrh::Adaptation {
+            rule: lagrange::step::StepRule::Constant { a: 0.5 },
+            every: 2,
+            ..slrh::Adaptation::default()
+        });
+        let a = execute_map(2, &req, &mut RunContext::new(), &mut |_| {}).unwrap();
+        assert!(a.report.contains("weight-updates="), "{}", a.report);
+        assert!(a.report.contains("final-weights="), "{}", a.report);
+        // Adaptive requests survive the wire and stay deterministic.
+        let text = req.to_frame().encode();
+        let back = MapRequest::from_frame(
+            &adhoc_grid::io::wire::Frame::decode(&text).unwrap(),
+        )
+        .unwrap();
+        let b = execute_map(2, &back, &mut RunContext::new(), &mut |_| {}).unwrap();
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
     fn campaign_matches_run_campaign() {
         let req = CampaignRequest {
             client: "test".into(),
@@ -406,6 +450,7 @@ mod tests {
             cases: vec![GridCase::A],
             coarse: 0.25,
             fine: 0.25,
+            searcher: grid_sweep::SearcherKind::Grid,
             checkpoint: None,
         };
         let mut unit_events = 0;
@@ -423,6 +468,7 @@ mod tests {
             cases: req.cases.clone(),
             coarse: 0.25,
             fine: 0.25,
+            searcher: grid_sweep::SearcherKind::Grid,
         };
         let rows = grid_sweep::campaign::run_campaign(&cfg);
         assert_eq!(out.report, canonical_report(&rows));

@@ -17,6 +17,7 @@ use adhoc_grid::io::wire::Frame;
 use adhoc_grid::units::Time;
 use adhoc_grid::workload::{Scenario, ScenarioParams};
 use grid_sweep::heuristic::Heuristic;
+use grid_sweep::SearcherKind;
 use slrh::{MachineArrivalEvent, MachineLossEvent, SlrhConfig};
 
 /// Frame kind of [`MapRequest`].
@@ -303,6 +304,11 @@ pub struct CampaignRequest {
     pub coarse: f64,
     /// Fine weight-search step.
     pub fine: f64,
+    /// Per-unit weight searcher. [`SearcherKind::Grid`] is the legacy
+    /// Figure-3 two-pass grid refinement and is omitted from the wire
+    /// frame and the fingerprint, so old clients, daemons, and
+    /// checkpoints interoperate unchanged.
+    pub searcher: SearcherKind,
     /// Checkpoint file path on the daemon host; units already recorded
     /// there are not re-run.
     pub checkpoint: Option<String>,
@@ -313,7 +319,7 @@ impl CampaignRequest {
     /// the checkpoint header so a checkpoint can only resume the
     /// campaign that wrote it.
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut fp = format!(
             "tasks={};etc={};dag={};heuristics={};cases={};coarse={};fine={}",
             self.tasks,
             self.etc_count,
@@ -330,7 +336,11 @@ impl CampaignRequest {
                 .join(","),
             kv::format_f64(self.coarse),
             kv::format_f64(self.fine),
-        )
+        );
+        if self.searcher != SearcherKind::Grid {
+            fp.push_str(&format!(";searcher={}", self.searcher));
+        }
+        fp
     }
 
     /// The (heuristic, case) unit grid, in execution order.
@@ -354,6 +364,9 @@ impl CampaignRequest {
             .push("dag-count", self.dag_count.to_string())
             .push("coarse", kv::format_f64(self.coarse))
             .push("fine", kv::format_f64(self.fine));
+        if self.searcher != SearcherKind::Grid {
+            f.push("searcher", self.searcher.to_string());
+        }
         for h in &self.heuristics {
             f.push("heuristic", h.flag_name());
         }
@@ -402,6 +415,10 @@ impl CampaignRequest {
             cases,
             coarse: float("coarse")?,
             fine: float("fine")?,
+            searcher: match frame.get("searcher") {
+                Some(s) => s.parse().map_err(|e| KvError { line: 0, message: e })?,
+                None => SearcherKind::Grid,
+            },
             checkpoint: frame.get("checkpoint").map(str::to_string),
         })
     }
@@ -881,14 +898,45 @@ mod tests {
             cases: vec![GridCase::A, GridCase::C],
             coarse: 0.25,
             fine: 0.25,
+            searcher: SearcherKind::Grid,
             checkpoint: None,
         };
         let fp = req.fingerprint();
         assert!(!fp.contains('\n') && !fp.contains('#'), "{fp}");
+        assert!(!fp.contains("searcher"), "grid keeps the legacy fingerprint: {fp}");
         let back = CampaignRequest::from_frame(&Frame::decode(&req.to_frame().encode()).unwrap())
             .unwrap();
         assert_eq!(back, req);
         assert_eq!(back.fingerprint(), fp);
         assert_eq!(back.units().len(), 4);
+    }
+
+    #[test]
+    fn campaign_searcher_rides_the_wire_and_the_fingerprint() {
+        let mut req = CampaignRequest {
+            client: "cli".into(),
+            label: "sweep".into(),
+            tasks: 32,
+            etc_count: 2,
+            dag_count: 2,
+            heuristics: vec![Heuristic::Slrh1],
+            cases: vec![GridCase::A],
+            coarse: 0.25,
+            fine: 0.25,
+            searcher: SearcherKind::Anneal { seed: 7, iterations: 24 },
+            checkpoint: None,
+        };
+        let fp = req.fingerprint();
+        assert!(fp.ends_with(";searcher=anneal(7, 24)"), "{fp}");
+        let back = CampaignRequest::from_frame(&Frame::decode(&req.to_frame().encode()).unwrap())
+            .unwrap();
+        assert_eq!(back, req);
+        // A grid request never emits the key, so a frame without it
+        // (from an old client) decodes to the grid searcher.
+        req.searcher = SearcherKind::Grid;
+        let legacy = CampaignRequest::from_frame(&Frame::decode(&req.to_frame().encode()).unwrap())
+            .unwrap();
+        assert_eq!(legacy.searcher, SearcherKind::Grid);
+        assert_ne!(fp, legacy.fingerprint(), "searcher changes the checkpoint identity");
     }
 }

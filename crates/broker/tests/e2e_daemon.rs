@@ -187,6 +187,7 @@ fn campaign_request(checkpoint: &str) -> CampaignRequest {
         cases: vec![GridCase::A],
         coarse: 0.25,
         fine: 0.05,
+        searcher: grid_sweep::SearcherKind::Grid,
         checkpoint: Some(checkpoint.into()),
     }
 }

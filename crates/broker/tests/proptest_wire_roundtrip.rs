@@ -13,9 +13,11 @@ use grid_broker::proto::{
     ScenarioSpec, ServerMsg, StatusResponse,
 };
 use grid_sweep::heuristic::Heuristic;
+use grid_sweep::SearcherKind;
+use lagrange::step::StepRule;
 use lagrange::weights::Weights;
 use proptest::prelude::*;
-use slrh::{SlrhConfig, SlrhVariant};
+use slrh::{Adaptation, SlrhConfig, SlrhVariant};
 
 fn cases() -> impl Strategy<Value = GridCase> {
     prop::sample::select(&[GridCase::A, GridCase::B, GridCase::C][..])
@@ -34,23 +36,63 @@ fn weights() -> impl Strategy<Value = Weights> {
         .prop_map(|(a, b)| Weights::new(a, b * (1.0 - a)).expect("on simplex"))
 }
 
+fn step_rules() -> impl Strategy<Value = StepRule> {
+    (0usize..3, 0.01f64..2.0, 0.0f64..4.0).prop_map(|(tag, a, target)| match tag {
+        0 => StepRule::Constant { a },
+        1 => StepRule::Diminishing { a },
+        _ => StepRule::Polyak { target, max_step: a },
+    })
+}
+
+fn adaptations() -> impl Strategy<Value = Option<Adaptation>> {
+    (
+        (any::<bool>(), any::<bool>()),
+        step_rules(),
+        1u64..16,
+        0.0f64..0.2,
+        1.0f64..32.0,
+        weights(),
+    )
+        .prop_map(
+            |((on, warm), rule, every, min_alpha, max_multiplier, w)| {
+                on.then_some(Adaptation {
+                    rule,
+                    every,
+                    min_alpha,
+                    max_multiplier,
+                    warm_start: warm.then_some(w),
+                })
+            },
+        )
+}
+
 fn configs() -> impl Strategy<Value = SlrhConfig> {
     (
         prop::sample::select(&[SlrhVariant::V1, SlrhVariant::V2, SlrhVariant::V3][..]),
         weights(),
-        1u64..500,
-        1u64..2000,
-        any::<bool>(),
-        any::<bool>(),
+        (1u64..500, 1u64..2000),
+        (any::<bool>(), any::<bool>()),
+        adaptations(),
     )
-        .prop_map(|(variant, w, dt, h, secondary, cache)| {
+        .prop_map(|(variant, w, (dt, h), (secondary, cache), adaptation)| {
             let mut cfg = SlrhConfig::paper(variant, w);
             cfg.dt = Dur(dt);
             cfg.horizon = Dur(h);
             cfg.allow_secondary = secondary;
             cfg.use_pool_cache = cache;
+            cfg.adaptation = adaptation;
             cfg
         })
+}
+
+fn searchers() -> impl Strategy<Value = SearcherKind> {
+    (any::<bool>(), any::<u64>(), 1u32..256).prop_map(|(grid, seed, iterations)| {
+        if grid {
+            SearcherKind::Grid
+        } else {
+            SearcherKind::Anneal { seed, iterations }
+        }
+    })
 }
 
 fn churn() -> impl Strategy<Value = Vec<(usize, u64)>> {
@@ -106,6 +148,7 @@ fn campaign_requests() -> impl Strategy<Value = CampaignRequest> {
             prop::collection::vec(cases(), 1..4),
             0.01f64..0.5,
             0.01f64..0.5,
+            searchers(),
             (
                 any::<bool>(),
                 prop::sample::select(&["/tmp/cp.txt", "sweep.ckpt", "runs/a-b_c.d"][..]),
@@ -115,7 +158,7 @@ fn campaign_requests() -> impl Strategy<Value = CampaignRequest> {
         .prop_map(
             |(
                 (client, tasks, etc_count, dag_count),
-                (heuristics, cases, coarse, fine, (with_cp, cp)),
+                (heuristics, cases, coarse, fine, searcher, (with_cp, cp)),
             )| CampaignRequest {
                 client,
                 label: "sweep".into(),
@@ -126,6 +169,7 @@ fn campaign_requests() -> impl Strategy<Value = CampaignRequest> {
                 cases,
                 coarse,
                 fine,
+                searcher,
                 checkpoint: with_cp.then(|| cp.to_string()),
             },
         )

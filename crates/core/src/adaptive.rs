@@ -3,30 +3,36 @@
 //!
 //! The paper concludes that the `T100` multiplier α "requires adjustment
 //! whenever the system environment changes" while the constraint
-//! multipliers may be held nearly constant. This module closes that loop
-//! with a principled controller: the weight triple is interpreted as the
-//! *normalized multiplier vector* of the Lagrangian
+//! multipliers may be held nearly constant. The mechanism lives inside
+//! the clock loop itself — configure it with
+//! [`crate::config::Adaptation`] on any [`SlrhConfig`] — where the weight
+//! triple is interpreted as the *normalized multiplier vector* of the
+//! Lagrangian
 //!
 //! ```text
 //! L = T100/|T| − λ_e · (TEC/TSE − 1) − λ_t · (AET/τ − 1)
 //! ```
 //!
-//! i.e. `(α, β, γ) = (1, λ_e, λ_t) / (1 + λ_e + λ_t)`. Every control
-//! interval the controller linearly extrapolates the run's energy and
-//! time consumption to completion, treats the predicted constraint
-//! violations as subgradients, and takes one projected dual-ascent step
-//! on `(λ_e, λ_t)`. Tight runs drive the penalty weights up (pushing the
-//! heuristic toward cheap secondary versions); slack runs decay them
-//! toward zero, recovering α → 1.
+//! i.e. `(α, β, γ) = (1, λ_e, λ_t) / (1 + λ_e + λ_t)`. On its schedule
+//! the loop linearly extrapolates the run's energy and time consumption
+//! to completion, treats the predicted constraint violations as
+//! subgradients, and takes one projected dual-ascent step on
+//! `(λ_e, λ_t)` ([`lagrange::online::adapt_step`]). Tight runs drive the
+//! penalty weights up (pushing the heuristic toward cheap secondary
+//! versions); slack runs decay them toward zero, recovering α → 1.
+//!
+//! This module is the trace-recording front end: [`run_adaptive_slrh`]
+//! wraps the in-loop controller and additionally samples the live
+//! weights at a fixed control interval, producing the
+//! [`AdaptiveOutcome::weight_trace`] the ablation study plots.
 
 use adhoc_grid::units::{Dur, Time};
 use adhoc_grid::workload::Scenario;
 use gridsim::state::SimState;
-use lagrange::multipliers::MultiplierVector;
 use lagrange::step::StepRule;
 use lagrange::weights::Weights;
 
-use crate::config::SlrhConfig;
+use crate::config::{Adaptation, SlrhConfig};
 use crate::mapper::{drive_with, RunStats};
 use crate::pool::PoolCache;
 
@@ -36,7 +42,8 @@ pub struct AdaptiveConfig {
     /// The underlying SLRH configuration; its weights are the starting
     /// point and are overwritten by the controller as the run progresses.
     pub base: SlrhConfig,
-    /// Ticks between controller invocations.
+    /// Ticks between controller invocations (rounded down to a whole
+    /// number of ΔT clock steps, minimum one step).
     pub control_interval: Dur,
     /// Multiplier step rule (constant steps suit the drifting target).
     pub rule: StepRule,
@@ -52,6 +59,22 @@ impl AdaptiveConfig {
             rule: StepRule::Constant { a: 0.25 },
         }
     }
+
+    /// The equivalent in-loop configuration: `base` with an
+    /// [`Adaptation`] block updating once per control interval.
+    pub fn as_slrh_config(&self) -> SlrhConfig {
+        assert!(
+            !self.control_interval.is_zero(),
+            "control interval must be positive"
+        );
+        let mut config = self.base;
+        config.adaptation = Some(Adaptation {
+            rule: self.rule,
+            every: (self.control_interval.0 / self.base.dt.0).max(1),
+            ..Adaptation::default()
+        });
+        config
+    }
 }
 
 /// The result of an adaptive run.
@@ -61,8 +84,9 @@ pub struct AdaptiveOutcome<'a> {
     pub state: SimState<'a>,
     /// Work counters (all segments summed).
     pub stats: RunStats,
-    /// `(clock, weights)` at every controller invocation, starting with
-    /// the initial weights at time zero.
+    /// `(clock, weights)` sampled at every control-interval boundary,
+    /// starting with the initial weights at time zero and ending with
+    /// the weights in force when the run stopped.
     pub weight_trace: Vec<(Time, Weights)>,
 }
 
@@ -88,64 +112,36 @@ impl gridsim::MappingOutcome for AdaptiveOutcome<'_> {
     }
 }
 
-/// Convert multipliers `(λ_e, λ_t)` to simplex weights
-/// `(1, λ_e, λ_t) / (1 + λ_e + λ_t)`.
-fn weights_from_multipliers(lambda: &[f64]) -> Weights {
-    let denom = 1.0 + lambda[0] + lambda[1];
-    Weights::new(1.0 / denom, lambda[0] / denom).expect("normalized multipliers lie on simplex")
-}
-
-/// Recover multipliers from weights: `λ_e = β/α`, `λ_t = γ/α`. Degenerate
-/// α = 0 starts are clamped to a large finite multiplier.
-fn multipliers_from_weights(w: &Weights) -> Vec<f64> {
-    let alpha = w.alpha().max(1e-3);
-    vec![w.beta() / alpha, w.gamma() / alpha]
-}
-
-/// Predicted constraint violations from a mid-run snapshot: consumption
-/// fractions linearly extrapolated to full mapping.
-fn predicted_violations(state: &SimState<'_>, now: Time) -> [f64; 2] {
-    let m = state.metrics();
-    let progress = m.mapped as f64 / m.tasks as f64;
-    if progress <= 0.0 {
-        return [0.0, 0.0];
-    }
-    let e_pred = m.tec_fraction() / progress;
-    let t_pred = (now.as_seconds() / m.tau.as_seconds()) / progress;
-    [e_pred - 1.0, t_pred - 1.0]
-}
-
-/// Run SLRH with online weight adaptation.
+/// Run SLRH with online weight adaptation, recording the weight trace.
+///
+/// The run is bit-identical to [`crate::mapper::run_slrh`] on
+/// [`AdaptiveConfig::as_slrh_config`] — the segmentation below exists
+/// only to *observe* the weights at control-interval boundaries, and the
+/// in-loop controller is a pure function of the tick index, which
+/// segmentation does not disturb.
 pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> AdaptiveOutcome<'a> {
-    assert!(
-        !cfg.control_interval.is_zero(),
-        "control interval must be positive"
-    );
+    let mut run = cfg.as_slrh_config().armed();
     let mut state = SimState::new(scenario);
     // The cache survives weight updates: a cached entry's *plans* don't
     // depend on the weights (only its objective values do, and those are
     // recomputed on every query), so controller steps evict nothing.
-    let mut cache = cfg
-        .base
+    let mut cache = run
         .use_pool_cache
-        .then(|| PoolCache::new(&state, cfg.base.allow_secondary));
+        .then(|| PoolCache::new(&state, run.allow_secondary));
     let mut stats = RunStats::default();
-    let mut config = cfg.base;
-    let mut lambda = MultiplierVector::from_values(multipliers_from_weights(&config.objective.weights));
-    let mut trace = vec![(Time::ZERO, config.objective.weights)];
+    let mut trace = vec![(Time::ZERO, run.objective.weights)];
 
     let mut now = Time::ZERO;
     loop {
         let stop = now.saturating_add(cfg.control_interval);
-        now = drive_with(&mut state, &config, &mut stats, cache.as_mut(), now, Some(stop), None);
+        now = drive_with(&mut state, &mut run, &mut stats, cache.as_mut(), now, Some(stop), None);
         if state.all_mapped() || now > scenario.tau {
+            if trace.last().map(|&(_, w)| w) != Some(run.objective.weights) {
+                trace.push((now, run.objective.weights));
+            }
             break;
         }
-        // One projected dual-ascent step on the predicted violations.
-        let g = predicted_violations(&state, now);
-        lambda.ascend(&cfg.rule, 0.0, &g);
-        config.objective.weights = weights_from_multipliers(lambda.values());
-        trace.push((now, config.objective.weights));
+        trace.push((now, run.objective.weights));
     }
 
     AdaptiveOutcome {
@@ -159,28 +155,13 @@ pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> Ad
 mod tests {
     use super::*;
     use crate::config::SlrhVariant;
+    use crate::mapper::{predicted_violations, run_slrh};
     use adhoc_grid::config::GridCase;
     use adhoc_grid::workload::ScenarioParams;
     use gridsim::validate::validate;
 
     fn scenario(tasks: usize) -> Scenario {
         Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
-    }
-
-    #[test]
-    fn multiplier_weight_roundtrip() {
-        let w = Weights::new(0.5, 0.3).unwrap();
-        let l = multipliers_from_weights(&w);
-        let back = weights_from_multipliers(&l);
-        assert!((back.alpha() - 0.5).abs() < 1e-9);
-        assert!((back.beta() - 0.3).abs() < 1e-9);
-    }
-
-    #[test]
-    fn zero_multipliers_give_pure_t100_objective() {
-        let w = weights_from_multipliers(&[0.0, 0.0]);
-        assert_eq!(w.alpha(), 1.0);
-        assert_eq!(w.beta(), 0.0);
     }
 
     #[test]
@@ -192,6 +173,25 @@ mod tests {
         let errs = validate(&out.state);
         assert!(errs.is_empty(), "{errs:?}");
         assert!(!out.weight_trace.is_empty());
+    }
+
+    #[test]
+    fn trace_front_end_matches_the_inloop_run_bit_for_bit() {
+        // Segmenting the run to sample the trace must not perturb it:
+        // the same adaptive config driven in one piece produces the
+        // identical schedule, stats and final weights.
+        let sc = scenario(48);
+        let base = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap());
+        let mut cfg = AdaptiveConfig::new(base);
+        cfg.control_interval = Dur(100);
+        let traced = run_adaptive_slrh(&sc, &cfg);
+        let plain = run_slrh(&sc, &cfg.as_slrh_config());
+        assert_eq!(traced.stats, plain.stats);
+        assert_eq!(traced.final_weights(), plain.final_weights);
+        assert_eq!(
+            format!("{:?}", traced.state.schedule()),
+            format!("{:?}", plain.state.schedule())
+        );
     }
 
     #[test]

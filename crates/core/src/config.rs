@@ -1,6 +1,9 @@
-//! SLRH configuration: variant, clock step ΔT, horizon H, objective.
+//! SLRH configuration: variant, clock step ΔT, horizon H, objective,
+//! and the opt-in online weight [`Adaptation`] block.
 
 use adhoc_grid::units::Dur;
+use lagrange::online::OnlineProjection;
+use lagrange::step::StepRule;
 use lagrange::weights::{AetSign, Objective, Weights};
 
 /// The three SLRH variants of §V.
@@ -98,6 +101,73 @@ impl MachineOrder {
     }
 }
 
+/// Opt-in online weight adaptation (the paper's §VIII "on-the-fly
+/// adjustment of the Lagrangian parameters", wired into the clock loop).
+///
+/// When a configuration carries an `Adaptation`, the mapper re-derives
+/// the constraint violations every `every`-th clock tick and replaces
+/// the objective weights with one projected subgradient step
+/// ([`lagrange::online::adapt_step`]). With `adaptation: None` — the
+/// default everywhere — the loop is byte-identical to the legacy
+/// fixed-weight path.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Adaptation {
+    /// Subgradient step-size schedule.
+    pub rule: StepRule,
+    /// Update cadence: one step every `every` clock ticks (>= 1). The
+    /// first update happens at tick `every` — tick 0 always runs on the
+    /// starting weights.
+    pub every: u64,
+    /// Floor on α after each update (must be in `(0, 1]`).
+    pub min_alpha: f64,
+    /// Ceiling on each multiplier `λ_e`, `λ_t` (must be positive).
+    pub max_multiplier: f64,
+    /// Weights to start the run from, overriding the objective's.
+    /// `None` starts from the configured weights — the warm-start slot
+    /// exists so a grid-searched or previously-adapted triple can seed a
+    /// new run, per the paper's motivation for the Lagrangian approach.
+    pub warm_start: Option<Weights>,
+}
+
+impl Default for Adaptation {
+    /// Defaults established by the EXPERIMENTS.md Cases A/B/C study: a
+    /// constant step (the right schedule for a drifting target), updated
+    /// every tick, with a 5 % α floor and multipliers capped at 8.
+    fn default() -> Adaptation {
+        Adaptation {
+            rule: StepRule::Constant { a: 0.25 },
+            every: 1,
+            min_alpha: 0.05,
+            max_multiplier: 8.0,
+            warm_start: None,
+        }
+    }
+}
+
+impl Adaptation {
+    /// The projection bounds as the lagrange-level type.
+    pub fn projection(&self) -> OnlineProjection {
+        OnlineProjection {
+            min_alpha: self.min_alpha,
+            max_multiplier: self.max_multiplier,
+        }
+    }
+
+    /// Validate the block (shared by the builder and `FromStr`).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.every == 0 {
+            return Err(ConfigError::ZeroAdaptEvery);
+        }
+        // Written so NaN bounds fail too (the comparisons come out false).
+        let alpha_ok = self.min_alpha > 0.0 && self.min_alpha <= 1.0;
+        let multiplier_ok = self.max_multiplier > 0.0 && self.max_multiplier.is_finite();
+        if !alpha_ok || !multiplier_ok {
+            return Err(ConfigError::BadAdaptProjection);
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one SLRH run.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct SlrhConfig {
@@ -124,6 +194,10 @@ pub struct SlrhConfig {
     /// scratch on every query. Output-identical either way; off is only
     /// useful as a measurement baseline.
     pub use_pool_cache: bool,
+    /// Online weight adaptation. `None` (the default, and the only value
+    /// [`SlrhConfig::paper`] produces) keeps the legacy fixed-weight
+    /// loop byte-identical.
+    pub adaptation: Option<Adaptation>,
 }
 
 impl SlrhConfig {
@@ -138,6 +212,7 @@ impl SlrhConfig {
             horizon: Dur(100),
             allow_secondary: true,
             use_pool_cache: true,
+            adaptation: None,
         }
     }
 
@@ -200,6 +275,35 @@ impl SlrhConfig {
     pub fn without_pool_cache(mut self) -> SlrhConfig {
         self.use_pool_cache = false;
         self
+    }
+
+    /// Enable online weight adaptation with the given block.
+    ///
+    /// # Panics
+    /// Panics on a malformed block; use
+    /// [`SlrhConfigBuilder::adaptation`] for fallible construction.
+    pub fn with_adaptation(mut self, adaptation: Adaptation) -> SlrhConfig {
+        if let Err(e) = adaptation.check() {
+            panic!("{e}");
+        }
+        self.adaptation = Some(adaptation);
+        self
+    }
+
+    /// The run-local working copy a driver should start from: the
+    /// adaptation block's warm-start weights (when any) applied to the
+    /// objective. Every SLRH entry point makes exactly one such copy per
+    /// run and lets the clock loop mutate its weights in place, so the
+    /// adapted weights persist across churn segments but never escape
+    /// into the caller's configuration.
+    pub(crate) fn armed(&self) -> SlrhConfig {
+        let mut run = *self;
+        if let Some(adaptation) = run.adaptation {
+            if let Some(w) = adaptation.warm_start {
+                run.objective.weights = w;
+            }
+        }
+        run
     }
 }
 
@@ -264,6 +368,12 @@ impl std::fmt::Display for SlrhConfig {
     /// `config.to_string().parse::<SlrhConfig>()` reproduces the
     /// configuration exactly — the CLI, the broker wire protocol and
     /// fixture headers all name configurations through this one form.
+    ///
+    /// The adaptation components (`adapt=`, `every=`, `amin=`, `lmax=`,
+    /// `warm=`) are appended **only** when adaptation is enabled, so the
+    /// rendering of every pre-existing configuration — and therefore
+    /// every golden fixture and wire frame that embeds one — is
+    /// byte-identical to the legacy form.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -280,7 +390,18 @@ impl std::fmt::Display for SlrhConfig {
             self.horizon.0,
             if self.allow_secondary { "on" } else { "off" },
             if self.use_pool_cache { "on" } else { "off" },
-        )
+        )?;
+        if let Some(a) = &self.adaptation {
+            write!(
+                f,
+                "; adapt={}; every={}; amin={:?}; lmax={:?}",
+                a.rule, a.every, a.min_alpha, a.max_multiplier
+            )?;
+            if let Some(w) = &a.warm_start {
+                write!(f, "; warm={w}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -301,6 +422,11 @@ impl std::str::FromStr for SlrhConfig {
         let mut weights: Option<Weights> = None;
         let mut config = SlrhConfig::paper(variant, Weights::new(0.0, 0.0).expect("placeholder"));
         let mut seen: Vec<String> = Vec::new();
+        let mut adapt_rule: Option<StepRule> = None;
+        let mut adapt_every: Option<u64> = None;
+        let mut adapt_amin: Option<f64> = None;
+        let mut adapt_lmax: Option<f64> = None;
+        let mut adapt_warm: Option<Weights> = None;
         for part in parts {
             if part.is_empty() {
                 continue;
@@ -333,11 +459,53 @@ impl std::str::FromStr for SlrhConfig {
                 }
                 "secondary" => config.allow_secondary = parse_on_off("secondary", value)?,
                 "cache" => config.use_pool_cache = parse_on_off("cache", value)?,
+                "adapt" => adapt_rule = Some(value.parse()?),
+                "every" => {
+                    adapt_every =
+                        Some(value.parse().map_err(|e| format!("bad every {value:?}: {e}"))?)
+                }
+                "amin" => {
+                    adapt_amin =
+                        Some(value.parse().map_err(|e| format!("bad amin {value:?}: {e}"))?)
+                }
+                "lmax" => {
+                    adapt_lmax =
+                        Some(value.parse().map_err(|e| format!("bad lmax {value:?}: {e}"))?)
+                }
+                "warm" => adapt_warm = Some(value.parse()?),
                 other => return Err(format!("unknown SLRH config component {other:?}")),
             }
         }
         config.objective.weights =
             weights.ok_or_else(|| format!("SLRH config {s:?} names no weights (w=...)"))?;
+        match adapt_rule {
+            Some(rule) => {
+                let defaults = Adaptation::default();
+                let adaptation = Adaptation {
+                    rule,
+                    every: adapt_every.unwrap_or(defaults.every),
+                    min_alpha: adapt_amin.unwrap_or(defaults.min_alpha),
+                    max_multiplier: adapt_lmax.unwrap_or(defaults.max_multiplier),
+                    warm_start: adapt_warm,
+                };
+                adaptation.check().map_err(|e| e.to_string())?;
+                config.adaptation = Some(adaptation);
+            }
+            None => {
+                for (key, present) in [
+                    ("every", adapt_every.is_some()),
+                    ("amin", adapt_amin.is_some()),
+                    ("lmax", adapt_lmax.is_some()),
+                    ("warm", adapt_warm.is_some()),
+                ] {
+                    if present {
+                        return Err(format!(
+                            "SLRH config component {key:?} requires adapt=<rule>"
+                        ));
+                    }
+                }
+            }
+        }
         if config.dt.is_zero() {
             return Err(ConfigError::ZeroDt.to_string());
         }
@@ -364,6 +532,11 @@ pub enum ConfigError {
     /// H must be at least one tick: no candidate could ever start
     /// strictly within the horizon of a busy machine.
     ZeroHorizon,
+    /// The adaptation cadence must be at least one tick.
+    ZeroAdaptEvery,
+    /// The adaptation projection needs `0 < amin <= 1` and a finite
+    /// `lmax > 0`.
+    BadAdaptProjection,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -371,6 +544,12 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroDt => f.write_str("ΔT must be at least one tick"),
             ConfigError::ZeroHorizon => f.write_str("the horizon H must be at least one tick"),
+            ConfigError::ZeroAdaptEvery => {
+                f.write_str("the adaptation cadence (every=) must be at least one tick")
+            }
+            ConfigError::BadAdaptProjection => f.write_str(
+                "the adaptation projection needs 0 < amin <= 1 and a finite lmax > 0",
+            ),
         }
     }
 }
@@ -423,6 +602,12 @@ impl SlrhConfigBuilder {
         self
     }
 
+    /// Enable (or, with `None`, disable) online weight adaptation.
+    pub fn adaptation(mut self, adaptation: Option<Adaptation>) -> SlrhConfigBuilder {
+        self.config.adaptation = adaptation;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SlrhConfig, ConfigError> {
         if self.config.dt.is_zero() {
@@ -430,6 +615,9 @@ impl SlrhConfigBuilder {
         }
         if self.config.horizon.is_zero() {
             return Err(ConfigError::ZeroHorizon);
+        }
+        if let Some(adaptation) = &self.config.adaptation {
+            adaptation.check()?;
         }
         Ok(self.config)
     }
@@ -525,5 +713,110 @@ mod tests {
     fn names() {
         assert_eq!(SlrhVariant::V1.to_string(), "SLRH-1");
         assert_eq!(SlrhVariant::ALL.len(), 3);
+    }
+
+    #[test]
+    fn legacy_display_is_untouched_without_adaptation() {
+        let c = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap());
+        assert_eq!(
+            c.to_string(),
+            "SLRH-1; w=(α=0.5, β=0.3, γ=0.2); aet=+; trigger=clock; order=numerical; \
+             dt=10; h=100; secondary=on; cache=on"
+        );
+    }
+
+    #[test]
+    fn adaptive_display_round_trips() {
+        let mut c = SlrhConfig::paper(SlrhVariant::V2, Weights::new(0.5, 0.3).unwrap());
+        c.adaptation = Some(Adaptation {
+            rule: StepRule::Polyak {
+                target: 1.5,
+                max_step: 0.25,
+            },
+            every: 4,
+            min_alpha: 0.1,
+            max_multiplier: 6.5,
+            warm_start: Some(Weights::new(0.4, 0.2).unwrap()),
+        });
+        let text = c.to_string();
+        assert!(text.contains("adapt=polyak(1.5, 0.25)"), "{text}");
+        assert!(text.contains("warm=(α=0.4"), "{text}");
+        let back: SlrhConfig = text.parse().expect("adaptive config parses");
+        assert_eq!(back, c);
+
+        // Without warm start the warm component is omitted entirely.
+        c.adaptation.as_mut().unwrap().warm_start = None;
+        let text = c.to_string();
+        assert!(!text.contains("warm="), "{text}");
+        assert_eq!(text.parse::<SlrhConfig>().expect("parses"), c);
+    }
+
+    #[test]
+    fn adapt_components_default_from_the_block_defaults() {
+        let c: SlrhConfig = "SLRH-1; w=(0.5, 0.3); adapt=constant(0.25)"
+            .parse()
+            .expect("terse adaptive config parses");
+        assert_eq!(c.adaptation, Some(Adaptation::default()));
+    }
+
+    #[test]
+    fn adapt_satellite_keys_require_the_rule() {
+        for s in [
+            "SLRH-1; w=(0.5, 0.3); every=2",
+            "SLRH-1; w=(0.5, 0.3); amin=0.1",
+            "SLRH-1; w=(0.5, 0.3); lmax=4.0",
+            "SLRH-1; w=(0.5, 0.3); warm=(0.4, 0.2)",
+        ] {
+            let err = s.parse::<SlrhConfig>().unwrap_err();
+            assert!(err.contains("requires adapt="), "{s}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_adaptation_rejected() {
+        for s in [
+            "SLRH-1; w=(0.5, 0.3); adapt=constant(0.25); every=0",
+            "SLRH-1; w=(0.5, 0.3); adapt=constant(0.25); amin=0.0",
+            "SLRH-1; w=(0.5, 0.3); adapt=constant(0.25); amin=1.5",
+            "SLRH-1; w=(0.5, 0.3); adapt=constant(0.25); lmax=0.0",
+            "SLRH-1; w=(0.5, 0.3); adapt=newton(0.25)",
+        ] {
+            assert!(s.parse::<SlrhConfig>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn builder_validates_adaptation() {
+        let w = Weights::new(0.5, 0.2).unwrap();
+        let bad = SlrhConfig::builder(SlrhVariant::V1, w)
+            .adaptation(Some(Adaptation {
+                every: 0,
+                ..Adaptation::default()
+            }))
+            .build();
+        assert_eq!(bad.unwrap_err(), ConfigError::ZeroAdaptEvery);
+        let bad = SlrhConfig::builder(SlrhVariant::V1, w)
+            .adaptation(Some(Adaptation {
+                max_multiplier: f64::INFINITY,
+                ..Adaptation::default()
+            }))
+            .build();
+        assert_eq!(bad.unwrap_err(), ConfigError::BadAdaptProjection);
+    }
+
+    #[test]
+    fn armed_applies_the_warm_start_only() {
+        let w = Weights::new(0.5, 0.3).unwrap();
+        let warm = Weights::new(0.4, 0.2).unwrap();
+        let base = SlrhConfig::paper(SlrhVariant::V1, w);
+        // No adaptation: armed is an identity copy.
+        assert_eq!(base.armed(), base);
+        let adaptive = base.with_adaptation(Adaptation {
+            warm_start: Some(warm),
+            ..Adaptation::default()
+        });
+        let armed = adaptive.armed();
+        assert_eq!(armed.objective.weights, warm);
+        assert_eq!(armed.adaptation, adaptive.adaptation);
     }
 }

@@ -67,6 +67,11 @@ pub struct DynamicOutcome<'a> {
     pub stats: RunStats,
     /// Per event: `(effective time, subtasks invalidated)`.
     pub disruptions: Vec<(Time, usize)>,
+    /// The objective weights in force when the run ended. Online
+    /// adaptation carries its weights *across* loss segments (one armed
+    /// configuration spans the whole run); without adaptation these are
+    /// just the configured weights.
+    pub final_weights: lagrange::weights::Weights,
 }
 
 impl DynamicOutcome<'_> {
@@ -196,6 +201,9 @@ fn churn_inner<'a>(
     let mut stats = RunStats::default();
     let mut disruptions = Vec::new();
     let mut now = Time::ZERO;
+    // One armed copy spans every segment, so adapted weights (and the
+    // tick schedule carried by `stats.clock_steps`) survive loss events.
+    let mut run = config.armed();
 
     for ev in &events {
         // Manual reborrow: `as_deref_mut` would pin the trait object's
@@ -205,7 +213,7 @@ fn churn_inner<'a>(
             Some(ref mut o) => Some(&mut **o as &mut dyn FnMut(crate::mapper::TickEvent)),
             None => None,
         };
-        now = drive_with(&mut state, config, &mut stats, cache.as_deref_mut(), now, Some(ev.at), obs);
+        now = drive_with(&mut state, &mut run, &mut stats, cache.as_deref_mut(), now, Some(ev.at), obs);
         // The loss takes effect at the clock tick the driver stopped on.
         // Every event is applied, even past τ: mappings only happen at
         // clocks <= τ, but work mapped near τ can still be *executing*
@@ -216,12 +224,13 @@ fn churn_inner<'a>(
         let n = apply_loss_tracked(&mut state, cache.as_deref_mut(), &mut stats, ev.machine, effective);
         disruptions.push((effective, n));
     }
-    drive_with(&mut state, config, &mut stats, cache, now, None, observer);
+    drive_with(&mut state, &mut run, &mut stats, cache, now, None, observer);
 
     DynamicOutcome {
         state,
         stats,
         disruptions,
+        final_weights: run.objective.weights,
     }
 }
 

@@ -19,6 +19,7 @@ use adhoc_grid::units::{Dur, Time};
 use adhoc_grid::workload::Scenario;
 use gridsim::metrics::Metrics;
 use gridsim::state::SimState;
+use lagrange::weights::Weights;
 
 use crate::config::{SlrhConfig, SlrhVariant, Trigger};
 use adhoc_grid::config::MachineId;
@@ -46,6 +47,10 @@ pub struct RunStats {
     /// Cached pool entries dropped because a state mutation could have
     /// affected them (zero when the cache is disabled).
     pub pool_cache_invalidations: u64,
+    /// Online weight-adaptation steps that actually changed the weights
+    /// (zero whenever [`crate::config::SlrhConfig::adaptation`] is off
+    /// — and also when every step was a fixed point).
+    pub weight_updates: u64,
 }
 
 /// The result of an SLRH run: the final simulation state plus counters.
@@ -55,6 +60,9 @@ pub struct SlrhOutcome<'a> {
     pub state: SimState<'a>,
     /// Work counters.
     pub stats: RunStats,
+    /// The objective weights in force when the run ended. Identical to
+    /// the configured weights unless online adaptation moved them.
+    pub final_weights: Weights,
 }
 
 impl SlrhOutcome<'_> {
@@ -93,8 +101,13 @@ impl gridsim::MappingOutcome for SlrhOutcome<'_> {
 pub fn run_slrh<'a>(scenario: &'a Scenario, config: &SlrhConfig) -> SlrhOutcome<'a> {
     let mut state = SimState::new(scenario);
     let mut stats = RunStats::default();
-    drive(&mut state, config, &mut stats, Time::ZERO, None, None);
-    SlrhOutcome { state, stats }
+    let mut run = config.armed();
+    drive(&mut state, &mut run, &mut stats, Time::ZERO, None, None);
+    SlrhOutcome {
+        state,
+        stats,
+        final_weights: run.objective.weights,
+    }
 }
 
 /// One executed clock tick, as observed by [`run_slrh_observed`].
@@ -124,11 +137,12 @@ pub fn run_slrh_observed<'a>(
 ) -> SlrhOutcome<'a> {
     let mut state = ctx.state(scenario);
     let mut stats = RunStats::default();
-    if config.use_pool_cache {
-        let cache = ctx.cache_for(&state, config.allow_secondary);
+    let mut run = config.armed();
+    if run.use_pool_cache {
+        let cache = ctx.cache_for(&state, run.allow_secondary);
         drive_with(
             &mut state,
-            config,
+            &mut run,
             &mut stats,
             Some(cache),
             Time::ZERO,
@@ -136,9 +150,13 @@ pub fn run_slrh_observed<'a>(
             Some(observer),
         );
     } else {
-        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None, Some(observer));
+        drive_with(&mut state, &mut run, &mut stats, None, Time::ZERO, None, Some(observer));
     }
-    SlrhOutcome { state, stats }
+    SlrhOutcome {
+        state,
+        stats,
+        final_weights: run.objective.weights,
+    }
 }
 
 /// [`run_slrh`] on a reusable [`RunContext`]: the state and (when
@@ -153,13 +171,18 @@ pub fn run_slrh_in<'a>(
 ) -> SlrhOutcome<'a> {
     let mut state = ctx.state(scenario);
     let mut stats = RunStats::default();
-    if config.use_pool_cache {
-        let cache = ctx.cache_for(&state, config.allow_secondary);
-        drive_with(&mut state, config, &mut stats, Some(cache), Time::ZERO, None, None);
+    let mut run = config.armed();
+    if run.use_pool_cache {
+        let cache = ctx.cache_for(&state, run.allow_secondary);
+        drive_with(&mut state, &mut run, &mut stats, Some(cache), Time::ZERO, None, None);
     } else {
-        drive_with(&mut state, config, &mut stats, None, Time::ZERO, None, None);
+        drive_with(&mut state, &mut run, &mut stats, None, Time::ZERO, None, None);
     }
-    SlrhOutcome { state, stats }
+    SlrhOutcome {
+        state,
+        stats,
+        final_weights: run.objective.weights,
+    }
 }
 
 /// [`drive_with`] behind a freshly-created pool cache (when the config
@@ -168,7 +191,7 @@ pub fn run_slrh_in<'a>(
 /// segment so it survives across segments.
 pub(crate) fn drive(
     state: &mut SimState<'_>,
-    config: &SlrhConfig,
+    config: &mut SlrhConfig,
     stats: &mut RunStats,
     start_clock: Time,
     stop_at: Option<Time>,
@@ -185,12 +208,22 @@ pub(crate) fn drive(
 /// at which the loop stopped. This is the building block shared by the
 /// plain, adaptive and dynamic drivers.
 ///
+/// The configuration is mutable because online adaptation (when the
+/// config carries an [`crate::config::Adaptation`] block) rewrites the
+/// objective weights in place; callers hand in a run-local
+/// [`SlrhConfig::armed`] copy, never their own configuration. Tick
+/// indices — and therefore the adaptation schedule — are carried by
+/// `stats.clock_steps`, which is monotone across the segments of a
+/// multi-segment (churn) run.
+///
 /// With a `cache`, every pool query goes through it and every commit's
 /// [`gridsim::state::StateDelta`] is fed back into it; the resulting
 /// schedule is identical to the uncached one by the cache's invariant.
+/// Weight updates evict nothing: cached entries store *plans*, and
+/// objective values are recomputed against the live weights per query.
 pub(crate) fn drive_with(
     state: &mut SimState<'_>,
-    config: &SlrhConfig,
+    config: &mut SlrhConfig,
     stats: &mut RunStats,
     mut cache: Option<&mut PoolCache>,
     start_clock: Time,
@@ -210,6 +243,29 @@ pub(crate) fn drive_with(
         }
         let tick = stats.clock_steps;
         stats.clock_steps += 1;
+
+        // Online adaptation: one projected subgradient step on the
+        // weights every `every`-th tick, from the violations the current
+        // partial schedule predicts. Pure in (weights, tick index), so
+        // replaying any prefix — or resuming after a churn segment —
+        // reproduces the same weight trajectory bit for bit. Tick 0
+        // always runs on the starting weights.
+        if let Some(ad) = config.adaptation {
+            if tick > 0 && tick.is_multiple_of(ad.every) {
+                let g = predicted_violations(state, now);
+                let next = lagrange::online::adapt_step(
+                    &ad.rule,
+                    &ad.projection(),
+                    config.objective.weights,
+                    tick / ad.every,
+                    g,
+                );
+                if next != config.objective.weights {
+                    config.objective.weights = next;
+                    stats.weight_updates += 1;
+                }
+            }
+        }
         let commits_before = stats.commits;
         let mut any_commit = false;
         let mut every_live_machine_available = true;
@@ -381,6 +437,23 @@ fn build_and_count(
     }
 }
 
+/// Predicted constraint violations from a mid-run snapshot: the energy
+/// and time consumption fractions linearly extrapolated to full mapping,
+/// minus 1 (positive = headed for a violation). This is the subgradient
+/// estimate the online adaptation hook feeds to
+/// [`lagrange::online::adapt_step`]; it reads only the live state and
+/// clock, never any accumulator, preserving the purity contract.
+pub(crate) fn predicted_violations(state: &SimState<'_>, now: Time) -> [f64; 2] {
+    let m = state.metrics();
+    let progress = m.mapped as f64 / m.tasks as f64;
+    if progress <= 0.0 {
+        return [0.0, 0.0];
+    }
+    let e_pred = m.tec_fraction() / progress;
+    let t_pred = (now.as_seconds() / m.tau.as_seconds()) / progress;
+    [e_pred - 1.0, t_pred - 1.0]
+}
+
 /// Convenience: ΔT expressed in ticks for a given number of clock cycles
 /// (1 cycle = 1 tick = 0.1 s).
 pub fn cycles(n: u64) -> Dur {
@@ -525,6 +598,65 @@ mod tests {
         assert!(fine.metrics().t100 >= coarse.metrics().t100);
         // Coarse steps do fewer clock iterations.
         assert!(coarse.stats.clock_steps < fine.stats.clock_steps);
+    }
+
+    #[test]
+    fn inert_adaptation_is_bitexact_with_legacy() {
+        // An adaptation block whose step rule never moves (constant 0)
+        // must leave the whole run — schedule, stats, weights —
+        // byte-identical to the legacy fixed-weight path.
+        use crate::config::Adaptation;
+        use lagrange::step::StepRule;
+        let sc = scenario(64);
+        for variant in SlrhVariant::ALL {
+            let legacy = config(variant);
+            let inert = legacy.with_adaptation(Adaptation {
+                rule: StepRule::Constant { a: 0.0 },
+                ..Adaptation::default()
+            });
+            let a = run_slrh(&sc, &legacy);
+            let b = run_slrh(&sc, &inert);
+            assert_eq!(a.stats, b.stats, "{variant}");
+            assert_eq!(b.stats.weight_updates, 0, "{variant}");
+            assert_eq!(a.final_weights, b.final_weights, "{variant}");
+            assert_eq!(
+                format!("{:?}", a.state.schedule()),
+                format!("{:?}", b.state.schedule()),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_adaptation_moves_weights_and_stays_valid() {
+        use crate::config::Adaptation;
+        use lagrange::step::StepRule;
+        let sc = scenario(64);
+        let cfg = config(SlrhVariant::V1).with_adaptation(Adaptation {
+            rule: StepRule::Constant { a: 0.5 },
+            every: 2,
+            ..Adaptation::default()
+        });
+        let out = run_slrh(&sc, &cfg);
+        let errs = validate(&out.state);
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(out.stats.weight_updates > 0, "no weight ever moved");
+        assert_ne!(out.final_weights, cfg.objective.weights);
+        // The caller's configuration is never mutated (armed copies only).
+        assert_eq!(cfg.objective.weights, config(SlrhVariant::V1).objective.weights);
+        // Determinism: the adaptive trajectory replays exactly.
+        let again = run_slrh(&sc, &cfg);
+        assert_eq!(again.stats, out.stats);
+        assert_eq!(again.final_weights, out.final_weights);
+    }
+
+    #[test]
+    fn adaptation_off_echoes_configured_weights() {
+        let sc = scenario(32);
+        let cfg = config(SlrhVariant::V1);
+        let out = run_slrh(&sc, &cfg);
+        assert_eq!(out.final_weights, cfg.objective.weights);
+        assert_eq!(out.stats.weight_updates, 0);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! * [`multipliers`] — projected multiplier vectors `λ ≥ 0` with
 //!   subgradient updates, the building block of dual ascent and of the
 //!   online weight controller;
+//! * [`online`] — the online weight controller itself: a stateless,
+//!   lattice-snapped projected subgradient step mapping the live
+//!   objective weights and one tick's constraint violations to the next
+//!   tick's weights (the §VIII "on-the-fly adjustment", wired into the
+//!   SLRH clock loop by the `slrh` crate);
 //! * [`subgradient`] — a projected subgradient solver for concave dual
 //!   functions exposed through the [`subgradient::DualOracle`] trait;
 //! * [`dual`] — Lagrangian relaxation of *separable* selection problems
@@ -35,6 +40,7 @@
 pub mod dual;
 pub mod lrnn;
 pub mod multipliers;
+pub mod online;
 pub mod step;
 pub mod subgradient;
 pub mod surrogate;
@@ -42,6 +48,7 @@ pub mod weights;
 
 pub use dual::{SeparableProblem, Selection};
 pub use multipliers::MultiplierVector;
+pub use online::{adapt_step, OnlineProjection};
 pub use step::StepRule;
 pub use subgradient::{DualOracle, SubgradientResult, SubgradientSolver};
 pub use surrogate::{SurrogateOutcome, SurrogateSolver};

@@ -14,6 +14,8 @@
 //!   value; the fastest rule when a bound (such as a feasible primal
 //!   value) is available.
 
+use std::fmt;
+
 /// A step-size schedule for subgradient iterations.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub enum StepRule {
@@ -58,6 +60,84 @@ impl StepRule {
     }
 }
 
+impl fmt::Display for StepRule {
+    /// The canonical, machine-readable rendering: `constant(a)`,
+    /// `diminishing(a)`, or `polyak(target, max_step)`, with every `f64`
+    /// printed via shortest-round-trip `{:?}` so
+    /// `rule.to_string().parse::<StepRule>()` returns a bit-identical
+    /// rule. The CLI, the SLRH config string, and the stress corpus all
+    /// name step rules through this one form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StepRule::Constant { a } => write!(f, "constant({a:?})"),
+            StepRule::Diminishing { a } => write!(f, "diminishing({a:?})"),
+            StepRule::Polyak { target, max_step } => {
+                write!(f, "polyak({target:?}, {max_step:?})")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for StepRule {
+    type Err = String;
+
+    /// Parse the [`Display`] form. Whitespace around the name, the
+    /// parentheses and the arguments is tolerated; the argument count
+    /// must match the rule, and every argument must be a finite,
+    /// non-negative `f64` (a negative "step" would descend the dual).
+    fn from_str(s: &str) -> Result<StepRule, String> {
+        let s = s.trim();
+        let (name, rest) = s
+            .split_once('(')
+            .ok_or_else(|| format!("step rule {s:?} has no argument list"))?;
+        let args = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("step rule {s:?} has an unclosed argument list"))?;
+        let args: Vec<f64> = args
+            .split(',')
+            .map(|a| {
+                let a = a.trim();
+                let v: f64 = a
+                    .parse()
+                    .map_err(|e| format!("bad step-rule argument {a:?}: {e}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("step-rule argument {a:?} must be finite and >= 0"));
+                }
+                Ok(v)
+            })
+            .collect::<Result<_, String>>()?;
+        let arity = |n: usize| {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "step rule {:?} takes {n} argument(s), got {}",
+                    name.trim(),
+                    args.len()
+                ))
+            }
+        };
+        match name.trim() {
+            "constant" => {
+                arity(1)?;
+                Ok(StepRule::Constant { a: args[0] })
+            }
+            "diminishing" => {
+                arity(1)?;
+                Ok(StepRule::Diminishing { a: args[0] })
+            }
+            "polyak" => {
+                arity(2)?;
+                Ok(StepRule::Polyak {
+                    target: args[0],
+                    max_step: args[1],
+                })
+            }
+            other => Err(format!("unknown step rule {other:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +173,53 @@ mod tests {
             max_step: 0.1,
         };
         assert_eq!(r.step(1, 0.0, 1.0), 0.1);
+    }
+
+    #[test]
+    fn display_from_str_round_trips_bit_exactly() {
+        for rule in [
+            StepRule::Constant { a: 0.25 },
+            StepRule::Constant { a: 0.1 + 0.2 }, // 0.30000000000000004
+            StepRule::Diminishing { a: 2.0 },
+            StepRule::Polyak {
+                target: 1.5,
+                max_step: 0.25,
+            },
+            StepRule::Constant { a: 0.0 },
+        ] {
+            let back: StepRule = rule.to_string().parse().expect("parse Display form");
+            assert_eq!(back, rule, "{rule}");
+        }
+    }
+
+    #[test]
+    fn from_str_tolerates_whitespace() {
+        assert_eq!(
+            " polyak( 1.5 , 0.25 ) ".parse::<StepRule>().unwrap(),
+            StepRule::Polyak {
+                target: 1.5,
+                max_step: 0.25
+            }
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_malformed() {
+        for bad in [
+            "",
+            "constant",
+            "constant()",
+            "constant(1.0",
+            "constant(1.0, 2.0)",
+            "diminishing(-0.5)",
+            "polyak(1.0)",
+            "polyak(inf, 1.0)",
+            "polyak(nan, 1.0)",
+            "newton(1.0)",
+            "constant(abc)",
+        ] {
+            assert!(bad.parse::<StepRule>().is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -11,8 +11,11 @@
 use adhoc_grid::config::GridCase;
 use adhoc_grid::seed;
 use adhoc_grid::workload::ScenarioParams;
+use lagrange::step::StepRule;
+use lagrange::weights::Weights;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use slrh::Adaptation;
 
 use crate::spec::{CaseSpec, ChurnEvent};
 
@@ -55,6 +58,11 @@ pub fn generate(fuzz_seed: u64) -> CaseSpec {
 
     let (losses, arrivals) = gen_churn(&mut rng, grid_len(case), tau, dt);
 
+    // Adaptive-mode sampling comes AFTER the churn draws so every
+    // pre-existing seed keeps its exact scenario and churn trace — the
+    // corpus and any recorded reproducer stay meaningful.
+    let adaptation = gen_adaptation(&mut rng);
+
     let spec = CaseSpec {
         seed: fuzz_seed,
         tasks,
@@ -69,9 +77,49 @@ pub fn generate(fuzz_seed: u64) -> CaseSpec {
         beta,
         losses,
         arrivals,
+        adaptation,
     };
     debug_assert_eq!(spec.check(), Ok(()));
     spec
+}
+
+/// Sample the adaptive mode for about half the cases, covering every
+/// step rule, off-lattice update intervals, tight and loose projections,
+/// and warm starts away from the case's own (α, β).
+fn gen_adaptation(rng: &mut StdRng) -> Option<Adaptation> {
+    if rng.gen_bool(0.5) {
+        return None;
+    }
+    let rule = match rng.gen_range(0u32..4) {
+        // Inert steps included on purpose: they must reproduce the
+        // legacy run bit-for-bit (the runner's inert-adaptation oracle).
+        0 => StepRule::Constant { a: 0.0 },
+        1 => StepRule::Constant {
+            a: f64::from(rng.gen_range(1u32..=8)) * 0.125,
+        },
+        2 => StepRule::Diminishing {
+            a: f64::from(rng.gen_range(1u32..=8)) * 0.25,
+        },
+        _ => StepRule::Polyak {
+            target: f64::from(rng.gen_range(0u32..=8)) * 0.25,
+            max_step: f64::from(rng.gen_range(1u32..=4)) * 0.25,
+        },
+    };
+    let warm_start = if rng.gen_bool(0.25) {
+        let alpha = f64::from(rng.gen_range(4u32..=16)) * 0.05;
+        let beta_max = ((1.0 - alpha) / 0.05).floor() as u32;
+        let beta = f64::from(rng.gen_range(0u32..=beta_max)) * 0.05;
+        Some(Weights::new(alpha, beta).expect("warm start on the simplex"))
+    } else {
+        None
+    };
+    Some(Adaptation {
+        rule,
+        every: rng.gen_range(1u64..=7),
+        min_alpha: f64::from(rng.gen_range(1u32..=4)) * 0.025,
+        max_multiplier: f64::from(rng.gen_range(1u32..=8)),
+        warm_start,
+    })
 }
 
 /// Generate a churn trace respecting the churn API's preconditions:
@@ -190,5 +238,29 @@ mod tests {
         for dt in [1, 2, 5, 10, 20] {
             assert!(specs.iter().any(|s| s.dt == dt));
         }
+        // Adaptive and fixed-weight cases both occur, every rule shows
+        // up, and the inert-step regime (the legacy-equivalence oracle's
+        // fuel) is represented.
+        assert!(specs.iter().any(|s| s.adaptation.is_none()));
+        assert!(specs.iter().any(|s| matches!(
+            s.adaptation,
+            Some(Adaptation { rule: StepRule::Constant { a }, .. }) if a == 0.0
+        )));
+        assert!(specs.iter().any(|s| matches!(
+            s.adaptation,
+            Some(Adaptation { rule: StepRule::Constant { a }, .. }) if a > 0.0
+        )));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.adaptation, Some(Adaptation { rule: StepRule::Diminishing { .. }, .. }))));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.adaptation, Some(Adaptation { rule: StepRule::Polyak { .. }, .. }))));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.adaptation, Some(Adaptation { warm_start: Some(_), .. }))));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.adaptation, Some(Adaptation { every, .. }) if every > 1)));
     }
 }

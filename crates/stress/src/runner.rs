@@ -31,10 +31,12 @@ use grid_baselines::{
 use grid_sweep::heuristic::Heuristic;
 use gridsim::metrics::Metrics;
 use gridsim::schedule::Schedule;
+use lagrange::step::StepRule;
 use lagrange::weights::Objective;
 use rayon::prelude::*;
 use slrh::{
-    run_slrh_churn, run_slrh_churn_in, DynamicOutcome, RunContext, RunStats, SlrhVariant,
+    run_slrh_churn, run_slrh_churn_in, Adaptation, DynamicOutcome, RunContext, RunStats,
+    SlrhVariant,
 };
 
 use crate::oracle;
@@ -120,6 +122,66 @@ pub fn run_seed(spec: &CaseSpec, ctx: &mut RunContext) -> RunReport {
         ctx.reclaim(reused.state);
         ctx.reclaim(scratch.state);
         ctx.reclaim(fresh.state);
+    }
+
+    // --- adaptive differential arms --------------------------------------
+    // Inert adaptation ≡ legacy fixed-weight path. An adaptation block
+    // with a zero step must leave every byte of the run — schedule,
+    // metrics, disruption log, stats, final weights — identical to the
+    // run with no adaptation block at all. Checked on every case, not
+    // only the ones that sampled an adaptive mode.
+    {
+        let tag = "slrh-V1-inert-adapt";
+        let legacy_cfg = spec.legacy_config(SlrhVariant::V1);
+        let inert_cfg = legacy_cfg.with_adaptation(Adaptation {
+            rule: StepRule::Constant { a: 0.0 },
+            ..Adaptation::default()
+        });
+        let legacy = run_slrh_churn_in(&sc, &legacy_cfg, &losses, &arrivals, ctx);
+        let inert = run_slrh_churn_in(&sc, &inert_cfg, &losses, &arrivals, ctx);
+        let legacy_sig = dynamic_signature(&legacy, true);
+        if legacy_sig != dynamic_signature(&inert, true) {
+            failures.push(format!(
+                "{tag}: differential-inert: zero-step adaptation diverges from the legacy path"
+            ));
+        }
+        if inert.stats.weight_updates != 0 {
+            failures.push(format!(
+                "{tag}: accounting: zero-step adaptation reports {} weight updates",
+                inert.stats.weight_updates
+            ));
+        }
+        clock_steps += legacy.stats.clock_steps;
+        fingerprint.update(&legacy_sig);
+        ctx.reclaim(legacy.state);
+        ctx.reclaim(inert.state);
+    }
+
+    // Adaptive runs must be byte-identical under 1-thread and 4-thread
+    // forced rayon pools: the multiplier update is driven purely by the
+    // (state, tick) pair, never by scheduling order inside a tick.
+    if spec.adaptation.is_some() {
+        let config = spec.config(SlrhVariant::V1);
+        let adaptive_under = |threads: usize| -> String {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            pool.install(|| {
+                let out = run_slrh_churn(&sc, &config, &losses, &arrivals);
+                dynamic_signature(&out, true)
+            })
+        };
+        let single = adaptive_under(1);
+        let quad = adaptive_under(4);
+        if single != quad {
+            failures.push(
+                "slrh-V1-adaptive: differential-threads: 1-thread and 4-thread adaptive runs \
+                 diverge"
+                    .to_string(),
+            );
+        }
+        fingerprint.update(&single);
     }
 
     // --- static baselines: fresh vs reused state buffers -----------------
@@ -236,17 +298,28 @@ fn dynamic_signature(out: &DynamicOutcome<'_>, with_stats: bool) -> String {
     for (at, n) in &out.disruptions {
         let _ = write!(s, "disruption={}@{} ", n, at.0);
     }
+    // The weights in force at the end of the run: fixed-weight runs echo
+    // their configuration, adaptive runs expose the adapted point — any
+    // hidden drift (e.g. an accumulator surviving RunContext reuse)
+    // breaks the differential arms here.
+    let _ = write!(
+        s,
+        "fw={:016x}/{:016x} ",
+        out.final_weights.alpha().to_bits(),
+        out.final_weights.beta().to_bits(),
+    );
     if with_stats {
         let st = &out.stats;
         let _ = write!(
             s,
-            "steps={} builds={} cand={} commits={} hits={} inval={} ",
+            "steps={} builds={} cand={} commits={} hits={} inval={} wu={} ",
             st.clock_steps,
             st.pool_builds,
             st.candidates_evaluated,
             st.commits,
             st.pool_cache_hits,
             st.pool_cache_invalidations,
+            st.weight_updates,
         );
     }
     s

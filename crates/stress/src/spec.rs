@@ -15,7 +15,7 @@ use adhoc_grid::io::kv;
 use adhoc_grid::units::{Dur, Time};
 use adhoc_grid::workload::{Scenario, ScenarioParams};
 use lagrange::weights::Weights;
-use slrh::{MachineArrivalEvent, MachineLossEvent, SlrhConfig, SlrhVariant};
+use slrh::{Adaptation, MachineArrivalEvent, MachineLossEvent, SlrhConfig, SlrhVariant};
 
 /// One churn event: machine `machine` at tick `at`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -56,6 +56,10 @@ pub struct CaseSpec {
     pub losses: Vec<ChurnEvent>,
     /// Machine arrivals.
     pub arrivals: Vec<ChurnEvent>,
+    /// Online weight adaptation, when the case runs the adaptive mode.
+    /// `None` (and absent from the corpus encoding, so pre-existing
+    /// reproducers decode unchanged) runs the legacy fixed-weight path.
+    pub adaptation: Option<Adaptation>,
 }
 
 impl CaseSpec {
@@ -72,11 +76,22 @@ impl CaseSpec {
         Weights::new(self.alpha, self.beta).expect("spec carries valid weights")
     }
 
-    /// The SLRH configuration for `variant`.
+    /// The SLRH configuration for `variant`, including the case's
+    /// adaptation block when one was sampled.
     pub fn config(&self, variant: SlrhVariant) -> SlrhConfig {
-        SlrhConfig::paper(variant, self.weights())
+        let mut cfg = SlrhConfig::paper(variant, self.weights())
             .with_dt(Dur(self.dt))
-            .with_horizon(Dur(self.horizon))
+            .with_horizon(Dur(self.horizon));
+        cfg.adaptation = self.adaptation;
+        cfg
+    }
+
+    /// The legacy fixed-weight configuration, with any adaptation block
+    /// stripped — the reference arm for the inert-adaptation oracle.
+    pub fn legacy_config(&self, variant: SlrhVariant) -> SlrhConfig {
+        let mut cfg = self.config(variant);
+        cfg.adaptation = None;
+        cfg
     }
 
     /// The loss events, in spec order.
@@ -131,6 +146,30 @@ impl CaseSpec {
         for e in &self.arrivals {
             s.push_str(&format!("arrival={}@{}\n", e.machine, e.at));
         }
+        if let Some(ad) = &self.adaptation {
+            // The rule rides its canonical Display form (Rust float
+            // `{:?}` output round-trips bit-exactly); projection floats
+            // use the same bit-pattern codec as the weights.
+            s.push_str(&format!("adapt_rule={}\n", ad.rule));
+            s.push_str(&format!("adapt_every={}\n", ad.every));
+            s.push_str(&format!(
+                "adapt_amin={} # {}\n",
+                kv::format_f64_bits(ad.min_alpha),
+                ad.min_alpha
+            ));
+            s.push_str(&format!(
+                "adapt_lmax={} # {}\n",
+                kv::format_f64_bits(ad.max_multiplier),
+                ad.max_multiplier
+            ));
+            if let Some(w) = ad.warm_start {
+                s.push_str(&format!(
+                    "adapt_warm={},{} # {w}\n",
+                    kv::format_f64_bits(w.alpha()),
+                    kv::format_f64_bits(w.beta()),
+                ));
+            }
+        }
         s
     }
 
@@ -151,6 +190,11 @@ impl CaseSpec {
         let mut beta = None;
         let mut losses = Vec::new();
         let mut arrivals = Vec::new();
+        let mut adapt_rule = None;
+        let mut adapt_every = None;
+        let mut adapt_amin = None;
+        let mut adapt_lmax = None;
+        let mut adapt_warm = None;
 
         for (no, line) in kv::Lines::new(text) {
             let (key, value) = kv::split_pair(no, line).map_err(|e| e.to_string())?;
@@ -177,6 +221,22 @@ impl CaseSpec {
                 "beta" => beta = Some(kv::parse_f64_bits(value).map_err(ctx)?),
                 "loss" => losses.push(event(value).map_err(ctx)?),
                 "arrival" => arrivals.push(event(value).map_err(ctx)?),
+                "adapt_rule" => {
+                    adapt_rule = Some(value.parse::<lagrange::step::StepRule>().map_err(ctx)?)
+                }
+                "adapt_every" => adapt_every = Some(kv::parse_u64(value).map_err(ctx)?),
+                "adapt_amin" => adapt_amin = Some(kv::parse_f64_bits(value).map_err(ctx)?),
+                "adapt_lmax" => adapt_lmax = Some(kv::parse_f64_bits(value).map_err(ctx)?),
+                "adapt_warm" => {
+                    let (a, b) = value.split_once(',').ok_or_else(|| {
+                        format!("line {no}: adapt_warm: expected ALPHA_BITS,BETA_BITS")
+                    })?;
+                    let a = kv::parse_f64_bits(a.trim()).map_err(&ctx)?;
+                    let b = kv::parse_f64_bits(b.trim()).map_err(&ctx)?;
+                    adapt_warm = Some(
+                        Weights::new(a, b).map_err(|e| ctx(format!("{e}")))?,
+                    );
+                }
                 other => return Err(format!("line {no}: unknown key {other:?}")),
             }
         }
@@ -184,6 +244,30 @@ impl CaseSpec {
         fn req<T>(name: &str, v: Option<T>) -> Result<T, String> {
             v.ok_or_else(|| format!("missing {name}"))
         }
+        let adaptation = match adapt_rule {
+            Some(rule) => {
+                let defaults = Adaptation::default();
+                Some(Adaptation {
+                    rule,
+                    every: adapt_every.unwrap_or(defaults.every),
+                    min_alpha: adapt_amin.unwrap_or(defaults.min_alpha),
+                    max_multiplier: adapt_lmax.unwrap_or(defaults.max_multiplier),
+                    warm_start: adapt_warm,
+                })
+            }
+            None => {
+                if adapt_every.is_some()
+                    || adapt_amin.is_some()
+                    || adapt_lmax.is_some()
+                    || adapt_warm.is_some()
+                {
+                    return Err("adapt_every/adapt_amin/adapt_lmax/adapt_warm \
+                                require adapt_rule"
+                        .into());
+                }
+                None
+            }
+        };
         Ok(CaseSpec {
             seed: req("seed", seed)?,
             tasks: req("tasks", tasks)?,
@@ -198,6 +282,7 @@ impl CaseSpec {
             beta: req("beta", beta)?,
             losses,
             arrivals,
+            adaptation,
         })
     }
 
@@ -217,6 +302,9 @@ impl CaseSpec {
         }
         if Weights::new(self.alpha, self.beta).is_err() {
             return Err(format!("invalid weights ({}, {})", self.alpha, self.beta));
+        }
+        if let Some(ad) = &self.adaptation {
+            ad.check().map_err(|e| format!("adaptation: {e}"))?;
         }
         if self.losses.len() >= grid_len {
             return Err("cannot lose every machine".into());
@@ -278,6 +366,7 @@ mod tests {
             beta: 0.2,
             losses: vec![ChurnEvent { machine: 1, at: 333 }],
             arrivals: vec![ChurnEvent { machine: 2, at: 333 }],
+            adaptation: None,
         }
     }
 
@@ -287,6 +376,44 @@ mod tests {
         let decoded = CaseSpec::decode(&spec.encode()).expect("decode");
         assert_eq!(decoded, spec);
         assert_eq!(decoded.alpha.to_bits(), spec.alpha.to_bits());
+    }
+
+    #[test]
+    fn adaptive_codec_round_trips_exactly() {
+        use lagrange::step::StepRule;
+        let mut spec = sample();
+        spec.adaptation = Some(Adaptation {
+            rule: StepRule::Polyak { target: 0.1 + 0.2, max_step: 0.25 },
+            every: 3,
+            min_alpha: 0.07,
+            max_multiplier: 6.5,
+            warm_start: Some(Weights::new(0.45, 0.25).unwrap()),
+        });
+        let decoded = CaseSpec::decode(&spec.encode()).expect("decode");
+        assert_eq!(decoded, spec);
+        let ad = decoded.adaptation.unwrap();
+        assert_eq!(ad.min_alpha.to_bits(), 0.07f64.to_bits());
+        // The rule's floats ride the Display form and still round-trip
+        // bit-exactly (0.1 + 0.2 is not representable as a short literal).
+        assert_eq!(
+            ad.rule,
+            StepRule::Polyak { target: 0.1 + 0.2, max_step: 0.25 }
+        );
+        // The adaptation reaches the config; the legacy config strips it.
+        assert!(decoded.config(SlrhVariant::V1).adaptation.is_some());
+        assert_eq!(decoded.legacy_config(SlrhVariant::V1).adaptation, None);
+    }
+
+    #[test]
+    fn orphan_adaptation_keys_are_rejected() {
+        let spec = sample();
+        let text = format!("{}adapt_every=3\n", spec.encode());
+        assert!(CaseSpec::decode(&text)
+            .unwrap_err()
+            .contains("require adapt_rule"));
+        let mut bad = sample();
+        bad.adaptation = Some(Adaptation { every: 0, ..Adaptation::default() });
+        assert!(bad.check().unwrap_err().contains("adaptation"));
     }
 
     #[test]

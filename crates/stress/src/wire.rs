@@ -30,6 +30,8 @@ use grid_broker::proto::{
     ScenarioSpec, ServerMsg, StatusRequest, StatusResponse,
 };
 use grid_sweep::heuristic::Heuristic;
+use grid_sweep::SearcherKind;
+use lagrange::step::StepRule;
 use lagrange::weights::Weights;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -244,7 +246,39 @@ fn gen_config(rng: &mut StdRng) -> SlrhConfig {
     cfg.horizon = adhoc_grid::units::Dur(rng.gen_range(1u64..5000));
     cfg.allow_secondary = rng.gen_range(0u32..2) == 0;
     cfg.use_pool_cache = rng.gen_range(0u32..2) == 0;
+    if rng.gen_range(0u32..2) == 0 {
+        cfg.adaptation = Some(gen_adaptation(rng));
+    }
     cfg
+}
+
+fn gen_adaptation(rng: &mut StdRng) -> slrh::Adaptation {
+    let rule = match rng.gen_range(0u32..3) {
+        0 => StepRule::Constant { a: rng.gen_range(0.0f64..2.0) },
+        1 => StepRule::Diminishing { a: rng.gen_range(0.01f64..2.0) },
+        _ => StepRule::Polyak {
+            target: rng.gen_range(0.0f64..4.0),
+            max_step: rng.gen_range(0.01f64..1.0),
+        },
+    };
+    slrh::Adaptation {
+        rule,
+        every: rng.gen_range(1u64..16),
+        min_alpha: rng.gen_range(0.0f64..0.2),
+        max_multiplier: rng.gen_range(1.0f64..32.0),
+        warm_start: (rng.gen_range(0u32..2) == 0).then(|| gen_weights(rng)),
+    }
+}
+
+fn gen_searcher(rng: &mut StdRng) -> SearcherKind {
+    if rng.gen_range(0u32..2) == 0 {
+        SearcherKind::Grid
+    } else {
+        SearcherKind::Anneal {
+            seed: rng.gen_range(0u64..u64::MAX),
+            iterations: rng.gen_range(1u32..256),
+        }
+    }
 }
 
 fn gen_churn(rng: &mut StdRng) -> Vec<(usize, u64)> {
@@ -293,6 +327,7 @@ fn gen_campaign_request(rng: &mut StdRng) -> CampaignRequest {
         cases: (0..rng.gen_range(1usize..4)).map(|_| gen_case(rng)).collect(),
         coarse: rng.gen_range(0.01f64..0.5),
         fine: rng.gen_range(0.001f64..0.1),
+        searcher: gen_searcher(rng),
         checkpoint: (rng.gen_range(0u32..2) == 0).then(|| gen_name(rng)),
     }
 }

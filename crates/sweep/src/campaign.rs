@@ -16,6 +16,7 @@ use rayon::prelude::*;
 
 use slrh::RunContext;
 
+use crate::anneal::{anneal_weights_in, SearcherKind};
 use crate::heuristic::Heuristic;
 use crate::weight_search::optimal_weights_with_steps_in;
 
@@ -28,10 +29,15 @@ pub struct CampaignConfig {
     pub heuristics: Vec<Heuristic>,
     /// Cases to evaluate.
     pub cases: Vec<GridCase>,
-    /// Coarse weight-search step (paper: 0.1).
+    /// Coarse weight-search step (paper: 0.1). The grid searcher
+    /// refines from it; the annealing searcher uses it as the seeding
+    /// grid.
     pub coarse: f64,
-    /// Fine weight-search step (paper: 0.02).
+    /// Fine weight-search step (paper: 0.02; ignored by the annealing
+    /// searcher, whose chain does the refining).
     pub fine: f64,
+    /// Which per-scenario weight searcher tunes phase 1.
+    pub searcher: SearcherKind,
 }
 
 impl CampaignConfig {
@@ -43,6 +49,7 @@ impl CampaignConfig {
             cases: GridCase::ALL.to_vec(),
             coarse: 0.1,
             fine: 0.02,
+            searcher: SearcherKind::Grid,
         }
     }
 
@@ -50,6 +57,12 @@ impl CampaignConfig {
     pub fn with_steps(mut self, coarse: f64, fine: f64) -> CampaignConfig {
         self.coarse = coarse;
         self.fine = fine;
+        self
+    }
+
+    /// Swap the per-scenario weight searcher.
+    pub fn with_searcher(mut self, searcher: SearcherKind) -> CampaignConfig {
+        self.searcher = searcher;
         self
     }
 }
@@ -203,8 +216,17 @@ pub fn run_case_unit(
         .map_init(RunContext::new, |ctx, &(e, d)| {
             let sc = cfg.set.scenario(case, e, d);
             if h.uses_weights() {
-                optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx)
-                    .map(|o| o.weights)
+                match cfg.searcher {
+                    SearcherKind::Grid => {
+                        optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx)
+                            .map(|o| o.weights)
+                    }
+                    SearcherKind::Anneal { seed, iterations } => {
+                        let acfg =
+                            SearcherKind::anneal_config(seed, iterations, cfg.coarse, e, d);
+                        anneal_weights_in(h, &sc, &acfg, ctx).map(|o| o.weights)
+                    }
+                }
             } else {
                 // Weightless heuristics: any placeholder works.
                 Some(lagrange::weights::Weights::new(0.5, 0.3).expect("static"))
@@ -272,6 +294,7 @@ mod tests {
             cases: vec![GridCase::A, GridCase::C],
             coarse: 0.25,
             fine: 0.25,
+            searcher: SearcherKind::Grid,
         };
         let rows = run_campaign(&cfg);
         assert_eq!(rows.len(), 4);
@@ -310,6 +333,28 @@ mod tests {
             assert_eq!(parsed.mean_ub_fraction.to_bits(), row.mean_ub_fraction.to_bits());
             assert_eq!((parsed.feasible, parsed.total), (row.feasible, row.total));
         }
+    }
+
+    /// The annealing searcher drops into the same campaign machinery:
+    /// rows come out feasible and byte-stable across reruns.
+    #[test]
+    fn annealed_campaign_is_deterministic() {
+        let set = ScenarioSet::new(ScenarioParams::paper_scaled(32), 1, 2);
+        let cfg = CampaignConfig {
+            set,
+            heuristics: vec![Heuristic::Slrh1],
+            cases: vec![GridCase::A],
+            coarse: 0.25,
+            fine: 0.25,
+            searcher: SearcherKind::Anneal {
+                seed: 7,
+                iterations: 16,
+            },
+        };
+        let a = canonical_report(&run_campaign(&cfg));
+        let b = canonical_report(&run_campaign(&cfg));
+        assert_eq!(a, b);
+        assert!(a.contains("feasible=2/2"), "{a}");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rayon::prelude::*;
 
 use slrh::RunContext;
 
+use crate::anneal::{anneal_weights_in, SearcherKind};
 use crate::heuristic::Heuristic;
 use crate::weight_search::optimal_weights_with_steps_in;
 
@@ -102,6 +103,9 @@ pub struct ReplicationConfig {
     pub coarse: f64,
     /// Fine refinement step.
     pub fine: f64,
+    /// Per-scenario weight searcher. An annealing searcher re-derives
+    /// its seed per replication so replications stay independent.
+    pub searcher: SearcherKind,
 }
 
 /// Replicated mean tuned T100 for one heuristic on one case: each
@@ -132,7 +136,24 @@ pub fn replicated_tuned_t100(
             let mut n = 0usize;
             for (e, d) in set.ids() {
                 let sc = set.scenario(case, e, d);
-                if let Some(o) = optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx) {
+                let found = match cfg.searcher {
+                    SearcherKind::Grid => {
+                        optimal_weights_with_steps_in(h, &sc, cfg.coarse, cfg.fine, ctx)
+                    }
+                    SearcherKind::Anneal { seed, iterations } => anneal_weights_in(
+                        h,
+                        &sc,
+                        &SearcherKind::anneal_config(
+                            adhoc_grid::seed::derive(seed, r),
+                            iterations,
+                            cfg.coarse,
+                            e,
+                            d,
+                        ),
+                        ctx,
+                    ),
+                };
+                if let Some(o) = found {
                     total += o.t100;
                     n += 1;
                 }
@@ -192,10 +213,21 @@ mod tests {
             replications: 2,
             coarse: 0.25,
             fine: 0.25,
+            searcher: SearcherKind::Grid,
         };
         let e = replicated_tuned_t100(Heuristic::Slrh1, GridCase::A, &cfg);
         assert_eq!(e.replications, 2);
         assert!(e.mean > 0.0, "SLRH-1 should find compliant weights");
+
+        // The annealing searcher replicates too, and replications with
+        // different SA seeds still agree on feasibility.
+        let sa = ReplicationConfig {
+            searcher: SearcherKind::Anneal { seed: 11, iterations: 12 },
+            ..cfg
+        };
+        let a = replicated_tuned_t100(Heuristic::Slrh1, GridCase::A, &sa);
+        assert_eq!(a.replications, 2);
+        assert!(a.mean > 0.0, "annealed replications should find compliant weights");
     }
 
     #[test]

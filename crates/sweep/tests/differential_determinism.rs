@@ -45,6 +45,7 @@ fn campaign_report_is_byte_identical_across_thread_counts() {
             cases: vec![GridCase::A, GridCase::C],
             coarse: 0.25,
             fine: 0.25,
+            searcher: grid_sweep::SearcherKind::Grid,
         };
         canonical_report(&run_campaign(&cfg))
     };
@@ -105,6 +106,7 @@ fn replication_estimate_is_byte_identical_across_thread_counts() {
             replications: 3,
             coarse: 0.25,
             fine: 0.25,
+            searcher: grid_sweep::SearcherKind::Grid,
         };
         let estimate = replicated_tuned_t100(Heuristic::Slrh1, GridCase::A, &cfg);
         format!("{estimate:?}")
@@ -134,6 +136,7 @@ fn campaign_rejects_invocation_from_a_worker() {
                         cases: vec![GridCase::A],
                         coarse: 0.5,
                         fine: 0.5,
+                        searcher: grid_sweep::SearcherKind::Grid,
                     };
                     run_campaign(&cfg).len()
                 })

@@ -1,0 +1,191 @@
+//! Golden fixtures for the online-adaptation loop and the SA searcher.
+//!
+//! Two committed references pin the new behaviour bit-for-bit:
+//!
+//! * `golden/adaptive_run.txt` — a churn run with a live adaptation
+//!   block: full schedule, stats (including `weight_updates`), the
+//!   adapted final weights, under 1 and 4 worker threads;
+//! * `golden/sa_search.txt` — the seeded annealing search's winner,
+//!   `T100` and unique-evaluation count across a small scenario grid.
+//!
+//! A third test re-runs the *legacy* churn fixture's exact trajectory
+//! with an inert (zero-step) adaptation block and compares it against
+//! the pre-existing `golden/churn.txt` — the adaptive machinery, when
+//! it never moves, must not cost a single output bit.
+//!
+//! Regenerate with `GOLDEN_BLESS=1 cargo test -p grid-sweep --test
+//! golden_adaptive` — only for a change that is *supposed* to alter
+//! results, and say so in the commit.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::units::Time;
+use adhoc_grid::workload::{Scenario, ScenarioParams, ScenarioSet};
+use grid_sweep::{anneal_weights, AnnealConfig, Heuristic};
+use lagrange::step::StepRule;
+use lagrange::weights::Weights;
+use rayon::ThreadPool;
+use slrh::{
+    run_slrh_churn, Adaptation, DynamicOutcome, MachineArrivalEvent, MachineLossEvent,
+    SlrhConfig, SlrhVariant,
+};
+
+fn pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with GOLDEN_BLESS=1"));
+    assert_eq!(actual, expected, "{name}: output differs from the blessed reference");
+}
+
+fn assert_golden_differential<F: Fn() -> String>(name: &str, f: F) {
+    let sequential = pool(1).install(&f);
+    assert_golden(name, &sequential);
+    let parallel = pool(4).install(&f);
+    assert_eq!(
+        sequential, parallel,
+        "{name}: canonical output differs between 1 and 4 threads"
+    );
+}
+
+/// Full deterministic serialization of a churn run, exactly the legacy
+/// golden suite's form plus the final-weights line (`{:?}` floats are
+/// shortest-roundtrip, so byte equality is bit equality).
+fn adaptive_canonical(out: &DynamicOutcome<'_>) -> String {
+    let mut s = String::new();
+    let m = out.state.metrics();
+    writeln!(s, "metrics: {m:?}").unwrap();
+    writeln!(s, "stats: {:?}", out.stats).unwrap();
+    writeln!(s, "final-weights: {:?}", out.final_weights).unwrap();
+    writeln!(s, "disruptions: {:?}", out.disruptions).unwrap();
+    for a in out.state.schedule().assignments() {
+        writeln!(
+            s,
+            "asg {} {} {} start={:?} dur={:?} e={:?}",
+            a.task, a.version, a.machine, a.start, a.dur, a.energy
+        )
+        .unwrap();
+    }
+    for tr in out.state.schedule().transfers() {
+        writeln!(
+            s,
+            "tr {}->{} {}->{} size={:?} start={:?} dur={:?} e={:?}",
+            tr.parent, tr.child, tr.from, tr.to, tr.size, tr.start, tr.dur, tr.energy
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// The legacy churn fixture's exact scenario and event trace
+/// (`golden_kernel_refactor.rs::churn_matches_pre_refactor_reference`).
+fn legacy_churn_setup() -> (
+    Scenario,
+    [MachineLossEvent; 2],
+    [MachineArrivalEvent; 1],
+) {
+    let sc = Scenario::generate(&ScenarioParams::paper_scaled(192), GridCase::A, 0, 0);
+    let arrivals = [MachineArrivalEvent {
+        machine: MachineId(3),
+        at: Time(sc.tau.0 / 8),
+    }];
+    let losses = [
+        MachineLossEvent {
+            machine: MachineId(0),
+            at: Time(sc.tau.0 / 3),
+        },
+        MachineLossEvent {
+            machine: MachineId(2),
+            at: Time(2 * sc.tau.0 / 3),
+        },
+    ];
+    (sc, losses, arrivals)
+}
+
+#[test]
+fn adaptive_churn_run_matches_blessed_reference() {
+    assert_golden_differential("adaptive_run.txt", || {
+        let (sc, losses, arrivals) = legacy_churn_setup();
+        let cfg = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap())
+            .with_adaptation(Adaptation {
+                rule: StepRule::Constant { a: 0.5 },
+                every: 2,
+                ..Adaptation::default()
+            });
+        let out = run_slrh_churn(&sc, &cfg, &losses, &arrivals);
+        assert!(
+            out.stats.weight_updates > 0,
+            "the fixture is meant to pin a run whose weights actually move"
+        );
+        adaptive_canonical(&out)
+    });
+}
+
+#[test]
+fn sa_search_matches_blessed_reference() {
+    assert_golden_differential("sa_search.txt", || {
+        let set = ScenarioSet::new(ScenarioParams::paper_scaled(32), 2, 2);
+        let mut out = String::new();
+        for case in [GridCase::A, GridCase::B] {
+            for (e, d) in set.ids() {
+                let sc = set.scenario(case, e, d);
+                let cfg = AnnealConfig {
+                    iterations: 24,
+                    ..AnnealConfig::default()
+                };
+                let found = anneal_weights(Heuristic::Slrh1, &sc, &cfg);
+                out.push_str(&format!("{case} {e} {d}: {found:?}\n"));
+            }
+        }
+        out
+    });
+}
+
+#[test]
+fn inert_adaptation_reproduces_the_legacy_churn_fixture() {
+    // Byte-compare against the *other* suite's committed fixture: an
+    // adaptation block that never steps leaves the legacy goldens
+    // untouched. Deliberately read-only — blessing happens in
+    // golden_kernel_refactor.rs, never here.
+    let path = golden_path("churn.txt");
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); bless golden_kernel_refactor first"));
+    let (sc, losses, arrivals) = legacy_churn_setup();
+    let cfg = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap())
+        .with_adaptation(Adaptation {
+            rule: StepRule::Constant { a: 0.0 },
+            ..Adaptation::default()
+        });
+    let out = run_slrh_churn(&sc, &cfg, &losses, &arrivals);
+    // The legacy serialization has no final-weights line; strip ours.
+    let canonical: String = adaptive_canonical(&out)
+        .lines()
+        .filter(|l| !l.starts_with("final-weights:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        canonical, expected,
+        "inert adaptation diverged from the committed legacy churn fixture"
+    );
+    assert_eq!(out.stats.weight_updates, 0);
+    assert_eq!(out.final_weights, Weights::new(0.5, 0.3).unwrap());
+}

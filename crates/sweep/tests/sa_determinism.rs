@@ -1,0 +1,138 @@
+//! Determinism suite for the seeded simulated-annealing weight search.
+//!
+//! The SA chain is sequential and RNG-driven; only its coarse seeding
+//! pass fans out through rayon. The contract under test: the outcome —
+//! winner, `T100`, *and* the unique-evaluation count — is a pure
+//! function of `(heuristic, scenario, AnnealConfig)`. Thread count,
+//! `RunContext` recycling, and repetition must all be invisible.
+
+use adhoc_grid::config::GridCase;
+use adhoc_grid::workload::{Scenario, ScenarioParams, ScenarioSet};
+use grid_sweep::weight_search::WeightSearchOutcome;
+use grid_sweep::{
+    anneal_weights, anneal_weights_in, canonical_report, run_campaign, AnnealConfig,
+    CampaignConfig, Heuristic, SearcherKind,
+};
+use lagrange::weights::Weights;
+use rayon::ThreadPool;
+use slrh::RunContext;
+
+fn pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn scenario(tasks: usize) -> Scenario {
+    Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
+}
+
+fn outcome_key(o: &WeightSearchOutcome) -> (u64, u64, u64, usize) {
+    (
+        o.weights.alpha().to_bits(),
+        o.weights.beta().to_bits(),
+        o.t100 as u64,
+        o.evaluations,
+    )
+}
+
+#[test]
+fn same_seed_same_outcome_across_thread_counts() {
+    let sc = scenario(32);
+    let cfg = AnnealConfig {
+        seed: 0xDECAF,
+        iterations: 32,
+        ..AnnealConfig::default()
+    };
+    let run = || anneal_weights(Heuristic::Slrh1, &sc, &cfg).expect("compliant weights exist");
+    let single = pool(1).install(run);
+    let quad = pool(4).install(run);
+    let quad_again = pool(4).install(run);
+    assert_eq!(
+        outcome_key(&single),
+        outcome_key(&quad),
+        "1-thread and 4-thread SA searches diverged"
+    );
+    assert_eq!(
+        outcome_key(&quad),
+        outcome_key(&quad_again),
+        "repeated 4-thread SA searches diverged"
+    );
+}
+
+#[test]
+fn recycled_run_context_matches_fresh() {
+    let sc = scenario(32);
+    let cfg = AnnealConfig {
+        iterations: 24,
+        ..AnnealConfig::default()
+    };
+    let fresh = anneal_weights(Heuristic::Slrh1, &sc, &cfg).unwrap();
+    // Warm the context on a *different* scenario first: stale carry-over
+    // anywhere in the recycled buffers shows up as a different outcome.
+    let mut ctx = RunContext::new();
+    let _ = anneal_weights_in(Heuristic::Slrh1, &scenario(48), &cfg, &mut ctx);
+    let reused = anneal_weights_in(Heuristic::Slrh1, &sc, &cfg, &mut ctx).unwrap();
+    assert_eq!(outcome_key(&fresh), outcome_key(&reused));
+}
+
+#[test]
+fn coarse_aligned_chain_never_reruns_under_any_pool() {
+    // With the proposal lattice equal to the seeding grid, every chain
+    // proposal lands on an already-memoised point: unique evaluations
+    // stay pinned at the 15-point seeding grid no matter how long the
+    // chain runs or how many worker threads score the seeds.
+    let sc = scenario(16);
+    let cfg = AnnealConfig {
+        step: 0.25,
+        coarse: 0.25,
+        iterations: 96,
+        ..AnnealConfig::default()
+    };
+    for threads in [1, 4] {
+        let out = pool(threads)
+            .install(|| anneal_weights(Heuristic::Slrh1, &sc, &cfg))
+            .unwrap();
+        assert_eq!(
+            out.evaluations, 15,
+            "{threads}-thread chain re-ran a coarse-grid point"
+        );
+    }
+}
+
+#[test]
+fn sa_campaign_report_is_thread_deterministic() {
+    let run = || {
+        let set = ScenarioSet::new(ScenarioParams::paper_scaled(24), 1, 2);
+        let cfg = CampaignConfig {
+            set,
+            heuristics: vec![Heuristic::Slrh1],
+            cases: vec![GridCase::A, GridCase::B],
+            coarse: 0.25,
+            fine: 0.25,
+            searcher: SearcherKind::Anneal {
+                seed: 0x5EED,
+                iterations: 24,
+            },
+        };
+        canonical_report(&run_campaign(&cfg))
+    };
+    let single = pool(1).install(run);
+    let quad = pool(4).install(run);
+    assert_eq!(single, quad, "SA campaign report differs between 1 and 4 threads");
+}
+
+#[test]
+fn sa_winner_is_compliant_and_reproduces_its_score() {
+    let sc = scenario(32);
+    let out = anneal_weights(Heuristic::Slrh1, &sc, &AnnealConfig::default()).unwrap();
+    let r = Heuristic::Slrh1.run(&sc, out.weights);
+    assert!(r.metrics.constraints_met());
+    assert_eq!(r.metrics.t100, out.t100);
+    // The winner sits on the search lattice (serialises exactly).
+    for v in [out.weights.alpha(), out.weights.beta()] {
+        let w = Weights::new(v, 0.0).unwrap();
+        assert_eq!(((w.alpha() * 1e9).round() / 1e9).to_bits(), v.to_bits());
+    }
+}

@@ -19,8 +19,10 @@ use adhoc_grid::config::GridCase;
 use adhoc_grid::units::Dur;
 use grid_broker::proto::{MapRequest, ScenarioSpec};
 use grid_sweep::heuristic::Heuristic;
+use grid_sweep::{AnnealConfig, SearcherKind};
+use lagrange::step::StepRule;
 use lagrange::weights::Weights;
-use slrh::{SlrhConfig, SlrhVariant};
+use slrh::{Adaptation, SlrhConfig, SlrhVariant};
 
 /// Usage text printed under every argument error (and for `--help`).
 pub const USAGE: &str = "\
@@ -43,10 +45,20 @@ mapping options (run, replay, churn, submit, watch):
   --label NAME        job label echoed in the report (default \"job\")
   --gantt             render a Gantt chart to stderr after the report
 
+adaptation options (run, replay, churn, submit, watch; SLRH only):
+  --adapt RULE        online weight adaptation: constant(A)|diminishing(A)|
+                      polyak(TARGET, MAX)
+  --adapt-every N     ticks between updates (default 1)
+  --adapt-amin X      alpha floor of the projection (default 0.05)
+  --adapt-lmax X      multiplier cap of the projection (default 8)
+  --adapt-warm A,B    start from these weights instead of --alpha/--beta
+
 commands:
   run      map the workload locally; deterministic report on stdout
   tune     search the compliant (alpha, beta) maximizing T100
            [--coarse X --fine Y  search steps (default 0.1, 0.02)]
+           [--searcher grid|anneal(SEED, ITERS)  (default grid)]
+           [--sa-seed S --sa-iters N  shorthand for an annealing searcher]
   export   write the generated workload to --out FILE
   replay   map a workload read from --in FILE (alias of run --in)
   churn    run --heuristic slrh1 with churn events and a Gantt chart
@@ -136,6 +148,8 @@ pub struct Tune {
     pub coarse: f64,
     /// Fine refinement step.
     pub fine: f64,
+    /// Which weight searcher to run.
+    pub searcher: SearcherKind,
 }
 
 /// `export` arguments.
@@ -263,6 +277,17 @@ fn parse_event(flag: &str, raw: &str) -> Result<(usize, u64), CliError> {
     Ok((typed(flag, m)?, typed(flag, t)?))
 }
 
+/// Parse a weight pair `A,B` (γ is implied by the simplex).
+fn parse_weight_pair(flag: &str, raw: &str) -> Result<Weights, CliError> {
+    let Some((a, b)) = raw.split_once(',') else {
+        return Err(CliError::new(format!(
+            "bad value {raw:?} for {flag}: expected ALPHA,BETA"
+        )));
+    };
+    Weights::new(typed(flag, a.trim())?, typed(flag, b.trim())?)
+        .map_err(|e| CliError::new(format!("bad value {raw:?} for {flag}: {e}")))
+}
+
 /// Workload flags shared by every scenario-consuming command.
 #[derive(Default)]
 struct WorkloadFlags {
@@ -339,6 +364,11 @@ fn parse_job(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedJob, CliE
     let mut label: Option<String> = None;
     let mut client: Option<String> = None;
     let mut addr: Option<String> = None;
+    let mut adapt_rule: Option<StepRule> = None;
+    let mut adapt_every: Option<u64> = None;
+    let mut adapt_amin: Option<f64> = None;
+    let mut adapt_lmax: Option<f64> = None;
+    let mut adapt_warm: Option<Weights> = None;
 
     while let Some(flag) = cursor.next_flag()? {
         if workload.accept(flag, &mut cursor)? {
@@ -352,6 +382,11 @@ fn parse_job(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedJob, CliE
             "--horizon" => horizon = Some(typed(flag, cursor.value(flag)?)?),
             "--lose" => losses.push(parse_event(flag, cursor.value(flag)?)?),
             "--join" => arrivals.push(parse_event(flag, cursor.value(flag)?)?),
+            "--adapt" => adapt_rule = Some(typed(flag, cursor.value(flag)?)?),
+            "--adapt-every" => adapt_every = Some(typed(flag, cursor.value(flag)?)?),
+            "--adapt-amin" => adapt_amin = Some(typed(flag, cursor.value(flag)?)?),
+            "--adapt-lmax" => adapt_lmax = Some(typed(flag, cursor.value(flag)?)?),
+            "--adapt-warm" => adapt_warm = Some(parse_weight_pair(flag, cursor.value(flag)?)?),
             "--gantt" => gantt = true,
             "--label" => label = Some(cursor.value(flag)?.to_string()),
             "--client" if remote => client = Some(cursor.value(flag)?.to_string()),
@@ -384,6 +419,34 @@ fn parse_job(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedJob, CliE
         }
         config.horizon = Dur(h);
     }
+    match adapt_rule {
+        Some(rule) => {
+            let defaults = Adaptation::default();
+            let adaptation = Adaptation {
+                rule,
+                every: adapt_every.unwrap_or(defaults.every),
+                min_alpha: adapt_amin.unwrap_or(defaults.min_alpha),
+                max_multiplier: adapt_lmax.unwrap_or(defaults.max_multiplier),
+                warm_start: adapt_warm,
+            };
+            adaptation
+                .check()
+                .map_err(|e| CliError::new(format!("invalid adaptation: {e}")))?;
+            config.adaptation = Some(adaptation);
+        }
+        None => {
+            if adapt_every.is_some()
+                || adapt_amin.is_some()
+                || adapt_lmax.is_some()
+                || adapt_warm.is_some()
+            {
+                return Err(CliError::new(
+                    "--adapt-every/--adapt-amin/--adapt-lmax/--adapt-warm \
+                     require --adapt RULE",
+                ));
+            }
+        }
+    }
 
     Ok(ParsedJob {
         job: Job {
@@ -408,6 +471,9 @@ fn parse_tune(argv: &[String]) -> Result<Tune, CliError> {
     let mut heuristic = Heuristic::Slrh1;
     let mut coarse = 0.1f64;
     let mut fine = 0.02f64;
+    let mut searcher: Option<SearcherKind> = None;
+    let mut sa_seed: Option<u64> = None;
+    let mut sa_iters: Option<u32> = None;
     while let Some(flag) = cursor.next_flag()? {
         if workload.accept(flag, &mut cursor)? {
             continue;
@@ -416,17 +482,42 @@ fn parse_tune(argv: &[String]) -> Result<Tune, CliError> {
             "--heuristic" => heuristic = typed(flag, cursor.value(flag)?)?,
             "--coarse" => coarse = typed(flag, cursor.value(flag)?)?,
             "--fine" => fine = typed(flag, cursor.value(flag)?)?,
+            "--searcher" => searcher = Some(typed(flag, cursor.value(flag)?)?),
+            "--sa-seed" => sa_seed = Some(parse_seed(flag, cursor.value(flag)?)?),
+            "--sa-iters" => sa_iters = Some(typed(flag, cursor.value(flag)?)?),
             other => return Err(CliError::new(format!("unknown flag {other:?} for tune"))),
         }
     }
     if !(coarse > 0.0 && fine > 0.0) {
         return Err(CliError::new("--coarse and --fine must be positive"));
     }
+    let searcher = match (searcher, sa_seed, sa_iters) {
+        (Some(s), None, None) => s,
+        (None, None, None) => SearcherKind::Grid,
+        (None, seed, iters) => {
+            // The shorthand flags imply an annealing searcher with the
+            // defaults of `AnnealConfig` for whichever knob is absent.
+            let d = AnnealConfig::default();
+            SearcherKind::Anneal {
+                seed: seed.unwrap_or(d.seed),
+                iterations: iters.unwrap_or(d.iterations as u32),
+            }
+        }
+        (Some(_), _, _) => {
+            return Err(CliError::new(
+                "--sa-seed/--sa-iters cannot be combined with --searcher",
+            ));
+        }
+    };
+    if sa_iters == Some(0) {
+        return Err(CliError::new("--sa-iters must be positive"));
+    }
     Ok(Tune {
         scenario: workload.build()?,
         heuristic,
         coarse,
         fine,
+        searcher,
     })
 }
 
@@ -619,5 +710,74 @@ mod tests {
         };
         assert_eq!(job.request.config.dt, Dur(5));
         assert_eq!(job.request.config.horizon, Dur(50));
+    }
+
+    #[test]
+    fn adaptation_flags_reach_the_request() {
+        let Command::Run(plain) = parse(&args("run")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(plain.request.config.adaptation, None);
+
+        let Command::Run(job) = parse(&args(
+            "run --adapt constant(0.25) --adapt-every 4 --adapt-amin 0.1 \
+             --adapt-lmax 4 --adapt-warm 0.4,0.4",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        let ad = job.request.config.adaptation.expect("adaptation set");
+        assert_eq!(ad.rule, StepRule::Constant { a: 0.25 });
+        assert_eq!(ad.every, 4);
+        assert_eq!(ad.min_alpha, 0.1);
+        assert_eq!(ad.max_multiplier, 4.0);
+        assert_eq!(ad.warm_start, Some(Weights::new(0.4, 0.4).unwrap()));
+
+        // Satellites without --adapt are hard errors, mirroring the
+        // config FromStr contract.
+        let err = parse(&args("run --adapt-every 4")).unwrap_err();
+        assert!(err.message.contains("require --adapt"), "{err}");
+        // And invalid blocks are rejected before a request is built.
+        assert!(parse(&args("run --adapt constant(0.25) --adapt-every 0")).is_err());
+        assert!(parse(&args("run --adapt nosuch(1.0)")).is_err());
+    }
+
+    #[test]
+    fn tune_searcher_flags_parse() {
+        let Command::Tune(grid) = parse(&args("tune")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(grid.searcher, SearcherKind::Grid);
+
+        // The searcher value contains a space, so build the argv by hand
+        // (a real shell passes it as one quoted word).
+        let argv: Vec<String> = ["tune", "--searcher", "anneal(7, 24)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let Command::Tune(t) = parse(&argv).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.searcher, SearcherKind::Anneal { seed: 7, iterations: 24 });
+
+        let Command::Tune(short) = parse(&args("tune --sa-seed 0x2a --sa-iters 12")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(short.searcher, SearcherKind::Anneal { seed: 42, iterations: 12 });
+
+        // Shorthand halves default the other knob from AnnealConfig.
+        let Command::Tune(seeded) = parse(&args("tune --sa-seed 9")).unwrap() else {
+            panic!()
+        };
+        let d = AnnealConfig::default();
+        assert_eq!(
+            seeded.searcher,
+            SearcherKind::Anneal { seed: 9, iterations: d.iterations as u32 }
+        );
+
+        assert!(parse(&args("tune --searcher grid --sa-seed 1")).is_err());
+        assert!(parse(&args("tune --sa-iters 0")).is_err());
+        assert!(parse(&args("tune --searcher nosuch")).is_err());
     }
 }
