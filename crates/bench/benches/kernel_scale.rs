@@ -1,0 +1,69 @@
+//! The mapping kernel at synthetic scale — far past the paper's 1024
+//! subtasks, on [`adhoc_grid::scale::ScaleParams`] workloads.
+//!
+//! Two axes per size:
+//!
+//! * `frontier/{N}x{M}` — the incremental-frontier scale path
+//!   ([`slrh::ScaleMode`]): worklist-driven startable maintenance,
+//!   ETC-similarity machine clusters with spill, and the bound-ordered
+//!   candidate scan.
+//! * `rebuild/{N}x{M}` — the paper-faithful pool path (per-query pool
+//!   construction with the incremental pool cache), the configuration
+//!   every golden fixture runs. Only benched at the smallest size: the
+//!   pool path is quadratic-ish in the frontier width and takes minutes
+//!   per run at 16k+, which is the point of the scale path.
+//!
+//! Both paths commit byte-identical schedules
+//! (`crates/stress/src/scale.rs` proves it per seed), so the ratio is a
+//! pure kernel speedup. Numbers are recorded in `BENCH_scale.json` at
+//! the repository root via `cargo run -p bench --release --bin scale_ab`
+//! (see EXPERIMENTS.md for the interleaved A/B methodology — criterion
+//! rounds here are for local iteration, the JSON is the record).
+
+use adhoc_grid::scale::ScaleParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lagrange::weights::Weights;
+use slrh::{run_slrh, ScaleMode, SlrhConfig, SlrhVariant};
+
+fn weights() -> Weights {
+    Weights::new(0.5, 0.25).expect("static weights")
+}
+
+/// (tasks, machines, clusters) — clusters ≈ machines/16 keeps the
+/// home-cluster width constant as the grid grows.
+const SIZES: [(usize, usize, u32); 3] = [(1024, 16, 4), (16_384, 64, 8), (65_536, 256, 16)];
+
+fn bench_frontier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_scale");
+    g.sample_size(10);
+    for (tasks, machines, clusters) in SIZES {
+        let sc = ScaleParams::new(tasks, machines).generate(0, 0);
+        let cfg = SlrhConfig::paper(SlrhVariant::V1, weights()).with_scale(ScaleMode {
+            clusters,
+            spill_after: 8,
+        });
+        g.bench_with_input(
+            BenchmarkId::new("frontier", format!("{tasks}x{machines}")),
+            &sc,
+            |b, sc| b.iter(|| run_slrh(sc, &cfg).metrics()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_scale");
+    g.sample_size(10);
+    let (tasks, machines, _) = SIZES[0];
+    let sc = ScaleParams::new(tasks, machines).generate(0, 0);
+    let cfg = SlrhConfig::paper(SlrhVariant::V1, weights());
+    g.bench_with_input(
+        BenchmarkId::new("rebuild", format!("{tasks}x{machines}")),
+        &sc,
+        |b, sc| b.iter(|| run_slrh(sc, &cfg).metrics()),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontier, bench_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Interleaved A/B timing for the scale path, recorded in
+//! `BENCH_scale.json` at the repository root.
+//!
+//! "Before" is the paper-faithful pool path (per-query pool build with
+//! the incremental pool cache — the configuration every golden fixture
+//! runs); "after" is the incremental-frontier scale path
+//! ([`slrh::ScaleMode`]). Both commit byte-identical schedules
+//! (`crates/stress/src/scale.rs` asserts it per seed), so the ratio is
+//! a pure kernel speedup. Rounds alternate before/after on the same
+//! host so background-load drift hits both arms equally; the per-case
+//! summary uses min-of-rounds.
+//!
+//! ```text
+//! cargo run -p bench --release --bin scale_ab                 # full A/B, writes BENCH_scale.json
+//! cargo run -p bench --release --bin scale_ab -- --check      # CI ratchet: one A/B round, asserts the speedup floor
+//! cargo run -p bench --release --bin scale_ab -- --smoke      # 65k frontier run, asserts the wall-clock ceiling
+//! ```
+
+use adhoc_grid::scale::ScaleParams;
+use adhoc_grid::workload::Scenario;
+use lagrange::weights::Weights;
+use slrh::{run_slrh, ScaleMode, SlrhConfig, SlrhVariant};
+use std::time::Instant;
+
+/// (tasks, machines, clusters) per A/B case.
+const AB_SIZES: [(usize, usize, u32); 2] = [(1024, 16, 4), (16_384, 64, 8)];
+/// The frontier-only headline size (the pool path takes tens of minutes
+/// here, so it is not timed — the 16k case already pins the ratio).
+const SMOKE_SIZE: (usize, usize, u32) = (65_536, 256, 16);
+/// `--check` fails below this end-to-end speedup at 16k (measured ~40×;
+/// the floor leaves room for noisy CI hosts).
+const CHECK_MIN_SPEEDUP: f64 = 5.0;
+/// `--check`/`--smoke` fail past this 65k wall clock in seconds
+/// (measured ~9 s; the ceiling leaves room for noisy CI hosts).
+const CHECK_MAX_SMOKE_SECS: f64 = 30.0;
+
+fn weights() -> Weights {
+    Weights::new(0.5, 0.25).expect("static weights")
+}
+
+fn scale_config(clusters: u32) -> SlrhConfig {
+    SlrhConfig::paper(SlrhVariant::V1, weights()).with_scale(ScaleMode {
+        clusters,
+        spill_after: 8,
+    })
+}
+
+fn timed_run(sc: &Scenario, cfg: &SlrhConfig, tasks: usize) -> f64 {
+    let t = Instant::now();
+    let out = run_slrh(sc, cfg);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(out.metrics().mapped, tasks, "run must map every subtask");
+    ms
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+struct CaseResult {
+    name: String,
+    before_ms: Vec<f64>,
+    after_ms: Vec<f64>,
+}
+
+impl CaseResult {
+    fn summary(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let mut b = self.before_ms.clone();
+        let mut a = self.after_ms.clone();
+        b.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        a.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        let (b_min, a_min) = (b[0], a[0]);
+        let (b_med, a_med) = (median(&b), median(&a));
+        (b_min, a_min, b_med, a_med, b_min / a_min, b_med / a_med)
+    }
+}
+
+fn run_ab(rounds: usize) -> Vec<CaseResult> {
+    let mut results = Vec::new();
+    for (tasks, machines, clusters) in AB_SIZES {
+        let sc = ScaleParams::new(tasks, machines).generate(0, 0);
+        let before_cfg = SlrhConfig::paper(SlrhVariant::V1, weights());
+        let after_cfg = scale_config(clusters);
+        let mut case = CaseResult {
+            name: format!("kernel_scale/{tasks}x{machines}"),
+            before_ms: Vec::new(),
+            after_ms: Vec::new(),
+        };
+        for round in 0..rounds {
+            let b = timed_run(&sc, &before_cfg, tasks);
+            let a = timed_run(&sc, &after_cfg, tasks);
+            eprintln!(
+                "{} round {}: before {:.2} ms, after {:.2} ms",
+                case.name,
+                round + 1,
+                b,
+                a
+            );
+            case.before_ms.push(round2(b));
+            case.after_ms.push(round2(a));
+        }
+        results.push(case);
+    }
+    results
+}
+
+fn run_smoke() -> f64 {
+    let (tasks, machines, clusters) = SMOKE_SIZE;
+    let sc = ScaleParams::new(tasks, machines).generate(0, 0);
+    let ms = timed_run(&sc, &scale_config(clusters), tasks);
+    eprintln!("kernel_scale/{tasks}x{machines} frontier: {:.2} ms", ms);
+    ms
+}
+
+fn json_list(values: &[f64]) -> String {
+    let inner: Vec<String> = values.iter().map(|v| format!("      {v}")).collect();
+    format!("[\n{}\n    ]", inner.join(",\n"))
+}
+
+fn write_json(path: &str, results: &[CaseResult], smoke_ms: f64, rounds: usize) {
+    let date = std::process::Command::new("date")
+        .arg("+%Y-%m-%d")
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let methodology = format!(
+        "Interleaved A/B from one binary on the same host: per round, the pool path \
+         (SlrhConfig::paper, the configuration every golden fixture runs) and the \
+         incremental-frontier scale path (ScaleMode {{ clusters: machines/16, spill_after: 8 }}) \
+         run back to back, {rounds} rounds per case, so background-load drift hits both arms \
+         equally. Per-case summary uses min-of-rounds (robust to host variance); all rounds are \
+         listed. Workloads: ScaleParams::new(tasks, machines).generate(0, 0), SLRH-1 end-to-end, \
+         weights (0.5, 0.25). Both paths commit byte-identical schedules \
+         (crates/stress/src/scale.rs asserts equality per seed). The 65536x256 entry is \
+         frontier-only: the pool path takes tens of minutes there, which is the point of the \
+         scale path; the 16384x64 case pins the ratio."
+    );
+    let mut cases = Vec::new();
+    for case in results {
+        let (b_min, a_min, b_med, a_med, sp_min, sp_med) = case.summary();
+        cases.push(format!(
+            "    \"{}\": {{\n      \"before_rounds_ms\": {},\n      \"after_rounds_ms\": {},\n      \"before_min_ms\": {},\n      \"after_min_ms\": {},\n      \"before_median_ms\": {},\n      \"after_median_ms\": {},\n      \"speedup_min\": {},\n      \"speedup_median\": {}\n    }}",
+            case.name,
+            json_list(&case.before_ms),
+            json_list(&case.after_ms),
+            round2(b_min),
+            round2(a_min),
+            round2(b_med),
+            round2(a_med),
+            round2(sp_min),
+            round2(sp_med),
+        ));
+    }
+    let (tasks, machines, _) = SMOKE_SIZE;
+    cases.push(format!(
+        "    \"kernel_scale/{tasks}x{machines}\": {{\n      \"after_rounds_ms\": {},\n      \"after_min_ms\": {}\n    }}",
+        json_list(&[round2(smoke_ms)]),
+        round2(smoke_ms),
+    ));
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_scale\",\n  \"date\": \"{date}\",\n  \"commit_before\": \"{commit}\",\n  \"methodology\": \"{methodology}\",\n  \"cases\": {{\n{}\n  }}\n}}\n",
+        cases.join(",\n")
+    );
+    std::fs::write(path, json).expect("BENCH_scale.json is writable");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    if args.iter().any(|a| a == "--smoke") {
+        let ms = run_smoke();
+        assert!(
+            ms / 1e3 < CHECK_MAX_SMOKE_SECS,
+            "65k smoke took {:.1} s, ceiling is {CHECK_MAX_SMOKE_SECS} s",
+            ms / 1e3
+        );
+        println!("smoke ok: {:.2} s", ms / 1e3);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--check") {
+        // One interleaved round at 16k pins the ratchet; the 65k run
+        // pins the absolute wall clock.
+        let results = run_ab(1);
+        let big = &results[results.len() - 1];
+        let speedup = big.before_ms[0] / big.after_ms[0];
+        println!("{}: speedup {:.1}x", big.name, speedup);
+        assert!(
+            speedup >= CHECK_MIN_SPEEDUP,
+            "{} speedup {:.1}x fell below the {CHECK_MIN_SPEEDUP}x ratchet",
+            big.name,
+            speedup
+        );
+        let ms = run_smoke();
+        assert!(
+            ms / 1e3 < CHECK_MAX_SMOKE_SECS,
+            "65k smoke took {:.1} s, ceiling is {CHECK_MAX_SMOKE_SECS} s",
+            ms / 1e3
+        );
+        println!("check ok: 16k {:.1}x, 65k {:.2} s", speedup, ms / 1e3);
+        return;
+    }
+
+    let results = run_ab(rounds);
+    let smoke_ms = run_smoke();
+    write_json(&out, &results, smoke_ms, rounds);
+    for case in &results {
+        let (b_min, a_min, .., sp_min, sp_med) = case.summary();
+        println!(
+            "{}: {:.2} ms -> {:.2} ms (min), speedup {:.1}x min / {:.1}x median",
+            case.name, b_min, a_min, sp_min, sp_med
+        );
+    }
+    println!("kernel_scale/65536x256 frontier: {:.2} s", smoke_ms / 1e3);
+}

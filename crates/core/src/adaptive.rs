@@ -125,8 +125,7 @@ pub fn run_adaptive_slrh<'a>(scenario: &'a Scenario, cfg: &AdaptiveConfig) -> Ad
     // The cache survives weight updates: a cached entry's *plans* don't
     // depend on the weights (only its objective values do, and those are
     // recomputed on every query), so controller steps evict nothing.
-    let mut cache = run
-        .use_pool_cache
+    let mut cache = (run.use_pool_cache && run.scale.is_none())
         .then(|| PoolCache::new(&state, run.allow_secondary));
     let mut stats = RunStats::default();
     let mut trace = vec![(Time::ZERO, run.objective.weights)];

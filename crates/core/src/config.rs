@@ -168,6 +168,55 @@ impl Adaptation {
     }
 }
 
+/// Opt-in large-scale kernel mode: incremental frontier maintenance plus
+/// hierarchical machine clustering (ROADMAP item 4).
+///
+/// With a `ScaleMode`, the clock loop keeps the ready/candidate frontier
+/// alive across ticks (maintained from the [`gridsim::state::StateDelta`]
+/// stream instead of re-scanned from the DAG), partitions the machines
+/// into `clusters` groups by ETC-column similarity, homes contiguous
+/// DAG-region task blocks onto clusters, and costs candidates only
+/// against their home cluster's machines until they *spill* — after
+/// `spill_after` ticks on the frontier a candidate becomes visible to
+/// every cluster, so nothing can be stranded by the partition.
+///
+/// With `clusters = 1` the partition is trivial and the frontier kernel
+/// is **schedule-identical** to the default pool-building kernel (the
+/// per-machine commit is the same argmax under the same tie-breaks); the
+/// stress harness proves this differentially on every generated case.
+/// With `clusters > 1` the schedule may differ (that is the point: each
+/// machine examines ~`|U|/clusters` candidates), which is why the whole
+/// mode is opt-in and `None` everywhere by default.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ScaleMode {
+    /// Number of machine clusters (>= 1; clamped to the machine count).
+    /// 1 disables partitioning and keeps the kernel exact.
+    pub clusters: u32,
+    /// Ticks a ready candidate stays visible only to its home cluster
+    /// before spilling to every cluster.
+    pub spill_after: u64,
+}
+
+impl Default for ScaleMode {
+    /// The exact (cluster-free) frontier: incremental maintenance only.
+    fn default() -> ScaleMode {
+        ScaleMode {
+            clusters: 1,
+            spill_after: 8,
+        }
+    }
+}
+
+impl ScaleMode {
+    /// Validate the block (shared by the builder and `FromStr`).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.clusters == 0 {
+            return Err(ConfigError::ZeroClusters);
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one SLRH run.
 #[derive(Copy, Clone, PartialEq, Debug)]
 pub struct SlrhConfig {
@@ -198,6 +247,10 @@ pub struct SlrhConfig {
     /// [`SlrhConfig::paper`] produces) keeps the legacy fixed-weight
     /// loop byte-identical.
     pub adaptation: Option<Adaptation>,
+    /// Large-scale frontier kernel. `None` (the default, and the only
+    /// value [`SlrhConfig::paper`] produces) keeps the legacy pool-build
+    /// loop byte-identical.
+    pub scale: Option<ScaleMode>,
 }
 
 impl SlrhConfig {
@@ -213,6 +266,7 @@ impl SlrhConfig {
             allow_secondary: true,
             use_pool_cache: true,
             adaptation: None,
+            scale: None,
         }
     }
 
@@ -288,6 +342,27 @@ impl SlrhConfig {
         }
         self.adaptation = Some(adaptation);
         self
+    }
+
+    /// Enable the large-scale frontier kernel with the given block.
+    ///
+    /// # Panics
+    /// Panics on a malformed block; use [`SlrhConfigBuilder::scale`] for
+    /// fallible construction.
+    pub fn with_scale(mut self, scale: ScaleMode) -> SlrhConfig {
+        if let Err(e) = scale.check() {
+            panic!("{e}");
+        }
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Enable the *exact* frontier kernel ([`ScaleMode::default`]:
+    /// incremental maintenance, no clustering) — schedule-identical to
+    /// the default kernel, used by the differential oracles and as the
+    /// entry point for the scale benchmarks.
+    pub fn with_frontier(self) -> SlrhConfig {
+        self.with_scale(ScaleMode::default())
     }
 
     /// The run-local working copy a driver should start from: the
@@ -370,10 +445,11 @@ impl std::fmt::Display for SlrhConfig {
     /// fixture headers all name configurations through this one form.
     ///
     /// The adaptation components (`adapt=`, `every=`, `amin=`, `lmax=`,
-    /// `warm=`) are appended **only** when adaptation is enabled, so the
-    /// rendering of every pre-existing configuration — and therefore
-    /// every golden fixture and wire frame that embeds one — is
-    /// byte-identical to the legacy form.
+    /// `warm=`) and the scale components (`frontier=`, `clusters=`,
+    /// `spill=`) are appended **only** when the respective block is
+    /// enabled, so the rendering of every pre-existing configuration —
+    /// and therefore every golden fixture and wire frame that embeds one
+    /// — is byte-identical to the legacy form.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -401,6 +477,13 @@ impl std::fmt::Display for SlrhConfig {
                 write!(f, "; warm={w}")?;
             }
         }
+        if let Some(s) = &self.scale {
+            write!(
+                f,
+                "; frontier=on; clusters={}; spill={}",
+                s.clusters, s.spill_after
+            )?;
+        }
         Ok(())
     }
 }
@@ -427,6 +510,9 @@ impl std::str::FromStr for SlrhConfig {
         let mut adapt_amin: Option<f64> = None;
         let mut adapt_lmax: Option<f64> = None;
         let mut adapt_warm: Option<Weights> = None;
+        let mut frontier_on: Option<bool> = None;
+        let mut scale_clusters: Option<u32> = None;
+        let mut scale_spill: Option<u64> = None;
         for part in parts {
             if part.is_empty() {
                 continue;
@@ -473,6 +559,21 @@ impl std::str::FromStr for SlrhConfig {
                         Some(value.parse().map_err(|e| format!("bad lmax {value:?}: {e}"))?)
                 }
                 "warm" => adapt_warm = Some(value.parse()?),
+                "frontier" => frontier_on = Some(parse_on_off("frontier", value)?),
+                "clusters" => {
+                    scale_clusters = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("bad clusters {value:?}: {e}"))?,
+                    )
+                }
+                "spill" => {
+                    scale_spill = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("bad spill {value:?}: {e}"))?,
+                    )
+                }
                 other => return Err(format!("unknown SLRH config component {other:?}")),
             }
         }
@@ -501,6 +602,31 @@ impl std::str::FromStr for SlrhConfig {
                     if present {
                         return Err(format!(
                             "SLRH config component {key:?} requires adapt=<rule>"
+                        ));
+                    }
+                }
+            }
+        }
+        match frontier_on {
+            Some(true) => {
+                let defaults = ScaleMode::default();
+                let scale = ScaleMode {
+                    clusters: scale_clusters.unwrap_or(defaults.clusters),
+                    spill_after: scale_spill.unwrap_or(defaults.spill_after),
+                };
+                scale.check().map_err(|e| e.to_string())?;
+                config.scale = Some(scale);
+            }
+            // `frontier=off` is accepted (and round-trips to the absent
+            // form); the satellite keys still require it to be present.
+            Some(false) | None => {
+                for (key, present) in [
+                    ("clusters", scale_clusters.is_some()),
+                    ("spill", scale_spill.is_some()),
+                ] {
+                    if present {
+                        return Err(format!(
+                            "SLRH config component {key:?} requires frontier=on"
                         ));
                     }
                 }
@@ -537,6 +663,8 @@ pub enum ConfigError {
     /// The adaptation projection needs `0 < amin <= 1` and a finite
     /// `lmax > 0`.
     BadAdaptProjection,
+    /// The scale mode needs at least one machine cluster.
+    ZeroClusters,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -550,6 +678,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadAdaptProjection => f.write_str(
                 "the adaptation projection needs 0 < amin <= 1 and a finite lmax > 0",
             ),
+            ConfigError::ZeroClusters => {
+                f.write_str("the scale mode (clusters=) needs at least one machine cluster")
+            }
         }
     }
 }
@@ -608,6 +739,12 @@ impl SlrhConfigBuilder {
         self
     }
 
+    /// Enable (or, with `None`, disable) the large-scale frontier kernel.
+    pub fn scale(mut self, scale: Option<ScaleMode>) -> SlrhConfigBuilder {
+        self.config.scale = scale;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<SlrhConfig, ConfigError> {
         if self.config.dt.is_zero() {
@@ -618,6 +755,9 @@ impl SlrhConfigBuilder {
         }
         if let Some(adaptation) = &self.config.adaptation {
             adaptation.check()?;
+        }
+        if let Some(scale) = &self.config.scale {
+            scale.check()?;
         }
         Ok(self.config)
     }
@@ -802,6 +942,71 @@ mod tests {
             }))
             .build();
         assert_eq!(bad.unwrap_err(), ConfigError::BadAdaptProjection);
+    }
+
+    #[test]
+    fn scale_display_round_trips() {
+        let mut c = SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap());
+        c.scale = Some(ScaleMode {
+            clusters: 16,
+            spill_after: 4,
+        });
+        let text = c.to_string();
+        assert!(text.ends_with("; frontier=on; clusters=16; spill=4"), "{text}");
+        let back: SlrhConfig = text.parse().expect("scale config parses");
+        assert_eq!(back, c);
+        // The legacy prefix is untouched.
+        assert!(text.starts_with(
+            "SLRH-1; w=(α=0.5, β=0.3, γ=0.2); aet=+; trigger=clock; order=numerical; \
+             dt=10; h=100; secondary=on; cache=on"
+        ));
+    }
+
+    #[test]
+    fn scale_components_default_from_the_block_defaults() {
+        let c: SlrhConfig = "SLRH-1; w=(0.5, 0.3); frontier=on"
+            .parse()
+            .expect("terse scale config parses");
+        assert_eq!(c.scale, Some(ScaleMode::default()));
+        // frontier=off round-trips to the absent form.
+        let off: SlrhConfig = "SLRH-1; w=(0.5, 0.3); frontier=off".parse().unwrap();
+        assert_eq!(off.scale, None);
+    }
+
+    #[test]
+    fn scale_satellite_keys_require_the_switch() {
+        for s in [
+            "SLRH-1; w=(0.5, 0.3); clusters=4",
+            "SLRH-1; w=(0.5, 0.3); spill=2",
+            "SLRH-1; w=(0.5, 0.3); frontier=off; clusters=4",
+        ] {
+            let err = s.parse::<SlrhConfig>().unwrap_err();
+            assert!(err.contains("requires frontier=on"), "{s}: {err}");
+        }
+        assert!("SLRH-1; w=(0.5, 0.3); frontier=on; clusters=0"
+            .parse::<SlrhConfig>()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_validates_scale() {
+        let w = Weights::new(0.5, 0.2).unwrap();
+        let bad = SlrhConfig::builder(SlrhVariant::V1, w)
+            .scale(Some(ScaleMode {
+                clusters: 0,
+                spill_after: 8,
+            }))
+            .build();
+        assert_eq!(bad.unwrap_err(), ConfigError::ZeroClusters);
+        let ok = SlrhConfig::builder(SlrhVariant::V1, w)
+            .scale(Some(ScaleMode::default()))
+            .build()
+            .unwrap();
+        assert_eq!(ok.scale, Some(ScaleMode::default()));
+        assert_eq!(
+            SlrhConfig::paper(SlrhVariant::V1, w).with_frontier().scale,
+            Some(ScaleMode::default())
+        );
     }
 
     #[test]

@@ -194,9 +194,10 @@ fn churn_inner<'a>(
     // commit deltas and `apply_loss_tracked` with invalidation deltas, so
     // surviving entries carry across segments and loss events. It is
     // synchronised *after* the arrival blocks, like the fresh-cache path
-    // always was.
-    let mut cache = config
-        .use_pool_cache
+    // always was. Frontier (scale) runs skip it: each `drive_with`
+    // segment rebuilds its frontier from the then-current ready set, and
+    // the cache would never be queried.
+    let mut cache = (config.use_pool_cache && config.scale.is_none())
         .then(|| ctx.cache_for(&state, config.allow_secondary));
     let mut stats = RunStats::default();
     let mut disruptions = Vec::new();

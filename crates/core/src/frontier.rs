@@ -1,0 +1,1033 @@
+//! Incremental candidate-frontier maintenance for the large-scale kernel
+//! (ROADMAP item 4, opt-in via [`crate::config::ScaleMode`]).
+//!
+//! The default kernel re-derives the candidate pool `U` from the ready
+//! set on every `(machine, tick)` query: O(|U|·|M|) planning work per
+//! tick, which is fine at the paper's 4–16 machines and fatal at 1000.
+//! The frontier attacks that product on three fronts:
+//!
+//! 1. **Incremental maintenance** — the ready/candidate frontier is kept
+//!    alive across ticks, updated from the [`StateDelta`] stream that
+//!    every [`SimState`] mutation already emits (a commit removes one
+//!    task and inserts its newly-ready children; a worklist, never a
+//!    rescan). If a delta goes missing the frontier notices the revision
+//!    gap and lazily rebuilds from [`SimState::ready_tasks`], exactly
+//!    like [`crate::pool::PoolCache`] resynchronises.
+//! 2. **Hierarchical machine clustering** — machines are partitioned
+//!    into `clusters` groups by ETC-column similarity (mean column
+//!    seconds, ties toward the lower id), and contiguous task-id blocks
+//!    — DAG regions, since task ids are topologically ordered — are
+//!    homed onto clusters. A machine costs only its own cluster's
+//!    frontier slice plus the shared *spill* list, cutting the per-query
+//!    candidate count to ~|U|/clusters.
+//! 3. **Start-lower-bound pruning** — no plan for task `t` can start
+//!    before any parent's scheduled finish on *any* machine (a
+//!    same-machine child appends after the parent's execution, a
+//!    cross-machine child waits out the transfer, and the transfer
+//!    itself starts no earlier than the parent's finish — see
+//!    `gridsim::plan`). So `lb(t) = max_p finish(p)` is a
+//!    machine-independent lower bound on every plan's start, and a
+//!    candidate with `lb(t) > horizon_end` can never pass the receding
+//!    horizon this tick: pruning it *before* planning is exact. This is
+//!    what kills the spin phase — SLRH maps far ahead of the clock, so
+//!    most ready tasks are waiting for a parent's scheduled finish to
+//!    drift inside the horizon, and the frontier now skips them with
+//!    one comparison instead of a full placement search. The pruned
+//!    *startable* slice is computed once per `(tick, list)` and cached
+//!    ([`Frontier::collect_startable`]); `lb` itself is cached across
+//!    ticks and invalidated by reinsertion (a parent remap always
+//!    removes and reinserts the child, via the delta's `invalidated`
+//!    set). A second, per-(task, machine) refinement
+//!    ([`SimState::start_floor`]) adds minimum transfer durations and
+//!    the machine's compute availability after the gate, discarding
+//!    transfer-bound candidates — whose parents have finished but whose
+//!    data cannot arrive inside the horizon — before paying for the
+//!    planner's placement search.
+//! 4. **Batch feasibility gating** — each query then runs the §IV
+//!    energy gate over the startable slice as one flat pass over the
+//!    demand table ([`SimState::feasible_candidates`]), and only the
+//!    survivors are planned.
+//!
+//! The spill path is what keeps the partition *complete*: a candidate
+//! that has sat on the frontier for `spill_after` ticks without being
+//! committed by its home cluster is promoted to the spill list, where
+//! every machine sees it. No candidate can be stranded by the
+//! clustering — at worst it is delayed by `spill_after` ticks.
+//!
+//! # Exactness at `clusters = 1`
+//!
+//! With a single cluster every machine sees the whole frontier, and each
+//! query selects the same candidate the default kernel's
+//! [`crate::pool::Pool::first_startable`] walk selects: the pool sorts
+//! by (objective desc, task asc) and takes the first entry able to start
+//! within the horizon, which is precisely an argmax over startable
+//! candidates under that ordering — the comparison in
+//! [`Frontier::best_startable`] replays the same tie-breaks, the plans
+//! come from the same [`SimState::plan_with`], and the version choice
+//! replays [`crate::pool::build_pool_with`]'s primary-competes rule. The
+//! stress harness (`frontier` differential arm) proves schedule
+//! identity on every generated case; `clusters > 1` intentionally
+//! trades that identity for the ÷k candidate count.
+
+use std::collections::VecDeque;
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::task::{TaskId, Version};
+use adhoc_grid::units::{Energy, Megabits, Time};
+use gridsim::plan::{MappingPlan, Placement, PlanScratch};
+use gridsim::state::{DeltaKind, SimState, StateDelta};
+use lagrange::weights::Objective;
+
+use crate::config::ScaleMode;
+use crate::mapper::RunStats;
+use crate::pool::plan_objective;
+use lagrange::weights::{AetSign, ObjectiveInputs};
+
+/// Sentinel for "not on the frontier" in [`Frontier::list_of`].
+const ABSENT: u32 = u32::MAX;
+
+/// Cap on the per-(task, machine) start-floor cache, in entries. At the
+/// 65k × 256 design point the cache is 128 MiB of `Time` — acceptable
+/// for an opt-in scale run; past the cap the cache is disabled (every
+/// probe recomputes, bit-identical results, no memory cliff).
+const FLOOR_CACHE_MAX: usize = 1 << 25;
+
+/// The live candidate frontier: every ready task, partitioned into
+/// per-cluster lists plus the shared spill list. See the module docs.
+pub(crate) struct Frontier {
+    /// Ticks a candidate stays home-only before spilling.
+    spill_after: u64,
+    /// Per-machine cluster index (`< clusters`).
+    cluster_of: Vec<u32>,
+    /// Per-task home cluster (contiguous task-id blocks).
+    home_of: Vec<u32>,
+    /// `lists[c]`, `c < clusters`: candidates visible only to cluster
+    /// `c`. `lists[clusters]`: the spill list, visible to every machine.
+    lists: Vec<Vec<TaskId>>,
+    /// Which list each task is on (`ABSENT` when not on the frontier).
+    list_of: Vec<u32>,
+    /// Index of each frontier task within its list.
+    pos: Vec<u32>,
+    /// FIFO of `(due_tick, task)` spill promotions; entries for tasks
+    /// that left the frontier in the meantime are skipped on pop.
+    /// Unused (kept empty) with a single cluster.
+    pending: VecDeque<(u64, TaskId)>,
+    /// Clock-tick index, advanced by [`Frontier::begin_tick`].
+    tick: u64,
+    /// The [`SimState::revision`] the lists are synchronised to.
+    last_revision: u64,
+    /// Set on a delta-stream gap; forces a rebuild on the next query.
+    stale: bool,
+    /// Reusable planner buffers for the query path.
+    scratch: PlanScratch,
+    /// Reusable batch-gate output.
+    gate_buf: Vec<TaskId>,
+    /// Per-task start lower bound `max_p finish(p)` ([`Time::MAX`] =
+    /// not yet computed). Valid while the task stays on the frontier:
+    /// any parent remap removes and reinserts it, resetting the slot.
+    lb: Vec<Time>,
+    /// Epoch of the startable caches; bumped by [`Frontier::begin_tick`]
+    /// and [`Frontier::rebuild`] so every cache goes stale.
+    stamp: u64,
+    /// `startable[li]`: the lb-pruned slice of `lists[li]`, built once
+    /// per `(stamp, list)` on first query. May hold stale entries (tasks
+    /// committed or inserted later in the same tick); consumers re-check
+    /// membership and `lb` per entry.
+    startable: Vec<Vec<TaskId>>,
+    /// The `stamp` each `startable[li]` was built at.
+    startable_stamp: Vec<u64>,
+    /// The horizon end the startable caches were built for (defensive:
+    /// all queries within a tick share it).
+    startable_horizon: Time,
+    /// Reusable per-query buffer of checked startable candidates.
+    start_buf: Vec<TaskId>,
+    /// Per-(task, machine) lower bound on the execution start any
+    /// `Append` plan for that pair can achieve, indexed
+    /// `j * tasks + t` ([`Time::ZERO`] = nothing known — trivially
+    /// true). Seeded from computed floors and tightened to actual
+    /// planned starts: within one churn segment timelines only fill in,
+    /// parents never re-assign and the clock only advances, so a once
+    /// observed plan start is a valid floor for every later tick. This
+    /// is what stops the query loop from re-planning the same
+    /// contention-bound candidate (floor inside the horizon, placement
+    /// search pushing the start out of it) on every tick of a spin
+    /// phase. Cleared whenever occupation can shrink (rebuilds, unmap
+    /// deltas); empty above [`FLOOR_CACHE_MAX`].
+    floor_cache: Vec<Time>,
+    /// Reusable per-query `(objective upper bound, task)` scoreboard.
+    ub_buf: Vec<(f64, TaskId)>,
+    /// Per-(machine, task) §IV gate-rejection bitset, rows of
+    /// [`Frontier::gate_row_words`] words per machine. A set bit means
+    /// the gate version's demand exceeded the machine's afford limit at
+    /// some past query. Demand is static per scenario, so the rejection
+    /// stays valid for as long as the limit does not *rise* above the
+    /// value it had when the bit was set — which [`Frontier::gate_limit`]
+    /// watches, making the cache self-validating: no delta hooks, no
+    /// segment-boundary clears.
+    gate_dead: Vec<u64>,
+    /// Words per machine row of [`Frontier::gate_dead`]
+    /// (`tasks.div_ceil(64)` — rows are word-aligned so a flush is one
+    /// slice fill).
+    gate_row_words: usize,
+    /// Lowest afford limit at which any of machine `j`'s dead bits was
+    /// recorded (`f64::INFINITY` = row empty). Every recorded rejection
+    /// had `demand > limit_at_recording ≥ gate_limit[j]`, so while the
+    /// current limit stays `≤ gate_limit[j]` every bit still implies
+    /// rejection. Reservation settlement *refunds* energy (the limit can
+    /// rise): a query seeing `afford_limit(j) > gate_limit[j]` flushes
+    /// the row and starts over.
+    gate_limit: Vec<f64>,
+    /// Per-task parent costing tuples for the floor probe, valid while
+    /// `ptuple_stamp[t] == ptuple_gen`: parent order is preserved and
+    /// each entry carries exactly what
+    /// [`SimState::candidate_floor_cost`] reads per parent — the
+    /// assignment's machine and finish, and the edge size scaled by the
+    /// mapped version. All static while `t` sits ready on the frontier
+    /// (its parents are mapped and never silently re-assigned: any unmap
+    /// removes and reinserts `t`, resetting the stamp), so the probe
+    /// skips the per-parent assignment and O(fan-in) edge-size lookups.
+    ptuples: Vec<Vec<ParentCost>>,
+    /// Validity stamp per task; matches [`Frontier::ptuple_gen`] when
+    /// [`Frontier::ptuples`] is current.
+    ptuple_stamp: Vec<u64>,
+    /// Generation counter for [`Frontier::ptuple_stamp`]; bumped
+    /// whenever scheduled finishes can move (rebuilds, unmap deltas) —
+    /// the same events that clear the start-floor cache. Starts at 1 so
+    /// stamp 0 is always stale.
+    ptuple_gen: u64,
+}
+
+/// One parent's contribution to the start-floor / transfer-energy probe.
+#[derive(Copy, Clone)]
+struct ParentCost {
+    /// Machine the parent is mapped on.
+    from: MachineId,
+    /// The parent's scheduled finish.
+    fin: Time,
+    /// Edge size scaled by the parent's mapped version.
+    size: Megabits,
+}
+
+impl Frontier {
+    /// Build the frontier for `state`'s current ready set, clustering
+    /// the scenario's machines by ETC-column similarity.
+    pub fn new(state: &SimState<'_>, mode: ScaleMode) -> Frontier {
+        let sc = state.scenario();
+        let machines = sc.grid.len();
+        let tasks = sc.tasks();
+        let clusters = (mode.clusters.max(1) as usize).min(machines);
+
+        // ETC-similarity clustering: rank machines by mean column
+        // seconds (ties toward the lower id — deterministic) and cut the
+        // ranking into `clusters` near-equal contiguous groups.
+        let means = sc.etc.machine_mean_seconds();
+        let mut ranked: Vec<usize> = (0..machines).collect();
+        ranked.sort_by(|&a, &b| {
+            means[a]
+                .partial_cmp(&means[b])
+                .expect("ETC means are finite")
+                .then(a.cmp(&b))
+        });
+        let mut cluster_of = vec![0u32; machines];
+        for (rank, &j) in ranked.iter().enumerate() {
+            cluster_of[j] = (rank * clusters / machines) as u32;
+        }
+
+        // DAG regions: task ids are topologically ordered, so contiguous
+        // id blocks are contiguous DAG regions; block `c` is homed on
+        // cluster `c`.
+        let home_of = (0..tasks).map(|t| (t * clusters / tasks) as u32).collect();
+
+        let mut frontier = Frontier {
+            spill_after: mode.spill_after,
+            cluster_of,
+            home_of,
+            lists: vec![Vec::new(); clusters + 1],
+            list_of: vec![ABSENT; tasks],
+            pos: vec![0; tasks],
+            pending: VecDeque::new(),
+            tick: 0,
+            last_revision: state.revision(),
+            stale: false,
+            scratch: PlanScratch::default(),
+            gate_buf: Vec::new(),
+            lb: vec![Time::MAX; tasks],
+            // stamp starts ahead of every startable_stamp so the caches
+            // are stale until the first query builds them.
+            stamp: 1,
+            startable: vec![Vec::new(); clusters + 1],
+            startable_stamp: vec![0; clusters + 1],
+            startable_horizon: Time::MAX,
+            start_buf: Vec::new(),
+            floor_cache: if tasks.saturating_mul(machines) <= FLOOR_CACHE_MAX {
+                vec![Time::ZERO; tasks * machines]
+            } else {
+                Vec::new()
+            },
+            ub_buf: Vec::new(),
+            gate_dead: vec![0; machines * tasks.div_ceil(64)],
+            gate_row_words: tasks.div_ceil(64),
+            gate_limit: vec![f64::INFINITY; machines],
+            ptuples: vec![Vec::new(); tasks],
+            ptuple_stamp: vec![0; tasks],
+            ptuple_gen: 1,
+        };
+        for &t in state.ready_tasks() {
+            frontier.insert(t);
+        }
+        frontier
+    }
+
+    fn clusters(&self) -> usize {
+        self.lists.len() - 1
+    }
+
+    /// Put `t` on its home list (no-op if already on the frontier) and,
+    /// when clustering is active, schedule its spill promotion.
+    fn insert(&mut self, t: TaskId) {
+        if self.list_of[t.0] != ABSENT {
+            return;
+        }
+        let li = self.home_of[t.0] as usize;
+        self.list_of[t.0] = li as u32;
+        self.pos[t.0] = self.lists[li].len() as u32;
+        self.lists[li].push(t);
+        self.lb[t.0] = Time::MAX;
+        // Reinsertion after a parent remap: the parents' placements may
+        // have changed, so any cached costing tuples are stale.
+        self.ptuple_stamp[t.0] = 0;
+        // A mid-tick insert (a commit's newly-ready child) must be seen
+        // by the machines queried later this tick: if the list's
+        // startable cache is already built, append the task — consumers
+        // re-check `lb` per entry, so an unstartable child costs one
+        // comparison, not a missed candidate.
+        if self.startable_stamp[li] == self.stamp {
+            self.startable[li].push(t);
+        }
+        if self.clusters() > 1 {
+            self.pending
+                .push_back((self.tick.saturating_add(self.spill_after), t));
+        }
+    }
+
+    /// Remove `t` from whatever list holds it (no-op when absent).
+    fn remove(&mut self, t: TaskId) {
+        let li = self.list_of[t.0];
+        if li == ABSENT {
+            return;
+        }
+        let p = self.pos[t.0] as usize;
+        let list = &mut self.lists[li as usize];
+        list.swap_remove(p);
+        if let Some(&moved) = list.get(p) {
+            self.pos[moved.0] = p as u32;
+        }
+        self.list_of[t.0] = ABSENT;
+    }
+
+    /// Move `t` from its home list to the spill list (no-op when `t`
+    /// already spilled or left the frontier).
+    fn promote_to_spill(&mut self, t: TaskId) {
+        let spill = self.clusters() as u32;
+        if self.list_of[t.0] == ABSENT || self.list_of[t.0] == spill {
+            return;
+        }
+        self.remove(t);
+        self.list_of[t.0] = spill;
+        self.pos[t.0] = self.lists[spill as usize].len() as u32;
+        self.lists[spill as usize].push(t);
+    }
+
+    /// Rebuild the lists from the state's ready set (the resync path —
+    /// segment starts and delta-stream gaps). Spill timers restart.
+    fn rebuild(&mut self, state: &SimState<'_>) {
+        for list in &mut self.lists {
+            list.clear();
+        }
+        self.pending.clear();
+        for slot in &mut self.list_of {
+            *slot = ABSENT;
+        }
+        for slot in &mut self.lb {
+            *slot = Time::MAX;
+        }
+        self.floor_cache.fill(Time::ZERO);
+        self.ptuple_gen = self.ptuple_gen.wrapping_add(1);
+        self.stamp = self.stamp.wrapping_add(1);
+        for &t in state.ready_tasks() {
+            self.insert(t);
+        }
+        self.last_revision = state.revision();
+        self.stale = false;
+    }
+
+    /// The cached start floor of `(t, j)` — [`Time::ZERO`] when nothing
+    /// is known (or the cache is size-capped out).
+    fn cached_floor(&self, t: TaskId, j: MachineId) -> Time {
+        if self.floor_cache.is_empty() {
+            return Time::ZERO;
+        }
+        self.floor_cache[j.0 * self.list_of.len() + t.0]
+    }
+
+    /// Record that no `Append` plan for `(t, j)` can start before `to`.
+    fn raise_floor(&mut self, t: TaskId, j: MachineId, to: Time) {
+        if self.floor_cache.is_empty() {
+            return;
+        }
+        let slot = &mut self.floor_cache[j.0 * self.list_of.len() + t.0];
+        *slot = (*slot).max(to);
+    }
+
+    /// Validate machine `j`'s gate-rejection row against the current
+    /// afford limit (flushing it if the limit rose past the watermark —
+    /// see [`Frontier::gate_limit`]) and return the limit.
+    fn gate_row_guard(&mut self, state: &SimState<'_>, j: MachineId) -> f64 {
+        let limit = state.ledger().afford_limit(j);
+        if limit > self.gate_limit[j.0] {
+            let row = j.0 * self.gate_row_words;
+            self.gate_dead[row..row + self.gate_row_words].fill(0);
+            self.gate_limit[j.0] = f64::INFINITY;
+        }
+        limit
+    }
+
+    /// True when `(t, j)` is known gate-rejected (only meaningful after
+    /// [`Frontier::gate_row_guard`] validated the row this query).
+    fn gate_dead_bit(&self, t: TaskId, j: MachineId) -> bool {
+        self.gate_dead[j.0 * self.gate_row_words + t.0 / 64] & (1 << (t.0 % 64)) != 0
+    }
+
+    /// Record the §IV rejections of one batch-gate call: every task in
+    /// `cand` missing from `gate` (the gate preserves order, so one
+    /// lockstep walk finds them) failed `demand > limit` and stays
+    /// infeasible until the machine's limit rises past `limit`.
+    fn mark_gate_rejections(&mut self, cand: &[TaskId], gate: &[TaskId], j: MachineId, limit: f64) {
+        if cand.len() == gate.len() {
+            return;
+        }
+        let row = j.0 * self.gate_row_words;
+        let mut gi = 0;
+        for &t in cand {
+            if gate.get(gi) == Some(&t) {
+                gi += 1;
+                continue;
+            }
+            self.gate_dead[row + t.0 / 64] |= 1 << (t.0 % 64);
+        }
+        self.gate_limit[j.0] = self.gate_limit[j.0].min(limit);
+    }
+
+    /// [`SimState::candidate_floor_cost`] served from the per-task
+    /// parent tuples: identical per-parent expressions in identical
+    /// parent order, so both the floor and the accumulated transfer
+    /// energy are bit-for-bit what the state probe computes — without
+    /// its per-parent assignment and O(fan-in) edge-size lookups.
+    fn floor_cost(
+        &mut self,
+        state: &SimState<'_>,
+        t: TaskId,
+        j: MachineId,
+        not_before: Time,
+    ) -> (Time, Energy) {
+        let sc = state.scenario();
+        if self.ptuple_stamp[t.0] != self.ptuple_gen {
+            let tuples = &mut self.ptuples[t.0];
+            tuples.clear();
+            for &p in sc.dag.parents(t) {
+                let pa = state
+                    .schedule()
+                    .assignment(p)
+                    .expect("frontier tasks are ready: every parent is mapped");
+                tuples.push(ParentCost {
+                    from: pa.machine,
+                    fin: pa.finish(),
+                    size: sc.data.edge(&sc.dag, p, t).scaled(pa.version.data_factor()),
+                });
+            }
+            self.ptuple_stamp[t.0] = self.ptuple_gen;
+        }
+        let to_spec = sc.grid.machine(j);
+        let mut floor = not_before.max(state.compute_ready(j));
+        let mut tx_energy = Energy::ZERO;
+        for pc in &self.ptuples[t.0] {
+            if pc.from == j {
+                floor = floor.max(pc.fin);
+                continue;
+            }
+            let from_spec = sc.grid.machine(pc.from);
+            let dur = from_spec.transfer_dur(to_spec, pc.size);
+            floor = floor.max(pc.fin.max(not_before) + dur);
+            tx_energy += from_spec.transmit_energy(dur);
+        }
+        (floor, tx_energy)
+    }
+
+    fn resync(&mut self, state: &SimState<'_>) {
+        if self.stale || state.revision() != self.last_revision {
+            self.rebuild(state);
+        }
+    }
+
+    /// Start a clock tick: record the tick index and promote every
+    /// candidate whose spill timer is due.
+    pub fn begin_tick(&mut self, state: &SimState<'_>, tick: u64) {
+        self.tick = tick;
+        self.stamp = self.stamp.wrapping_add(1);
+        self.resync(state);
+        while let Some(&(due, t)) = self.pending.front() {
+            if due > tick {
+                break;
+            }
+            self.pending.pop_front();
+            self.promote_to_spill(t);
+        }
+    }
+
+    /// Ingest one [`StateDelta`]: the delta's `invalidated` tasks leave
+    /// the frontier, its `newly_ready` tasks join it — the exact
+    /// readiness semantics [`SimState`]'s mutators report. Machine-loss
+    /// and blocking deltas change no readiness and touch nothing. A gap
+    /// in the revision stream marks the frontier stale (rebuilt on the
+    /// next query) instead of serving a drifted list.
+    pub fn apply(&mut self, delta: &StateDelta) {
+        if delta.revision != self.last_revision + 1 {
+            self.last_revision = delta.revision;
+            self.stale = true;
+            return;
+        }
+        self.last_revision = delta.revision;
+        match delta.kind {
+            // Loss and blocking add (or merely flag) occupation; floors
+            // can only rise, so the start-floor cache stays valid.
+            DeltaKind::MachineLost | DeltaKind::Blocked => {}
+            DeltaKind::Commit | DeltaKind::Unmap => {
+                // An unmap *removes* occupation: earlier gaps can open,
+                // so every cached start floor — and every cached parent
+                // finish — is suspect.
+                if delta.kind == DeltaKind::Unmap {
+                    self.floor_cache.fill(Time::ZERO);
+                    self.ptuple_gen = self.ptuple_gen.wrapping_add(1);
+                }
+                for &t in &delta.invalidated {
+                    self.remove(t);
+                }
+                for &t in &delta.newly_ready {
+                    self.insert(t);
+                }
+            }
+        }
+    }
+
+    /// The lists machine `j` sees: its home cluster's, then the spill
+    /// list.
+    fn visible_lists(&self, j: MachineId) -> [usize; 2] {
+        [self.cluster_of[j.0] as usize, self.clusters()]
+    }
+
+    /// The cached start lower bound of frontier task `t`: the latest
+    /// scheduled finish among its parents (all mapped, by readiness).
+    /// Computed lazily — the delta stream that inserts `t` has no state
+    /// access — and reused across ticks.
+    fn lb_of(lb: &mut [Time], state: &SimState<'_>, t: TaskId) -> Time {
+        let cached = lb[t.0];
+        if cached != Time::MAX {
+            return cached;
+        }
+        let mut bound = Time::ZERO;
+        for &p in state.scenario().dag.parents(t) {
+            let a = state
+                .schedule()
+                .assignment(p)
+                .expect("frontier tasks are ready: every parent is mapped");
+            bound = bound.max(a.finish());
+        }
+        lb[t.0] = bound;
+        bound
+    }
+
+    /// Collect list `li`'s candidates whose start lower bound clears the
+    /// horizon into `out`. The full-list lb scan runs once per
+    /// `(tick, list)` and is cached; consuming re-checks membership and
+    /// `lb` per cached entry because commits and inserts earlier in the
+    /// same tick mutate both (a committed task goes stale in the cache,
+    /// a newly-ready child is appended by [`Frontier::insert`]).
+    fn collect_startable(
+        &mut self,
+        state: &SimState<'_>,
+        li: usize,
+        horizon_end: Time,
+        out: &mut Vec<TaskId>,
+    ) {
+        if self.startable_horizon != horizon_end {
+            self.stamp = self.stamp.wrapping_add(1);
+            self.startable_horizon = horizon_end;
+        }
+        if self.startable_stamp[li] != self.stamp {
+            self.startable[li].clear();
+            for idx in 0..self.lists[li].len() {
+                let t = self.lists[li][idx];
+                if Self::lb_of(&mut self.lb, state, t) <= horizon_end {
+                    self.startable[li].push(t);
+                }
+            }
+            self.startable_stamp[li] = self.stamp;
+        }
+        for idx in 0..self.startable[li].len() {
+            let t = self.startable[li][idx];
+            if self.list_of[t.0] != li as u32 {
+                continue;
+            }
+            if Self::lb_of(&mut self.lb, state, t) <= horizon_end {
+                out.push(t);
+            }
+        }
+    }
+
+    /// The best committable candidate for machine `j`: among the visible
+    /// candidates that pass the §IV gate and whose chosen-version plan
+    /// can start within the horizon, the one maximising the objective
+    /// (ties toward the lower task id). Returns the ready-to-commit
+    /// plan. Replays [`crate::pool::build_pool_with`]'s version choice
+    /// and [`crate::pool::Pool::first_startable`]'s selection exactly —
+    /// see the module docs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_startable(
+        &mut self,
+        state: &SimState<'_>,
+        objective: &Objective,
+        j: MachineId,
+        now: Time,
+        horizon_end: Time,
+        allow_secondary: bool,
+        stats: &mut RunStats,
+    ) -> Option<MappingPlan> {
+        self.resync(state);
+        stats.pool_builds += 1;
+        let gate_version = if allow_secondary {
+            Version::Secondary
+        } else {
+            Version::Primary
+        };
+        let placement = Placement::Append { not_before: now };
+        let sc = state.scenario();
+        let m = state.metrics();
+        let tasks_f = m.tasks as f64;
+        let tau_s = m.tau.as_seconds();
+        let positive = matches!(objective.aet_sign, AetSign::Positive);
+
+        // Phase 1 — score every surviving candidate with an upper bound
+        // on the objective any plan for it could reach, *without*
+        // planning. The bound is exact arithmetic over the planner's own
+        // start-independent quantities (`T100` and `TEC` never depend on
+        // the placement; transfer energies depend only on sizes and link
+        // rates) plus the extremal admissible execution start for the
+        // `AET` term: `horizon_end` under the paper's positive sign
+        // (later finishes score higher, and starts past the horizon are
+        // rejected anyway), the start floor under the negative ablation.
+        // Every input either matches the real evaluation bit-for-bit or
+        // bounds it through operations that are monotone in IEEE
+        // arithmetic, so `ub ≥ obj` holds exactly, never approximately.
+        let mut cand = std::mem::take(&mut self.start_buf);
+        let mut gate = std::mem::take(&mut self.gate_buf);
+        let mut ubs = std::mem::take(&mut self.ub_buf);
+        ubs.clear();
+        let limit = self.gate_row_guard(state, j);
+        for li in self.visible_lists(j) {
+            cand.clear();
+            self.collect_startable(state, li, horizon_end, &mut cand);
+            // Cheapest prunes first: a recorded §IV rejection (valid
+            // under the row guard above) and a previously observed floor
+            // (or actual planned start) past the horizon both still hold
+            // — demand is static, timelines only fill in within a
+            // segment. Running them before the gate matters at sizes
+            // past the demand-table cap, where each gate check
+            // re-derives the worst-case energy per candidate.
+            cand.retain(|&t| !self.gate_dead_bit(t, j) && self.cached_floor(t, j) <= horizon_end);
+            gate.clear();
+            state.feasible_candidates(&cand, gate_version, j, &mut gate);
+            self.mark_gate_rejections(&cand, &gate, j, limit);
+            // Extremal admissible start for the bound: `horizon_end`
+            // when a later start raises the objective, otherwise a
+            // cheap lower bound on the per-candidate floor (the floor
+            // itself starts from this max before adding transfers).
+            let start_lb = now.max(state.compute_ready(j));
+            let bound_start = if positive { horizon_end } else { start_lb };
+            for &t in &gate {
+                // Transfer energy is bounded below by zero rather than
+                // computed: the exact per-parent durations cost a
+                // divide each, and at scale the floor they feed prunes
+                // almost nothing. The bound stays valid — a smaller
+                // `tec` term can only raise it — and the plan phase
+                // rejects floor-infeasible candidates exactly.
+                let ub_for = |v: Version| {
+                    let exec_dur = sc.etc.exec_dur(t, j, v);
+                    let exec_energy = sc.grid.machine(j).compute_energy(exec_dur);
+                    objective.evaluate(&ObjectiveInputs {
+                        t100_frac: (m.t100 + usize::from(v.is_primary())) as f64 / tasks_f,
+                        tec_frac: (m.tec + exec_energy) / m.tse,
+                        aet_frac: m.aet.max(bound_start + exec_dur).as_seconds() / tau_s,
+                    })
+                };
+                // The bound covers the same version contest the plan
+                // phase runs. The primary is included *unconditionally*
+                // (its battery check would cost a demand evaluation per
+                // candidate): when it is actually infeasible the bound
+                // is merely looser — the scan plans a few extra
+                // candidates before breaking, and the plan phase
+                // re-checks feasibility exactly, so the selected commit
+                // is unchanged.
+                let mut ub = ub_for(gate_version);
+                if allow_secondary {
+                    ub = ub.max(ub_for(Version::Primary));
+                }
+                debug_assert!(ub.is_finite(), "objective bounds are finite");
+                ubs.push((ub, t));
+            }
+        }
+
+        // Phase 2 — plan in bound order and stop as soon as the
+        // incumbent provably beats everything left: a candidate whose
+        // bound is below the incumbent (or equal with a higher task id)
+        // cannot win the (objective desc, task asc) argmax. Equal-bound
+        // entries are visited in ascending task order, so the first
+        // losing entry ends the scan. In the common mid-run regime the
+        // grid-wide `AET` already exceeds any reachable finish, the
+        // bound is the exact objective, and the argmax resolves after
+        // planning one or two candidates instead of the whole frontier.
+        ubs.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("objective bounds are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut best: Option<(f64, TaskId, MappingPlan)> = None;
+        for &(ub, t) in &ubs {
+            if let Some((best_obj, best_task, _)) = &best {
+                if ub < *best_obj || (ub == *best_obj && t > *best_task) {
+                    break;
+                }
+            }
+            // Per-(task, machine) refinement of the lb prune, deferred
+            // to the plan phase: the floor adds minimum transfer
+            // durations and the machine's compute availability, still
+            // strictly below any achievable plan start — a floor past
+            // the horizon means no plan for (t, j) can commit this
+            // tick, so the (much costlier) plan itself is skipped.
+            let (floor, _) = self.floor_cost(state, t, j, now);
+            if floor > horizon_end {
+                self.raise_floor(t, j, floor);
+                continue;
+            }
+            stats.candidates_evaluated += 1;
+            let gated = state.plan_with(t, gate_version, j, placement, &mut self.scratch);
+            let gated_obj = plan_objective(state, objective, &gated);
+            // The primary competes only when it fits the battery
+            // too; ties go to the primary (same rule as the pool).
+            let (obj, plan) = if allow_secondary && state.version_feasible(t, Version::Primary, j)
+            {
+                let primary =
+                    state.plan_with(t, Version::Primary, j, placement, &mut self.scratch);
+                let primary_obj = plan_objective(state, objective, &primary);
+                if primary_obj >= gated_obj {
+                    (primary_obj, primary)
+                } else {
+                    (gated_obj, gated)
+                }
+            } else {
+                (gated_obj, gated)
+            };
+            debug_assert!(obj.is_finite(), "objective values are finite");
+            // Execution starts under `Append` are version-independent
+            // (versions change the duration, transfers neither), so the
+            // observed start floors every future plan for the pair.
+            self.raise_floor(t, j, plan.start);
+            if plan.start > horizon_end {
+                // Not committable this tick — and exempt from the bound
+                // check below: under the positive `AET` sign the bound
+                // assumes starts at most `horizon_end`, which this plan
+                // exceeds.
+                continue;
+            }
+            debug_assert!(obj <= ub, "upper bound {ub} below objective {obj} for {t}");
+            let better = match &best {
+                None => true,
+                Some((best_obj, best_task, _)) => {
+                    obj > *best_obj || (obj == *best_obj && t < *best_task)
+                }
+            };
+            if better {
+                best = Some((obj, t, plan));
+            }
+        }
+        self.start_buf = cand;
+        self.gate_buf = gate;
+        self.ub_buf = ubs;
+        best.map(|(_, _, plan)| plan)
+    }
+
+    /// The frozen SLRH-2 walk order for machine `j`: every visible
+    /// gate-passing *startable* candidate with its chosen version and
+    /// objective, sorted by (objective desc, task asc) — the same
+    /// version choice and ordering [`crate::pool::build_pool_with`]
+    /// freezes, without materialising the plans. The lb prune narrows
+    /// membership relative to the frozen pool, but only by entries whose
+    /// plans start past the horizon — entries the SLRH-2 walk re-plans
+    /// and then rejects without committing, so the commit sequence is
+    /// unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frozen_order(
+        &mut self,
+        state: &SimState<'_>,
+        objective: &Objective,
+        j: MachineId,
+        now: Time,
+        horizon_end: Time,
+        allow_secondary: bool,
+        stats: &mut RunStats,
+        out: &mut Vec<(f64, TaskId, Version)>,
+    ) {
+        self.resync(state);
+        stats.pool_builds += 1;
+        let gate_version = if allow_secondary {
+            Version::Secondary
+        } else {
+            Version::Primary
+        };
+        let placement = Placement::Append { not_before: now };
+        out.clear();
+        let mut cand = std::mem::take(&mut self.start_buf);
+        let mut gate = std::mem::take(&mut self.gate_buf);
+        let limit = self.gate_row_guard(state, j);
+        for li in self.visible_lists(j) {
+            cand.clear();
+            self.collect_startable(state, li, horizon_end, &mut cand);
+            // Same cached-rejection and cached-floor pruning as
+            // [`Frontier::best_startable`].
+            cand.retain(|&t| !self.gate_dead_bit(t, j) && self.cached_floor(t, j) <= horizon_end);
+            gate.clear();
+            state.feasible_candidates(&cand, gate_version, j, &mut gate);
+            self.mark_gate_rejections(&cand, &gate, j, limit);
+            for &t in &gate {
+                // Same per-(task, machine) floor refinement as
+                // [`Frontier::best_startable`]: the SLRH-2 walk re-plans
+                // after its own commits, but those only push starts
+                // later, so a floor past the horizon at walk-freeze time
+                // rules the entry out for the whole walk — and so does a
+                // start floor cached on an earlier tick.
+                let (floor, _) = self.floor_cost(state, t, j, now);
+                if floor > horizon_end {
+                    self.raise_floor(t, j, floor);
+                    continue;
+                }
+                stats.candidates_evaluated += 1;
+                let gated = state.plan_with(t, gate_version, j, placement, &mut self.scratch);
+                self.raise_floor(t, j, gated.start);
+                let gated_obj = plan_objective(state, objective, &gated);
+                let entry = if allow_secondary && state.version_feasible(t, Version::Primary, j) {
+                    let primary =
+                        state.plan_with(t, Version::Primary, j, placement, &mut self.scratch);
+                    let primary_obj = plan_objective(state, objective, &primary);
+                    if primary_obj >= gated_obj {
+                        (primary_obj, t, Version::Primary)
+                    } else {
+                        (gated_obj, t, Version::Secondary)
+                    }
+                } else {
+                    (gated_obj, t, gate_version)
+                };
+                out.push(entry);
+            }
+        }
+        self.start_buf = cand;
+        self.gate_buf = gate;
+        out.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("objective values are finite")
+                .then(a.1.cmp(&b.1))
+        });
+    }
+
+    /// Whether *any* frontier candidate — on any list, not just the ones
+    /// visible to `j` — passes the §IV gate on machine `j`. The clock
+    /// loop's stuck check must look across the whole frontier: a
+    /// candidate homed elsewhere is invisible to `j` *today* but spills
+    /// within `spill_after` ticks, so only the all-machines ×
+    /// all-candidates product proves no future invocation can progress.
+    pub fn any_gate_feasible(
+        &mut self,
+        state: &SimState<'_>,
+        gate_version: Version,
+        j: MachineId,
+    ) -> bool {
+        self.resync(state);
+        self.lists
+            .iter()
+            .any(|list| state.any_feasible_candidate(list, gate_version, j))
+    }
+
+    /// Total candidates currently on the frontier (tests/diagnostics).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScaleMode;
+    use adhoc_grid::config::GridCase;
+    use adhoc_grid::workload::{Scenario, ScenarioParams};
+    use lagrange::weights::Weights;
+
+    fn scenario(tasks: usize) -> Scenario {
+        Scenario::generate(&ScenarioParams::paper_scaled(tasks), GridCase::A, 0, 0)
+    }
+
+    fn objective() -> Objective {
+        Objective::paper(Weights::new(0.5, 0.2).unwrap())
+    }
+
+    /// The k = 1 frontier query must pick exactly the pool's
+    /// `first_startable` entry, across an entire greedy drain.
+    #[test]
+    fn best_startable_matches_first_startable_across_a_drain() {
+        let sc = scenario(32);
+        let mut state = SimState::new(&sc);
+        let obj = objective();
+        let mut fr = Frontier::new(&state, ScaleMode::default());
+        let mut stats = RunStats::default();
+        let mut now = Time::ZERO;
+        let horizon = adhoc_grid::units::Dur(100);
+        let mut guard = 0;
+        let mut total_commits = 0u64;
+        loop {
+            fr.begin_tick(&state, guard);
+            let mut committed = false;
+            for j in sc.grid.ids() {
+                let horizon_end = now.saturating_add(horizon);
+                let reference = crate::pool::build_pool_with(&state, &obj, j, now, true);
+                let expected = reference.first_startable(horizon_end);
+                let got =
+                    fr.best_startable(&state, &obj, j, now, horizon_end, true, &mut stats);
+                match (expected, &got) {
+                    (None, None) => {}
+                    (Some(e), Some(p)) => assert_eq!(&e.plan, p, "machine {j}"),
+                    (e, g) => panic!("machine {j}: pool {e:?} vs frontier {g:?}"),
+                }
+                if let Some(plan) = got {
+                    let delta = state.commit(&plan);
+                    fr.apply(&delta);
+                    committed = true;
+                    total_commits += 1;
+                }
+            }
+            if state.all_mapped() || !committed {
+                break;
+            }
+            now += adhoc_grid::units::Dur(10);
+            guard += 1;
+            assert!(guard < 512, "drain did not terminate");
+        }
+        // The drain ends either fully mapped or energy-gated; in both
+        // cases every query agreed with the pool and the frontier must
+        // still agree with the state's ready set.
+        assert!(total_commits > 0, "drain never committed anything");
+        assert_eq!(fr.len(), state.ready_tasks().len());
+    }
+
+    /// Delta-maintained membership equals the state's ready set.
+    #[test]
+    fn membership_tracks_the_ready_set() {
+        let sc = scenario(24);
+        let mut state = SimState::new(&sc);
+        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after: 1 });
+        for step in 0..64u64 {
+            fr.begin_tick(&state, step);
+            let Some(&t) = state.ready_tasks().first() else {
+                break;
+            };
+            let plan = state.plan(
+                t,
+                Version::Secondary,
+                MachineId((step % sc.grid.len() as u64) as usize),
+                Placement::Append { not_before: Time::ZERO },
+            );
+            let delta = state.commit(&plan);
+            fr.apply(&delta);
+            let mut on_frontier: Vec<TaskId> = fr
+                .lists
+                .iter()
+                .flat_map(|l| l.iter().copied())
+                .collect();
+            on_frontier.sort();
+            let mut ready: Vec<TaskId> = state.ready_tasks().to_vec();
+            ready.sort();
+            assert_eq!(on_frontier, ready, "step {step}");
+        }
+    }
+
+    /// A revision gap (mutation not reported via `apply`) forces a
+    /// rebuild instead of serving a drifted frontier.
+    #[test]
+    fn resynchronises_after_unreported_mutations() {
+        let sc = scenario(24);
+        let mut state = SimState::new(&sc);
+        let obj = objective();
+        let mut fr = Frontier::new(&state, ScaleMode::default());
+        let mut stats = RunStats::default();
+        let t = state.ready_tasks()[0];
+        let plan = state.plan(
+            t,
+            Version::Secondary,
+            MachineId(0),
+            Placement::Append { not_before: Time::ZERO },
+        );
+        state.commit(&plan); // delta dropped on the floor
+        let horizon_end = Time::from_seconds(10);
+        let got = fr.best_startable(&state, &obj, MachineId(0), Time::ZERO, horizon_end, true, &mut stats);
+        let reference = crate::pool::build_pool_with(&state, &obj, MachineId(0), Time::ZERO, true);
+        assert_eq!(
+            got.as_ref(),
+            reference.first_startable(horizon_end).map(|e| &e.plan)
+        );
+        assert_eq!(fr.len(), state.ready_tasks().len());
+    }
+
+    /// With clusters > 1 every unspilled candidate is visible to exactly
+    /// its home cluster, and spills promote after the configured delay.
+    #[test]
+    fn spill_promotes_after_the_configured_delay() {
+        let sc = scenario(32);
+        let state = SimState::new(&sc);
+        let spill_after = 3;
+        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after });
+        let spill_list = fr.clusters();
+        assert!(fr.lists[spill_list].is_empty(), "nothing spilled at birth");
+        let total = fr.len();
+        assert_eq!(total, state.ready_tasks().len());
+        for tick in 0..=spill_after {
+            fr.begin_tick(&state, tick);
+        }
+        assert_eq!(
+            fr.lists[spill_list].len(),
+            total,
+            "every root should have spilled after {spill_after} ticks"
+        );
+    }
+
+    /// Clustering is deterministic and clamped to the machine count.
+    #[test]
+    fn clustering_is_deterministic_and_clamped() {
+        let sc = scenario(16);
+        let state = SimState::new(&sc);
+        let a = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8 });
+        let b = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8 });
+        assert_eq!(a.cluster_of, b.cluster_of);
+        assert_eq!(a.clusters(), sc.grid.len(), "clamped to |M|");
+        // Every cluster is non-empty under the clamped partition.
+        for c in 0..a.clusters() {
+            assert!(a.cluster_of.iter().any(|&x| x as usize == c));
+        }
+    }
+}

@@ -32,11 +32,12 @@ pub mod adaptive;
 pub mod config;
 pub mod context;
 pub mod dynamic;
+mod frontier;
 pub mod mapper;
 pub mod pool;
 
 pub use adaptive::{run_adaptive_slrh, AdaptiveConfig, AdaptiveOutcome};
-pub use config::{Adaptation, ConfigError, MachineOrder, SlrhConfig, SlrhConfigBuilder, SlrhVariant, Trigger};
+pub use config::{Adaptation, ConfigError, MachineOrder, ScaleMode, SlrhConfig, SlrhConfigBuilder, SlrhVariant, Trigger};
 pub use context::RunContext;
 pub use dynamic::{run_slrh_churn, run_slrh_churn_in, run_slrh_churn_observed, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
 pub use mapper::{run_slrh, run_slrh_in, run_slrh_observed, RunStats, SlrhOutcome, TickEvent};

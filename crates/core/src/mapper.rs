@@ -23,7 +23,9 @@ use lagrange::weights::Weights;
 
 use crate::config::{SlrhConfig, SlrhVariant, Trigger};
 use adhoc_grid::config::MachineId;
+use adhoc_grid::task::Version;
 use crate::context::RunContext;
+use crate::frontier::Frontier;
 use crate::pool::{build_pool_with, Pool, PoolCache};
 
 /// Counters describing one run's work (the paper's "heuristic execution
@@ -138,7 +140,7 @@ pub fn run_slrh_observed<'a>(
     let mut state = ctx.state(scenario);
     let mut stats = RunStats::default();
     let mut run = config.armed();
-    if run.use_pool_cache {
+    if run.use_pool_cache && run.scale.is_none() {
         let cache = ctx.cache_for(&state, run.allow_secondary);
         drive_with(
             &mut state,
@@ -172,7 +174,7 @@ pub fn run_slrh_in<'a>(
     let mut state = ctx.state(scenario);
     let mut stats = RunStats::default();
     let mut run = config.armed();
-    if run.use_pool_cache {
+    if run.use_pool_cache && run.scale.is_none() {
         let cache = ctx.cache_for(&state, run.allow_secondary);
         drive_with(&mut state, &mut run, &mut stats, Some(cache), Time::ZERO, None, None);
     } else {
@@ -197,8 +199,9 @@ pub(crate) fn drive(
     stop_at: Option<Time>,
     observer: Option<&mut dyn FnMut(TickEvent)>,
 ) -> Time {
-    let mut cache = config
-        .use_pool_cache
+    // The frontier kernel never queries the pool cache, so a scale run
+    // skips building the |M| × |T| slot table entirely.
+    let mut cache = (config.use_pool_cache && config.scale.is_none())
         .then(|| PoolCache::new(state, config.allow_secondary));
     drive_with(state, config, stats, cache.as_mut(), start_clock, stop_at, observer)
 }
@@ -221,6 +224,16 @@ pub(crate) fn drive(
 /// schedule is identical to the uncached one by the cache's invariant.
 /// Weight updates evict nothing: cached entries store *plans*, and
 /// objective values are recomputed against the live weights per query.
+///
+/// With [`SlrhConfig::scale`] set, the loop runs the incremental
+/// [`Frontier`] kernel instead: a frontier is built here (one O(|ready|)
+/// pass — multi-segment drivers re-enter per segment, and each segment
+/// rebuilds from the then-current ready set), maintained from the delta
+/// stream within the segment, and the passed-in `cache` is ignored
+/// (callers skip creating one). In frontier mode
+/// [`RunStats::pool_builds`] counts frontier queries and
+/// [`RunStats::candidates_evaluated`] counts planned candidates; the
+/// cache counters stay zero.
 pub(crate) fn drive_with(
     state: &mut SimState<'_>,
     config: &mut SlrhConfig,
@@ -230,6 +243,7 @@ pub(crate) fn drive_with(
     stop_at: Option<Time>,
     mut observer: Option<&mut dyn FnMut(TickEvent)>,
 ) -> Time {
+    let mut frontier = config.scale.map(|mode| Frontier::new(state, mode));
     let tau = state.scenario().tau;
     let mut now = start_clock;
     loop {
@@ -270,6 +284,9 @@ pub(crate) fn drive_with(
         let mut any_commit = false;
         let mut every_live_machine_available = true;
 
+        if let Some(fr) = frontier.as_mut() {
+            fr.begin_tick(state, tick);
+        }
         let order = config
             .machine_order
             .order(state.scenario().grid.len(), tick);
@@ -284,7 +301,11 @@ pub(crate) fn drive_with(
                 every_live_machine_available = false;
                 continue;
             }
-            if map_on_machine(state, config, stats, cache.as_deref_mut(), j, now) > 0 {
+            let committed = match frontier.as_mut() {
+                Some(fr) => map_on_machine_frontier(state, config, stats, fr, j, now),
+                None => map_on_machine(state, config, stats, cache.as_deref_mut(), j, now),
+            };
+            if committed > 0 {
                 any_commit = true;
             }
         }
@@ -307,14 +328,41 @@ pub(crate) fn drive_with(
         // horizon miss, which the advancing clock *can* resolve.)
         if !any_commit && every_live_machine_available && !state.all_mapped() {
             let mut stuck = true;
-            for j in state.scenario().grid.ids() {
-                if !state.is_alive(j) {
-                    continue;
+            match frontier.as_mut() {
+                Some(fr) => {
+                    // Gate-only probe, no planning — and across the
+                    // *whole* frontier, not just the lists visible to
+                    // each machine: a candidate homed on another cluster
+                    // spills within `spill_after` ticks, so it still
+                    // disproves being stuck.
+                    let gate_version = if config.allow_secondary {
+                        Version::Secondary
+                    } else {
+                        Version::Primary
+                    };
+                    for j in state.scenario().grid.ids() {
+                        if !state.is_alive(j) {
+                            continue;
+                        }
+                        stats.pool_builds += 1;
+                        if fr.any_gate_feasible(state, gate_version, j) {
+                            stuck = false;
+                            break;
+                        }
+                    }
                 }
-                let pool = build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
-                if !pool.is_empty() {
-                    stuck = false;
-                    break;
+                None => {
+                    for j in state.scenario().grid.ids() {
+                        if !state.is_alive(j) {
+                            continue;
+                        }
+                        let pool =
+                            build_and_count(state, config, stats, cache.as_deref_mut(), j, now);
+                        if !pool.is_empty() {
+                            stuck = false;
+                            break;
+                        }
+                    }
                 }
             }
             if stuck {
@@ -402,6 +450,102 @@ fn map_on_machine(
         }
     }
     commits
+}
+
+/// [`map_on_machine`] for the frontier kernel: same variant semantics,
+/// but candidates come from the machine's visible frontier slice and
+/// every commit's delta maintains the frontier in place. With a single
+/// cluster each commit decision is identical to the pool walk's (see
+/// [`Frontier`]); with more clusters only the visible slice shrinks.
+fn map_on_machine_frontier(
+    state: &mut SimState<'_>,
+    config: &SlrhConfig,
+    stats: &mut RunStats,
+    frontier: &mut Frontier,
+    j: MachineId,
+    now: Time,
+) -> u64 {
+    let horizon_end = now.saturating_add(config.horizon);
+    let mut commits = 0u64;
+
+    match config.variant {
+        SlrhVariant::V1 => {
+            if let Some(plan) = frontier.best_startable(
+                state,
+                &config.objective,
+                j,
+                now,
+                horizon_end,
+                config.allow_secondary,
+                stats,
+            ) {
+                commit_frontier(state, stats, frontier, &plan);
+                commits += 1;
+            }
+        }
+        SlrhVariant::V2 => {
+            // Same frozen-pool semantics as the default V2 walk:
+            // membership, version choice and ordering fixed up front,
+            // plans re-made per entry as earlier commits shift the
+            // machine's availability.
+            let mut order = Vec::new();
+            frontier.frozen_order(
+                state,
+                &config.objective,
+                j,
+                now,
+                horizon_end,
+                config.allow_secondary,
+                stats,
+                &mut order,
+            );
+            for &(_, t, v) in &order {
+                if state.is_mapped(t) {
+                    continue;
+                }
+                if !state.version_feasible(t, v, j) {
+                    continue;
+                }
+                let plan = state.plan(
+                    t,
+                    v,
+                    j,
+                    gridsim::plan::Placement::Append { not_before: now },
+                );
+                if plan.start <= horizon_end {
+                    commit_frontier(state, stats, frontier, &plan);
+                    commits += 1;
+                }
+            }
+        }
+        SlrhVariant::V3 => {
+            while let Some(plan) = frontier.best_startable(
+                state,
+                &config.objective,
+                j,
+                now,
+                horizon_end,
+                config.allow_secondary,
+                stats,
+            ) {
+                commit_frontier(state, stats, frontier, &plan);
+                commits += 1;
+            }
+        }
+    }
+    commits
+}
+
+/// Commit a plan and feed the resulting delta into the frontier.
+fn commit_frontier(
+    state: &mut SimState<'_>,
+    stats: &mut RunStats,
+    frontier: &mut Frontier,
+    plan: &gridsim::plan::MappingPlan,
+) {
+    let delta = state.commit(plan);
+    frontier.apply(&delta);
+    stats.commits += 1;
 }
 
 /// Commit a plan and feed the resulting delta into the pool cache.

@@ -239,11 +239,37 @@ pub fn build_pool_with(
 /// If the state\'s revision counter disagrees with the delta stream (a
 /// mutation bypassed the cache), the cache clears itself and resumes
 /// from the current revision rather than serving stale plans.
+///
+/// # Eviction is epoch-based, O(delta) not O(|M| · delta)
+///
+/// Evicting a task used to sweep its slot across **every** machine row
+/// (an O(|M|) rescan per invalidated task per delta — ruinous at 1000
+/// machines, where a single commit's eviction walk would touch more
+/// slots than the query it was saving). Instead, eviction bumps a
+/// per-task *floor* on a monotone epoch clock and each slot records the
+/// epoch it was computed at: a slot is live iff `born >= `
+/// `max(task floor, global floor)`. Stale slots are refreshed lazily,
+/// in place, by the next query that reaches them — physically dropping
+/// them is never needed. The per-task `present` counters keep
+/// [`RunStats::pool_cache_invalidations`] exactly what the sweeping
+/// implementation reported: an eviction event counts every slot that was
+/// live at that moment, and a lazy refresh counts as the ordinary miss
+/// the old implementation would have had after dropping the slot.
 pub struct PoolCache {
     allow_secondary: bool,
     last_revision: u64,
     /// `slots[j][t]` caches the costed plans for task `t` on machine `j`.
     slots: Vec<Vec<Option<Box<CachedPlans>>>>,
+    /// Monotone invalidation clock; bumped by every eviction event.
+    epoch: u64,
+    /// Slots of task `t` born before `task_floor[t]` are stale.
+    task_floor: Vec<u64>,
+    /// Slots born before this are stale regardless of task (clear-all).
+    global_floor: u64,
+    /// Live (non-stale) slot count per task, across all machine rows —
+    /// the bookkeeping that keeps invalidation counters exact without
+    /// sweeping rows.
+    present: Vec<u32>,
     /// Reusable planner buffers for the query path (results never carry
     /// over between plans — see [`PlanScratch`]).
     scratch: PlanScratch,
@@ -257,6 +283,8 @@ struct CachedPlans {
     /// Cached unconditionally; whether it *competes* is re-decided per
     /// query by the primary\'s own feasibility check.
     primary: Option<MappingPlan>,
+    /// The [`PoolCache::epoch`] value this costing was (re)computed at.
+    born: u64,
 }
 
 /// `Default` is a detached cache: no slots, synchronised to nothing.
@@ -268,6 +296,10 @@ impl Default for PoolCache {
             allow_secondary: true,
             last_revision: 0,
             slots: Vec::new(),
+            epoch: 0,
+            task_floor: Vec::new(),
+            global_floor: 0,
+            present: Vec::new(),
             scratch: PlanScratch::default(),
         }
     }
@@ -301,6 +333,12 @@ impl PoolCache {
             row.clear();
             row.resize(tasks, None);
         }
+        self.epoch = 0;
+        self.global_floor = 0;
+        self.task_floor.clear();
+        self.task_floor.resize(tasks, 0);
+        self.present.clear();
+        self.present.resize(tasks, 0);
     }
 
     /// Ingest one [`StateDelta`], evicting every entry whose cached
@@ -330,10 +368,15 @@ impl PoolCache {
         match delta.kind {
             DeltaKind::MachineLost | DeltaKind::Blocked => {}
             DeltaKind::Commit | DeltaKind::Unmap => {
-                for row in &mut self.slots {
-                    for &t in delta.invalidated.iter().chain(&delta.newly_ready) {
-                        drop_slot(&mut row[t.0], stats);
-                    }
+                // O(#tasks in the delta), machine-count independent: raise
+                // each task's floor past every existing slot and let the
+                // query path refresh lazily. The `present` counter is the
+                // number of slots this eviction just made stale.
+                self.epoch += 1;
+                for &t in delta.invalidated.iter().chain(&delta.newly_ready) {
+                    stats.pool_cache_invalidations += u64::from(self.present[t.0]);
+                    self.present[t.0] = 0;
+                    self.task_floor[t.0] = self.epoch;
                 }
             }
         }
@@ -372,6 +415,10 @@ impl PoolCache {
         // the scratch feeds every plan/re-anchor in the loop.
         let scratch = &mut self.scratch;
         let row = &mut self.slots[j.0];
+        let present = &mut self.present;
+        let task_floor = &self.task_floor;
+        let global_floor = self.global_floor;
+        let born = self.epoch;
         let mut pool: Vec<PoolEntry> = Vec::new();
 
         for &t in state.ready_tasks() {
@@ -383,24 +430,32 @@ impl PoolCache {
             if !state.version_feasible(t, gate_version, j) {
                 continue;
             }
-            let p = match &mut row[t.0] {
-                Some(p) => {
-                    stats.pool_cache_hits += 1;
-                    state.reanchor_with(&mut p.gated, p.primary.as_mut(), now, scratch);
-                    p
-                }
-                slot @ None => {
-                    stats.candidates_evaluated += 1;
-                    slot.insert(compute_slot(
-                        state,
-                        t,
-                        gate_version,
-                        allow_secondary,
-                        j,
-                        placement,
-                        scratch,
-                    ))
-                }
+            let slot = &mut row[t.0];
+            let live = match slot {
+                Some(p) => p.born >= task_floor[t.0].max(global_floor),
+                None => false,
+            };
+            let p = if live {
+                let p = slot.as_mut().expect("live slots are occupied");
+                stats.pool_cache_hits += 1;
+                state.reanchor_with(&mut p.gated, p.primary.as_mut(), now, scratch);
+                p
+            } else {
+                // Empty or evicted-by-floor: either way the old sweeping
+                // implementation would find no slot here, so this is an
+                // ordinary miss. The refresh makes the slot live again.
+                stats.candidates_evaluated += 1;
+                present[t.0] += 1;
+                slot.insert(compute_slot(
+                    state,
+                    t,
+                    gate_version,
+                    allow_secondary,
+                    j,
+                    placement,
+                    scratch,
+                    born,
+                ))
             };
 
             let gated_obj = plan_objective(state, objective, &p.gated);
@@ -454,17 +509,12 @@ impl PoolCache {
     }
 
     fn clear_all(&mut self, stats: &mut RunStats) {
-        for row in &mut self.slots {
-            for slot in row {
-                drop_slot(slot, stats);
-            }
+        self.epoch += 1;
+        self.global_floor = self.epoch;
+        for p in &mut self.present {
+            stats.pool_cache_invalidations += u64::from(*p);
+            *p = 0;
         }
-    }
-}
-
-fn drop_slot(slot: &mut Option<Box<CachedPlans>>, stats: &mut RunStats) {
-    if slot.take().is_some() {
-        stats.pool_cache_invalidations += 1;
     }
 }
 
@@ -472,6 +522,7 @@ fn drop_slot(slot: &mut Option<Box<CachedPlans>>, stats: &mut RunStats) {
 /// loop iteration of [`build_pool_with`] but keeping *both* version
 /// plans so the winner can be re-decided cheaply as the ledger and
 /// objective move.
+#[allow(clippy::too_many_arguments)]
 fn compute_slot(
     state: &SimState<'_>,
     t: TaskId,
@@ -480,6 +531,7 @@ fn compute_slot(
     j: MachineId,
     placement: Placement,
     scratch: &mut PlanScratch,
+    born: u64,
 ) -> Box<CachedPlans> {
     let gated = state.plan_with(t, gate_version, j, placement, scratch);
     let primary =
@@ -491,7 +543,11 @@ fn compute_slot(
     if let Some(p) = &primary {
         debug_assert_eq!(p.transfers, gated.transfers);
     }
-    Box::new(CachedPlans { gated, primary })
+    Box::new(CachedPlans {
+        gated,
+        primary,
+        born,
+    })
 }
 
 #[cfg(test)]

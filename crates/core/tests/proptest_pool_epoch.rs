@@ -1,0 +1,146 @@
+//! Pathological-case property tests for the pool cache's epoch-based
+//! eviction.
+//!
+//! The slot table used to *sweep* every machine row on each delta — an
+//! O(|M|) rescan per invalidated task that the epoch floors replace with
+//! O(1) bookkeeping. Two properties pin the replacement down:
+//!
+//! 1. **Pool identity** — under arbitrary interleavings of queries,
+//!    commits and unmaps (the worst case for partial invalidation: most
+//!    rows hold live slots when a floor is raised), every cached pool
+//!    still matches [`slrh::build_pool_with`] from scratch.
+//! 2. **Counter identity** — a shadow model of the old sweeping table (a
+//!    set of live `(machine, task)` slots, swept eagerly on every delta)
+//!    reports exactly the same hit / miss / invalidation totals, so the
+//!    golden-pinned [`slrh::RunStats`] counters are provably unchanged.
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::task::Version;
+use adhoc_grid::units::{Dur, Time};
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use gridsim::state::{SimState, StateDelta};
+use lagrange::weights::{Objective, Weights};
+use proptest::prelude::*;
+use slrh::{build_pool_with, PoolCache, PoolEntry, RunStats};
+use std::collections::HashSet;
+
+/// The old implementation's slot table, modelled as a set of live
+/// `(machine, task)` slots with eager sweeping.
+#[derive(Default)]
+struct SweepShadow {
+    live: HashSet<(usize, usize)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SweepShadow {
+    /// Mirror one `PoolCache::pool` query: every ready task passing the
+    /// gate is a hit if its slot is live, otherwise a miss that
+    /// materialises the slot.
+    fn query(&mut self, state: &SimState<'_>, j: MachineId, gate: Version) {
+        for &t in state.ready_tasks() {
+            if !state.version_feasible(t, gate, j) {
+                continue;
+            }
+            if self.live.insert((j.0, t.0)) {
+                self.misses += 1;
+            } else {
+                self.hits += 1;
+            }
+        }
+    }
+
+    /// Mirror one `PoolCache::apply`: sweep the slots of every task the
+    /// delta invalidates or readies, on every machine.
+    fn apply(&mut self, delta: &StateDelta) {
+        for &t in delta.invalidated.iter().chain(&delta.newly_ready) {
+            let evictions = &mut self.evictions;
+            self.live.retain(|&(_, lt)| {
+                if lt == t.0 {
+                    *evictions += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+}
+
+fn assert_pools_identical(cached: &[PoolEntry], fresh: &[PoolEntry]) {
+    assert_eq!(cached.len(), fresh.len());
+    for (c, f) in cached.iter().zip(fresh) {
+        assert_eq!(c.task, f.task);
+        assert_eq!(c.version, f.version);
+        assert_eq!(c.plan, f.plan);
+        assert_eq!(c.objective.to_bits(), f.objective.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary query/commit/unmap interleavings: cached pools stay
+    /// byte-identical to from-scratch builds and the counters tie out to
+    /// the sweeping shadow model exactly.
+    #[test]
+    fn epoch_eviction_is_exact_and_counts_like_the_sweep(
+        decisions in proptest::collection::vec(any::<u8>(), 24..96),
+        seed in 0usize..4,
+        allow_secondary in any::<bool>(),
+    ) {
+        let sc = Scenario::generate(
+            &ScenarioParams::paper_scaled(32),
+            GridCase::A,
+            seed,
+            seed,
+        );
+        let objective = Objective::paper(Weights::new(0.55, 0.25).unwrap());
+        let gate = if allow_secondary { Version::Secondary } else { Version::Primary };
+        let mut state = SimState::new(&sc);
+        let mut cache = PoolCache::new(&state, allow_secondary);
+        let mut stats = RunStats::default();
+        let mut shadow = SweepShadow::default();
+        let mut committed: Vec<adhoc_grid::task::TaskId> = Vec::new();
+        let mut now = Time::ZERO;
+
+        for chunk in decisions.chunks(2) {
+            let j = MachineId(chunk[0] as usize % sc.grid.len());
+            let fresh = build_pool_with(&state, &objective, j, now, allow_secondary);
+            shadow.query(&state, j, gate);
+            let cached = cache.pool(&state, &objective, j, now, &mut stats);
+            assert_pools_identical(&cached, &fresh);
+
+            let action = chunk.get(1).copied().unwrap_or(0);
+            match action % 4 {
+                // Commit the best startable candidate (partial
+                // invalidation while other rows are warm).
+                0 | 1 => {
+                    if let Some(e) = fresh.first() {
+                        committed.push(e.task);
+                        let delta = state.commit(&e.plan);
+                        shadow.apply(&delta);
+                        cache.apply(&delta, &mut stats);
+                    }
+                }
+                // Unmap a previously committed task (readies it again,
+                // un-readies its children).
+                2 => {
+                    if let Some(t) = committed.pop() {
+                        let delta = state.unmap(t);
+                        shadow.apply(&delta);
+                        cache.apply(&delta, &mut stats);
+                    }
+                }
+                // Idle tick: queries must be pure reuse.
+                _ => {}
+            }
+            now += Dur(3);
+        }
+
+        prop_assert_eq!(stats.pool_cache_hits, shadow.hits);
+        prop_assert_eq!(stats.candidates_evaluated, shadow.misses);
+        prop_assert_eq!(stats.pool_cache_invalidations, shadow.evictions);
+    }
+}

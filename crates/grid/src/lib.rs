@@ -35,6 +35,7 @@ pub mod etc_gen;
 pub mod gamma;
 pub mod io;
 pub mod machine;
+pub mod scale;
 pub mod seed;
 pub mod task;
 pub mod units;
@@ -45,6 +46,7 @@ pub use dag::Dag;
 pub use data::DataSizes;
 pub use etc::EtcMatrix;
 pub use machine::{MachineClass, MachineSpec};
+pub use scale::ScaleParams;
 pub use task::{TaskId, Version};
 pub use units::{Dur, Energy, Megabits, Time, TICKS_PER_SECOND};
 pub use workload::{Scenario, ScenarioParams, ScenarioSet};

@@ -99,9 +99,16 @@ impl EnergyLedger {
         self.committed.iter().copied().sum()
     }
 
+    /// The affordability threshold [`EnergyLedger::can_afford`] compares
+    /// against, hoisted for batch feasibility gating:
+    /// `can_afford(j, e)` ⇔ `e.units() <= afford_limit(j)`.
+    pub fn afford_limit(&self, j: MachineId) -> f64 {
+        self.available(j).units() + ENERGY_EPS
+    }
+
     /// True when `j` can afford `amount` more committed-or-reserved energy.
     pub fn can_afford(&self, j: MachineId, amount: Energy) -> bool {
-        amount.units() <= self.available(j).units() + ENERGY_EPS
+        amount.units() <= self.afford_limit(j)
     }
 
     /// Commit `amount` on `j` (execution or an actual transmission).

@@ -245,7 +245,7 @@ pub(crate) fn plan_mapping(
     let child_reservations = worst_case_child_reservations(state, task, version, machine);
 
     let t100_after = state.t100() + usize::from(version.is_primary());
-    let tec_after = state.ledger().total_committed()
+    let tec_after = state.tec()
         + exec_energy
         + transfers.iter().map(|t| t.energy).sum::<Energy>();
     let aet_after = state.aet().max(start + exec_dur);
@@ -362,7 +362,7 @@ pub(crate) fn reanchor_mapping(
 /// bit-identical.
 fn set_derived(state: &SimState<'_>, plan: &mut MappingPlan) {
     plan.t100_after = state.t100() + usize::from(plan.version.is_primary());
-    plan.tec_after = state.ledger().total_committed()
+    plan.tec_after = state.tec()
         + plan.exec_energy
         + plan.transfers.iter().map(|t| t.energy).sum::<Energy>();
     plan.aet_after = state.aet().max(plan.start + plan.exec_dur);

@@ -71,6 +71,10 @@ impl Transfer {
 #[derive(Clone, Debug, Default)]
 pub struct Schedule {
     assignments: Vec<Option<Assignment>>,
+    /// Count of `Some` entries in `assignments`, maintained by
+    /// `assign`/`unmap`/`reset`. The SLRH clock loop asks "all mapped?"
+    /// once per machine per tick, so the count must not be a scan.
+    mapped: usize,
     transfers: Vec<Transfer>,
     /// `incoming[c]` lists `(parent, position in transfers)` for every
     /// indexed transfer whose child is `c`, in insertion (commit) order.
@@ -85,6 +89,7 @@ impl Schedule {
     pub fn new(tasks: usize) -> Schedule {
         let mut schedule = Schedule {
             assignments: Vec::new(),
+            mapped: 0,
             transfers: Vec::new(),
             incoming: Vec::new(),
         };
@@ -98,6 +103,7 @@ impl Schedule {
     /// steady state.
     pub fn reset(&mut self, tasks: usize) {
         self.assignments.clear();
+        self.mapped = 0;
         self.assignments.resize(tasks, None);
         self.transfers.clear();
         for slot in &mut self.incoming {
@@ -133,13 +139,16 @@ impl Schedule {
             a.task
         );
         self.assignments[a.task.0] = Some(a);
+        self.mapped += 1;
     }
 
     /// Remove the assignment of `t` (used by the dynamic remapping
     /// extension when a machine is lost). Associated transfers must be
     /// removed by the caller via [`Schedule::retain_transfers`].
     pub fn unmap(&mut self, t: TaskId) -> Option<Assignment> {
-        self.assignments[t.0].take()
+        let old = self.assignments[t.0].take();
+        self.mapped -= usize::from(old.is_some());
+        old
     }
 
     /// Record a transfer.
@@ -197,9 +206,14 @@ impl Schedule {
         self.assignments.iter().filter_map(Option::as_ref)
     }
 
-    /// Number of mapped subtasks.
+    /// Number of mapped subtasks. O(1): maintained incrementally, never
+    /// recounted (debug builds assert it against the slow scan).
     pub fn mapped_count(&self) -> usize {
-        self.assignments.iter().filter(|a| a.is_some()).count()
+        debug_assert_eq!(
+            self.mapped,
+            self.assignments.iter().filter(|a| a.is_some()).count()
+        );
+        self.mapped
     }
 
     /// Number of subtasks mapped at the primary level — the paper's `T100`.

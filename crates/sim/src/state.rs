@@ -24,9 +24,11 @@
 //! invalidation off these deltas instead of rescanning the whole state;
 //! the revision counter lets them assert they have seen every mutation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use adhoc_grid::config::MachineId;
 use adhoc_grid::task::{TaskId, Version};
-use adhoc_grid::units::{Energy, Time};
+use adhoc_grid::units::{Dur, Energy, Time};
 use adhoc_grid::workload::Scenario;
 
 use crate::ledger::EnergyLedger;
@@ -183,6 +185,63 @@ pub struct StateBuffers {
     ready: ReadySet,
     lost: Vec<Option<Time>>,
     demand: Vec<Energy>,
+    out_durs: Vec<Dur>,
+    out_offsets: Vec<u32>,
+    demand_ub: Vec<Energy>,
+}
+
+/// Cap on the precomputed feasibility-demand table, in entries
+/// (`tasks × machines × 2`). Paper-scale scenarios (1024 × 10) sit four
+/// orders of magnitude below it and always get the table; at the scale
+/// kernel's target sizes (100k tasks × 1000 machines) the table would be
+/// 1.6 GB and its precompute pass would dominate run setup, while the
+/// clustered frontier only ever gates a small slice of it — above the
+/// cap [`SimState::feasibility_demand`] evaluates the same expression
+/// lazily, bit-identically. 2^23 entries = 64 MiB of `f64`.
+const DEMAND_TABLE_MAX: usize = 1 << 23;
+
+/// Per-revision memo of the ledger's committed-energy sum (`TEC`).
+///
+/// [`EnergyLedger::total_committed`] is an O(machines) fresh sum, and
+/// both the planner and the objective evaluation read `TEC` once per
+/// *plan* — the scale kernel plans millions of candidates per run, so
+/// the sum must not be recomputed under an unchanged ledger. The memo
+/// caches the **exact fresh sum** keyed by [`SimState::revision`]:
+/// served values are bit-identical to recomputation (an incrementally
+/// maintained total would round differently and shift golden fixtures).
+/// Atomics keep `SimState: Sync` for the parallel drivers; concurrent
+/// fills race benignly (every thread computes the same sum, and the
+/// `Release`/`Acquire` pair on `rev` publishes `bits` with it).
+#[derive(Debug)]
+struct TecMemo {
+    /// Revision `bits` was computed at (`u64::MAX` = empty).
+    rev: AtomicU64,
+    /// The memoised sum, as `f64` bits.
+    bits: AtomicU64,
+}
+
+impl TecMemo {
+    const EMPTY: u64 = u64::MAX;
+}
+
+impl Default for TecMemo {
+    fn default() -> TecMemo {
+        TecMemo {
+            rev: AtomicU64::new(TecMemo::EMPTY),
+            bits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for TecMemo {
+    /// Cloning drops the memo (it is only a cache): the clone starts
+    /// empty and refills on first use.
+    fn clone(&self) -> TecMemo {
+        TecMemo {
+            rev: AtomicU64::new(TecMemo::EMPTY),
+            bits: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Mutable simulation state for one scenario run.
@@ -211,10 +270,47 @@ pub struct SimState<'a> {
     /// evaluates that gate for every ready task on every machine on
     /// every tick (including the long tail of ticks where nothing fits),
     /// which made the recomputation the single hottest path in the SLRH
-    /// kernel.
+    /// kernel. **Empty** (no table) for scenarios above
+    /// [`DEMAND_TABLE_MAX`] entries; queries then evaluate the same
+    /// expression lazily via [`SimState::demand_of`].
     demand: Vec<Energy>,
+    /// Precomputed §IV worst-case transfer durations for the lazy demand
+    /// path: for child `i` of task `t`, versions alternating fastest,
+    /// `out_durs[(out_offsets[t] + i) * 2 + version]` is
+    /// `Dur::from_seconds_ceil(size.scaled(v).transfer_seconds(min_bw))`
+    /// — the duration [`crate::plan::worst_case_out_energy`] derives per
+    /// child. The duration is machine-independent (`min_bw` is the
+    /// grid-wide minimum), so it is cached per `(task, child, version)`
+    /// and only the per-machine `transmit_energy` is applied per query,
+    /// in the same child order and fold — bit-identical to the uncached
+    /// expression without its O(fan-in) edge-size lookups. Built **only**
+    /// above [`DEMAND_TABLE_MAX`] (below it the demand table already
+    /// amortises the lookups); empty otherwise.
+    out_durs: Vec<Dur>,
+    /// Child-slice offsets into [`SimState::out_durs`], length
+    /// `tasks + 1` when built.
+    out_offsets: Vec<u32>,
+    /// Per-`(task, version)` upper bound on the §IV demand across every
+    /// machine (`demand_ub[t * 2 + version] ≥ demand_of(t, v, j)` for
+    /// all `j`), built alongside [`SimState::out_durs`] for above-cap
+    /// scenarios. The batch gate compares it against the afford limit
+    /// first: a bound under the limit proves feasibility without
+    /// evaluating the per-machine demand — the common case on grids
+    /// whose batteries are far from exhaustion, which is exactly where
+    /// the lazy demand path would otherwise be the hottest loop. The
+    /// bound is the sum of the machine-wise maxima of the two demand
+    /// summands; `f64` addition and `max` are monotone, so
+    /// `bound ≤ limit` implies `demand ≤ limit` exactly and the gate's
+    /// accept/reject set is unchanged bit for bit.
+    demand_ub: Vec<Energy>,
     t100: usize,
     aet: Time,
+    /// The grid's total system energy (`TSE`), static per scenario but
+    /// an O(machines) sum — computed once here because the objective
+    /// normalises by it on every plan evaluation.
+    tse: Energy,
+    /// Per-revision `TEC` memo; see [`TecMemo`].
+    tec_memo: TecMemo,
     /// Bumped by every mutation; see the module docs.
     revision: u64,
 }
@@ -250,6 +346,9 @@ impl<'a> SimState<'a> {
             mut ready,
             mut lost,
             mut demand,
+            mut out_durs,
+            mut out_offsets,
+            mut demand_ub,
         } = buffers;
         for timelines in [&mut compute, &mut tx, &mut rx] {
             for tl in timelines.iter_mut() {
@@ -265,7 +364,9 @@ impl<'a> SimState<'a> {
         lost.clear();
         lost.resize(m, None);
         demand.clear();
-        demand.reserve(n * m * 2);
+        out_durs.clear();
+        out_offsets.clear();
+        demand_ub.clear();
         let mut state = SimState {
             sc,
             compute,
@@ -277,19 +378,87 @@ impl<'a> SimState<'a> {
             ready,
             lost,
             demand: Vec::new(),
+            out_durs: Vec::new(),
+            out_offsets: Vec::new(),
+            demand_ub: Vec::new(),
             t100: 0,
             aet: Time::ZERO,
+            tse: sc.grid.total_system_energy(),
+            tec_memo: TecMemo::default(),
             revision: 0,
         };
         // Precompute the static feasibility-demand table (see the field
         // docs) with the exact expression `version_feasible` used to
         // evaluate per query, so the cached values are bit-identical.
-        for t in sc.dag.tasks() {
-            for j in sc.grid.ids() {
-                for v in Version::BOTH {
-                    demand.push(state.exec_energy(t, v, j) + state.worst_case_out_energy(t, v, j));
+        // Above the size cap the table is skipped and the same expression
+        // is evaluated lazily per query ([`SimState::feasibility_demand`])
+        // — bit-identical by construction, since both paths call
+        // [`SimState::demand_of`].
+        if n * m * 2 <= DEMAND_TABLE_MAX {
+            demand.reserve(n * m * 2);
+            for t in sc.dag.tasks() {
+                for j in sc.grid.ids() {
+                    for v in Version::BOTH {
+                        demand.push(state.demand_of(t, v, j));
+                    }
                 }
             }
+        } else {
+            // Above the cap every gate query evaluates the demand lazily;
+            // precompute the machine-independent per-(child, version)
+            // worst-case transfer durations (see the field docs) so the
+            // lazy path pays one `transmit_energy` per child instead of
+            // an edge-size lookup plus the ceil division.
+            let min_bw = sc.grid.min_bandwidth_mbps();
+            out_durs.reserve(sc.dag.edge_count() * 2);
+            out_offsets.reserve(n + 1);
+            out_offsets.push(0);
+            for t in sc.dag.tasks() {
+                for &c in sc.dag.children(t) {
+                    let size = sc.data.edge(&sc.dag, t, c);
+                    for v in Version::BOTH {
+                        let scaled = size.scaled(v.data_factor());
+                        out_durs.push(Dur::from_seconds_ceil(scaled.transfer_seconds(min_bw)));
+                    }
+                }
+                out_offsets.push(out_durs.len() as u32 / 2);
+            }
+            state.out_durs = out_durs;
+            state.out_offsets = out_offsets;
+            // Grid-wide demand upper bound per (task, version) — see the
+            // field docs. `transmit_energy` is linear in the machine's
+            // communication power, so the shipment summand is maximised
+            // machine-wise by the highest-power machine applied to the
+            // same cached durations; the execution summand is maximised
+            // by direct scan.
+            let worst_comm = sc
+                .grid
+                .ids()
+                .max_by(|&a, &b| {
+                    let ea = sc.grid.machine(a).transmit_energy(Dur(1)).units();
+                    let eb = sc.grid.machine(b).transmit_energy(Dur(1)).units();
+                    ea.partial_cmp(&eb).expect("powers are finite")
+                })
+                .expect("grids are non-empty");
+            let worst_spec = sc.grid.machine(worst_comm);
+            demand_ub.reserve(n * 2);
+            for t in sc.dag.tasks() {
+                for v in Version::BOTH {
+                    let exec_max = sc
+                        .grid
+                        .ids()
+                        .map(|j| state.exec_energy(t, v, j).units())
+                        .fold(0.0f64, f64::max);
+                    let lo = state.out_offsets[t.0] as usize;
+                    let hi = state.out_offsets[t.0 + 1] as usize;
+                    let vbit = usize::from(!v.is_primary());
+                    let ship_max: Energy = (lo..hi)
+                        .map(|i| worst_spec.transmit_energy(state.out_durs[i * 2 + vbit]))
+                        .sum();
+                    demand_ub.push(Energy(exec_max) + ship_max);
+                }
+            }
+            state.demand_ub = demand_ub;
         }
         state.demand = demand;
         state
@@ -309,6 +478,9 @@ impl<'a> SimState<'a> {
             ready,
             lost,
             demand,
+            out_durs,
+            out_offsets,
+            demand_ub,
             ..
         } = self;
         StateBuffers {
@@ -321,12 +493,38 @@ impl<'a> SimState<'a> {
             ready,
             lost,
             demand,
+            out_durs,
+            out_offsets,
+            demand_ub,
         }
     }
 
     /// Index into [`SimState::demand`]: versions alternate fastest.
     fn demand_idx(&self, t: TaskId, v: Version, j: MachineId) -> usize {
         (t.0 * self.sc.grid.len() + j.0) * 2 + usize::from(!v.is_primary())
+    }
+
+    /// The §IV demand expression: execution plus worst-case shipment of
+    /// every output item. This is the **single definition** both the
+    /// precomputed table and the above-cap lazy path evaluate, which is
+    /// what makes the two serving modes bit-identical. When the
+    /// per-(child, version) worst-duration cache is built (above-cap
+    /// scenarios only), the shipment sum applies `transmit_energy` to
+    /// the cached durations in the same child order and fold as
+    /// [`crate::plan::worst_case_out_energy`] — identical values, no
+    /// edge-size lookups.
+    fn demand_of(&self, t: TaskId, v: Version, j: MachineId) -> Energy {
+        if self.out_durs.is_empty() {
+            return self.exec_energy(t, v, j) + self.worst_case_out_energy(t, v, j);
+        }
+        let spec = self.sc.grid.machine(j);
+        let lo = self.out_offsets[t.0] as usize;
+        let hi = self.out_offsets[t.0 + 1] as usize;
+        let vbit = usize::from(!v.is_primary());
+        let shipped: Energy = (lo..hi)
+            .map(|i| spec.transmit_energy(self.out_durs[i * 2 + vbit]))
+            .sum();
+        self.exec_energy(t, v, j) + shipped
     }
 
     /// The monotonic mutation counter: 0 for a fresh state, incremented
@@ -483,10 +681,79 @@ impl<'a> SimState<'a> {
 
     /// The total energy mapping `(t, v)` on `j` must be able to afford:
     /// execution plus the §IV worst-case shipment of every output item.
-    /// Served from the precomputed static table — see
+    /// Served from the precomputed static table when one was built, and
+    /// evaluated lazily (same expression, bit-identical values) for
+    /// scenarios above the table-size cap — see
     /// [`SimState::version_feasible`].
     pub fn feasibility_demand(&self, t: TaskId, v: Version, j: MachineId) -> Energy {
+        if self.demand.is_empty() {
+            return self.demand_of(t, v, j);
+        }
         self.demand[self.demand_idx(t, v, j)]
+    }
+
+    /// Batch §IV feasibility pre-mask: append to `out` every task of
+    /// `tasks` (order preserved) whose `(t, v)` mapping is feasible on
+    /// `j`. Equivalent to filtering by [`SimState::version_feasible`],
+    /// but the liveness check and the ledger's affordability threshold
+    /// are hoisted out of the loop, so the table-backed path is one flat
+    /// strided pass over the demand array with a single compare per
+    /// candidate — the shape the scale kernel gates whole cluster
+    /// frontiers with.
+    pub fn feasible_candidates(
+        &self,
+        tasks: &[TaskId],
+        v: Version,
+        j: MachineId,
+        out: &mut Vec<TaskId>,
+    ) {
+        if !self.is_alive(j) {
+            return;
+        }
+        let limit = self.ledger.afford_limit(j);
+        if self.demand.is_empty() {
+            // Above-cap lazy path: the grid-wide per-(task, version)
+            // demand bound settles most candidates with one compare; the
+            // exact per-machine demand is only evaluated when the bound
+            // is inconclusive. Same accept set either way — the bound
+            // dominates the demand (see [`SimState::demand_ub`]).
+            let vbit = usize::from(!v.is_primary());
+            out.extend(tasks.iter().copied().filter(|&t| {
+                self.demand_ub[t.0 * 2 + vbit].units() <= limit
+                    || self.demand_of(t, v, j).units() <= limit
+            }));
+            return;
+        }
+        let stride = self.sc.grid.len() * 2;
+        let base = j.0 * 2 + usize::from(!v.is_primary());
+        out.extend(
+            tasks
+                .iter()
+                .copied()
+                .filter(|&t| self.demand[t.0 * stride + base].units() <= limit),
+        );
+    }
+
+    /// Whether *any* task of `tasks` passes the `(v, j)` feasibility
+    /// gate — [`SimState::feasible_candidates`] with an early exit and no
+    /// output, for emptiness probes (the clock loop's stuck check).
+    pub fn any_feasible_candidate(&self, tasks: &[TaskId], v: Version, j: MachineId) -> bool {
+        if !self.is_alive(j) {
+            return false;
+        }
+        let limit = self.ledger.afford_limit(j);
+        if self.demand.is_empty() {
+            let vbit = usize::from(!v.is_primary());
+            return tasks.iter().any(|&t| {
+                self.demand_ub[t.0 * 2 + vbit].units() <= limit
+                    || self.demand_of(t, v, j).units() <= limit
+            });
+        }
+        let stride = self.sc.grid.len() * 2;
+        let base = j.0 * 2 + usize::from(!v.is_primary());
+        tasks
+            .iter()
+            .any(|&t| self.demand[t.0 * stride + base].units() <= limit)
     }
 
     /// The energy feasibility test for mapping `(t, v)` on `j`: the
@@ -498,7 +765,20 @@ impl<'a> SimState<'a> {
     /// is static for the whole run and served from a lookup table; only
     /// liveness and the machine's remaining energy are read live.
     pub fn version_feasible(&self, t: TaskId, v: Version, j: MachineId) -> bool {
-        self.is_alive(j) && self.ledger.can_afford(j, self.feasibility_demand(t, v, j))
+        if !self.is_alive(j) {
+            return false;
+        }
+        // Above-cap fast accept: affording the grid-wide demand bound
+        // proves affording the per-machine demand (same monotonicity
+        // argument as the batch gate).
+        if !self.demand_ub.is_empty()
+            && self
+                .ledger
+                .can_afford(j, self.demand_ub[t.0 * 2 + usize::from(!v.is_primary())])
+        {
+            return true;
+        }
+        self.ledger.can_afford(j, self.feasibility_demand(t, v, j))
     }
 
     /// Plan mapping `(t, v)` onto `j` under `placement`. Pure: no state
@@ -508,6 +788,60 @@ impl<'a> SimState<'a> {
     /// Panics if `t` is mapped or any parent of `t` is unmapped.
     pub fn plan(&self, t: TaskId, v: Version, j: MachineId, placement: Placement) -> MappingPlan {
         plan::plan_mapping(self, t, v, j, placement, &mut PlanScratch::default())
+    }
+
+    /// A lower bound on the execution start any [`Placement::Append`]
+    /// plan for `t` on `j` at clock `not_before` can achieve — each term
+    /// the planner enforces (parent finishes, minimum cross-machine
+    /// transfer durations, the machine's compute availability), without
+    /// the channel-contention gap search, which can only push the start
+    /// later. O(parents) arithmetic against an O(|timeline| log) full
+    /// plan: the scale kernel uses it to discard candidates that cannot
+    /// make the receding horizon before paying for a placement search.
+    ///
+    /// # Panics
+    /// Panics if any parent of `t` is unmapped.
+    pub fn start_floor(&self, t: TaskId, j: MachineId, not_before: Time) -> Time {
+        self.candidate_floor_cost(t, j, not_before).0
+    }
+
+    /// [`SimState::start_floor`] plus the total transmit energy the
+    /// plan's incoming cross-machine transfers would charge — both need
+    /// the same walk over `t`'s parents, and the scale kernel wants both
+    /// per probe. The energy is accumulated in parent order with the
+    /// same expression the planner uses, so it is bit-identical to a
+    /// [`MappingPlan`]'s `transfers` energy sum; it is independent of
+    /// the execution start (transfer durations depend only on sizes and
+    /// link rates), which is what makes the objective boundable without
+    /// a placement search.
+    ///
+    /// # Panics
+    /// Panics if any parent of `t` is unmapped.
+    pub fn candidate_floor_cost(
+        &self,
+        t: TaskId,
+        j: MachineId,
+        not_before: Time,
+    ) -> (Time, Energy) {
+        let sc = self.sc;
+        let mut floor = not_before.max(self.compute_ready(j));
+        let mut tx_energy = Energy::ZERO;
+        for &p in sc.dag.parents(t) {
+            let pa = self
+                .schedule()
+                .assignment(p)
+                .unwrap_or_else(|| panic!("parent {p} of {t} is not mapped"));
+            if pa.machine == j {
+                floor = floor.max(pa.finish());
+                continue;
+            }
+            let size = sc.data.edge(&sc.dag, p, t).scaled(pa.version.data_factor());
+            let from_spec = sc.grid.machine(pa.machine);
+            let dur = from_spec.transfer_dur(sc.grid.machine(j), size);
+            floor = floor.max(pa.finish().max(not_before) + dur);
+            tx_energy += from_spec.transmit_energy(dur);
+        }
+        (floor, tx_energy)
     }
 
     /// [`SimState::plan`] with caller-provided scratch buffers, for tight
@@ -750,6 +1084,22 @@ impl<'a> SimState<'a> {
         }
     }
 
+    /// Total energy committed across the grid — the paper's `TEC`.
+    /// Bit-identical to [`EnergyLedger::total_committed`], served from
+    /// the per-revision memo (see [`TecMemo`]): the planner and the
+    /// objective read this once per candidate plan.
+    pub fn tec(&self) -> Energy {
+        if self.tec_memo.rev.load(Ordering::Acquire) == self.revision {
+            return Energy(f64::from_bits(self.tec_memo.bits.load(Ordering::Relaxed)));
+        }
+        let total = self.ledger.total_committed();
+        self.tec_memo
+            .bits
+            .store(total.units().to_bits(), Ordering::Relaxed);
+        self.tec_memo.rev.store(self.revision, Ordering::Release);
+        total
+    }
+
     /// Snapshot the run's metrics.
     pub fn metrics(&self) -> Metrics {
         Metrics {
@@ -757,8 +1107,8 @@ impl<'a> SimState<'a> {
             mapped: self.mapped_count(),
             t100: self.t100,
             aet: self.aet,
-            tec: self.ledger.total_committed(),
-            tse: self.sc.grid.total_system_energy(),
+            tec: self.tec(),
+            tse: self.tse,
             tau: self.sc.tau,
         }
     }
@@ -1135,6 +1485,62 @@ mod tests {
                 reused.schedule().assignment(t),
                 fresh.schedule().assignment(t)
             );
+        }
+    }
+
+    #[test]
+    fn demand_table_matches_the_lazy_expression_bitwise() {
+        // The table and the above-cap lazy path must serve the same
+        // bits: both are defined by `demand_of`, and this pins the table
+        // entries to one fresh evaluation of that expression.
+        let sc = tiny_scenario();
+        let st = SimState::new(&sc);
+        for t in sc.dag.tasks() {
+            for j in sc.grid.ids() {
+                for v in Version::BOTH {
+                    let lazy = st.exec_energy(t, v, j) + st.worst_case_out_energy(t, v, j);
+                    assert_eq!(
+                        st.feasibility_demand(t, v, j).units().to_bits(),
+                        lazy.units().to_bits(),
+                        "table and expression disagree at ({t}, {v:?}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gate_matches_version_feasible() {
+        let sc = tiny_scenario();
+        let mut st = SimState::new(&sc);
+        let tasks: Vec<TaskId> = sc.dag.tasks().collect();
+        let mut out = Vec::new();
+        // Exercise full, partially drained, and dead-machine ledgers.
+        for round in 0..3 {
+            for j in sc.grid.ids() {
+                for v in Version::BOTH {
+                    let expected: Vec<TaskId> = tasks
+                        .iter()
+                        .copied()
+                        .filter(|&t| st.version_feasible(t, v, j))
+                        .collect();
+                    out.clear();
+                    st.feasible_candidates(&tasks, v, j, &mut out);
+                    assert_eq!(out, expected, "round {round}, ({v:?}, {j})");
+                    assert_eq!(
+                        st.any_feasible_candidate(&tasks, v, j),
+                        !expected.is_empty(),
+                        "round {round}, ({v:?}, {j})"
+                    );
+                }
+            }
+            match round {
+                0 => drain_onto_m0(&mut st),
+                1 => {
+                    st.mark_lost(m(0), Time::ZERO);
+                }
+                _ => {}
+            }
         }
     }
 

@@ -35,6 +35,13 @@
 //! seed campaign; the same seed always produces the same scenario and the
 //! same verdict.
 //!
+//! A large-scenario mode ([`scale`], `--scale-seeds N`, capped by
+//! `--scale-max-tasks`) fuzzes the frontier/clustering scale path on
+//! grids far beyond the paper's cases — up to 100k subtasks and 1000
+//! machines — with machine losses mid-run, the invariant oracle battery
+//! on every final state, and a frontier-vs-rebuild differential arm on
+//! cases small enough to afford the quadratic rebuild.
+//!
 //! A second fuzzing target ([`wire`], `--wire-seeds N`) hammers the
 //! broker's wire protocol instead of the churn machinery: generated
 //! typed messages must round-trip bit-exactly through their encodings
@@ -47,12 +54,14 @@
 pub mod gen;
 pub mod oracle;
 pub mod runner;
+pub mod scale;
 pub mod shrink;
 pub mod spec;
 pub mod wire;
 
 pub use gen::generate;
 pub use runner::{run_seed, RunReport};
+pub use scale::{generate_scale, run_scale_seed, ScaleCase, ScaleReport};
 pub use shrink::shrink;
 pub use spec::{CaseSpec, ChurnEvent};
 pub use wire::{fuzz_wire, WireReport};

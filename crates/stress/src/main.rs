@@ -26,6 +26,8 @@ struct Args {
     replay: Option<PathBuf>,
     shrink_budget: usize,
     wire_seeds: u64,
+    scale_seeds: u64,
+    scale_max_tasks: usize,
 }
 
 fn default_corpus() -> PathBuf {
@@ -41,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         shrink_budget: 200,
         wire_seeds: 0,
+        scale_seeds: 0,
+        scale_max_tasks: 16_384,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,11 +59,16 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--shrink-budget" => args.shrink_budget = num(&value("--shrink-budget")?)? as usize,
             "--wire-seeds" => args.wire_seeds = num(&value("--wire-seeds")?)?,
+            "--scale-seeds" => args.scale_seeds = num(&value("--scale-seeds")?)?,
+            "--scale-max-tasks" => {
+                args.scale_max_tasks = num(&value("--scale-max-tasks")?)? as usize
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: stress [--seeds N] [--start-seed S] [--ticks-budget B]\n\
                      \x20             [--corpus DIR] [--shrink-budget N] [--replay FILE]\n\
-                     \x20             [--wire-seeds N]"
+                     \x20             [--wire-seeds N]\n\
+                     \x20             [--scale-seeds N] [--scale-max-tasks T]"
                 );
                 std::process::exit(0);
             }
@@ -145,6 +154,38 @@ fn main() -> ExitCode {
         println!("all {} wire seeds green", args.wire_seeds);
     }
 
+    let mut scale_failing: Vec<u64> = Vec::new();
+    for seed in args.start_seed..args.start_seed + args.scale_seeds {
+        let case = stress::generate_scale(seed, args.scale_max_tasks);
+        let report = stress::run_scale_seed(&case, &mut ctx);
+        if report.passed() {
+            println!(
+                "scale seed {seed}: ok ({} tasks, {} machines, k={}, {} losses, {} mapped, {} steps)",
+                case.tasks,
+                case.machines,
+                case.clusters,
+                case.losses.len(),
+                report.mapped,
+                report.clock_steps
+            );
+            continue;
+        }
+        println!(
+            "scale seed {seed}: FAILED ({} oracle failures) on {} tasks / {} machines / k={}",
+            report.failures.len(),
+            case.tasks,
+            case.machines,
+            case.clusters
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        scale_failing.push(seed);
+    }
+    if args.scale_seeds > 0 && scale_failing.is_empty() {
+        println!("all {} scale seeds green", args.scale_seeds);
+    }
+
     let mut ticks_spent = 0u64;
     let mut ran = 0u64;
     let mut failing: Vec<u64> = Vec::new();
@@ -210,6 +251,10 @@ fn main() -> ExitCode {
     }
     if !wire_failing.is_empty() {
         println!("{} wire seeds failed: {wire_failing:?}", wire_failing.len());
+        return ExitCode::FAILURE;
+    }
+    if !scale_failing.is_empty() {
+        println!("{} scale seeds failed: {scale_failing:?}", scale_failing.len());
         return ExitCode::FAILURE;
     }
     println!("all {ran} seeds green ({ticks_spent} clock steps)");

@@ -13,6 +13,12 @@
 //!   with [`SlrhConfig::without_pool_cache`]. Schedules, metrics and
 //!   disruption logs must be identical, and the work counters must
 //!   satisfy `cached.candidates + cached.cache_hits == scratch.candidates`.
+//! * **incremental frontier vs full rebuild** — the same run with
+//!   [`SlrhConfig::with_frontier`] (single cluster, exact mode). The
+//!   worklist-maintained frontier must replay the per-tick pool rebuild
+//!   bit-for-bit: identical schedule, metrics, disruptions, commit count
+//!   and clock trajectory (work counters legitimately differ — the
+//!   frontier plans fewer candidates; that is the point).
 //! * **fresh vs reused state buffers** for every static baseline.
 //! * **1-thread vs 4-thread** execution of the whole heuristic registry
 //!   under forced rayon pools.
@@ -113,6 +119,25 @@ pub fn run_seed(spec: &CaseSpec, ctx: &mut RunContext) -> RunReport {
             failures.push(f);
         }
 
+        let frontier_cfg = config.with_frontier();
+        let frontier = run_slrh_churn_in(&sc, &frontier_cfg, &losses, &arrivals, ctx);
+        if dynamic_signature(&fresh, false) != dynamic_signature(&frontier, false) {
+            failures.push(format!(
+                "{tag}: differential-frontier: incremental-frontier and rebuild runs diverge"
+            ));
+        }
+        if frontier.stats.commits != fresh.stats.commits
+            || frontier.stats.clock_steps != fresh.stats.clock_steps
+        {
+            failures.push(format!(
+                "{tag}: differential-frontier: trajectory differs ({} commits/{} steps vs {}/{})",
+                frontier.stats.commits,
+                frontier.stats.clock_steps,
+                fresh.stats.commits,
+                fresh.stats.clock_steps,
+            ));
+        }
+
         for f in oracle::check_all(&fresh.state, weights, Some(&config), &losses, &arrivals) {
             failures.push(format!("{tag}: {f}"));
         }
@@ -121,6 +146,7 @@ pub fn run_seed(spec: &CaseSpec, ctx: &mut RunContext) -> RunReport {
         fingerprint.update(&fresh_sig);
         ctx.reclaim(reused.state);
         ctx.reclaim(scratch.state);
+        ctx.reclaim(frontier.state);
         ctx.reclaim(fresh.state);
     }
 
@@ -290,7 +316,7 @@ fn accounting_identity(tag: &str, cached: &RunStats, scratch: &RunStats) -> Opti
 /// the work counters are included (fresh-vs-reused-context must agree on
 /// everything); without, only schedule + metrics + disruptions (the
 /// pool-cache arms legitimately differ in work accounting).
-fn dynamic_signature(out: &DynamicOutcome<'_>, with_stats: bool) -> String {
+pub(crate) fn dynamic_signature(out: &DynamicOutcome<'_>, with_stats: bool) -> String {
     let mut s = String::new();
     push_schedule(&mut s, out.state.schedule());
     push_metrics(&mut s, &out.state.metrics());

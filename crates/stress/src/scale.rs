@@ -1,0 +1,228 @@
+//! Large-scenario fuzz mode: the scale path under churn.
+//!
+//! The main campaign ([`crate::gen`]) stays at paper-sized cases (8–32
+//! tasks) where every heuristic and every differential arm is cheap. This
+//! module fuzzes the other end: thousands to 100k subtasks on grids of up
+//! to 1000 machines, built by [`adhoc_grid::scale::ScaleParams`], driven
+//! through the SLRH frontier path ([`slrh::SlrhConfig::with_scale`]) with
+//! machine losses mid-run. Oracles per seed:
+//!
+//! * **invariants** — the full [`crate::oracle::check_all`] battery on
+//!   the final state (independent validator, churn rules, battery
+//!   conservation, horizon gate, objective recomputation);
+//! * **differential, exact mode** — for cases small enough to afford the
+//!   quadratic rebuild path (≤ [`DIFF_MAX_TASKS`] tasks), the
+//!   single-cluster frontier run must match the per-tick rebuild run
+//!   byte-for-byte (schedule, metrics, disruptions);
+//! * **progress** — a scale run must actually map work (a silently empty
+//!   schedule would pass every conservation oracle).
+//!
+//! Sizes are drawn from a ladder capped by the CLI's `--scale-max-tasks`,
+//! so CI smoke runs stay bounded while the full ladder reaches the
+//! 100k-task / 1000-machine design point.
+
+use adhoc_grid::config::MachineId;
+use adhoc_grid::scale::ScaleParams;
+use adhoc_grid::seed;
+use adhoc_grid::units::Time;
+use lagrange::weights::Weights;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slrh::{run_slrh_churn_in, MachineLossEvent, RunContext, ScaleMode, SlrhConfig, SlrhVariant};
+
+use crate::oracle;
+use crate::runner::dynamic_signature;
+
+/// Seed-stream tag for the scale generator (distinct from
+/// [`crate::gen::STREAM_FUZZ`]).
+pub const STREAM_SCALE: u64 = 0x5CA1E;
+
+/// Largest case the rebuild-vs-frontier differential arm runs on: the
+/// rebuild path is O(|U|·|M|) per tick, so the arm is restricted to
+/// sizes where that is still cheap.
+pub const DIFF_MAX_TASKS: usize = 2048;
+
+/// One generated scale case.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScaleCase {
+    /// The fuzz seed that produced this case.
+    pub seed: u64,
+    /// Subtask count `|T|`.
+    pub tasks: usize,
+    /// Machine count `|M|`.
+    pub machines: usize,
+    /// ETC suite id.
+    pub etc_id: usize,
+    /// DAG suite id.
+    pub dag_id: usize,
+    /// Frontier clustering degree (1 = exact mode).
+    pub clusters: u32,
+    /// Cross-cluster spill delay, ticks.
+    pub spill_after: u64,
+    /// Objective weights.
+    pub weights: Weights,
+    /// Machine losses, `(machine, tick)`.
+    pub losses: Vec<(usize, u64)>,
+}
+
+/// The verdict of one scale seed.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// The case that ran.
+    pub case: ScaleCase,
+    /// Oracle failures; empty = pass.
+    pub failures: Vec<String>,
+    /// Clock steps spent by the frontier run.
+    pub clock_steps: u64,
+    /// Subtasks mapped by the frontier run.
+    pub mapped: usize,
+}
+
+impl ScaleReport {
+    /// True when every oracle passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Deterministically generate the scale case for `fuzz_seed`, with the
+/// task ladder capped at `max_tasks`.
+pub fn generate_scale(fuzz_seed: u64, max_tasks: usize) -> ScaleCase {
+    let mut rng =
+        StdRng::seed_from_u64(seed::derive2(seed::MASTER_SEED, STREAM_SCALE, fuzz_seed));
+
+    // The design-point ladder, capped for bounded (CI smoke) campaigns.
+    const LADDER: [usize; 5] = [1024, 4096, 16_384, 65_536, 100_000];
+    let capped: Vec<usize> = LADDER
+        .iter()
+        .copied()
+        .filter(|&t| t <= max_tasks.max(LADDER[0]))
+        .collect();
+    let tasks = capped[rng.gen_range(0..capped.len())];
+
+    // Machines scale with |T| (≈ 1 per 64–256 subtasks), capped at the
+    // 1000-machine design point.
+    let base = (tasks / 128).max(8);
+    let machines = (base / 2 + rng.gen_range(0..=base)).clamp(8, 1000);
+
+    let clusters = *[1u32, 2, 4, 8, 16]
+        .get(rng.gen_range(0usize..5))
+        .unwrap();
+    let spill_after = *[1u64, 4, 16].get(rng.gen_range(0usize..3)).unwrap();
+
+    let alpha = f64::from(rng.gen_range(8u32..=18)) * 0.05;
+    let beta_max = ((1.0 - alpha) / 0.05).floor() as u32;
+    let beta = f64::from(rng.gen_range(0u32..=beta_max)) * 0.05;
+    let weights = Weights::new(alpha, beta).expect("lattice weights are on the simplex");
+
+    // A few losses mid-run, never losing the whole grid.
+    let tau = ScaleParams::new(tasks, machines).tau().0;
+    let n_losses = rng.gen_range(0usize..=3.min(machines - 1));
+    let mut losses = Vec::new();
+    let mut lost = std::collections::HashSet::new();
+    while losses.len() < n_losses {
+        let m = rng.gen_range(0..machines);
+        if lost.insert(m) {
+            losses.push((m, rng.gen_range(1..=tau)));
+        }
+    }
+
+    ScaleCase {
+        seed: fuzz_seed,
+        tasks,
+        machines,
+        etc_id: rng.gen_range(0usize..10),
+        dag_id: rng.gen_range(0usize..10),
+        clusters,
+        spill_after,
+        weights,
+        losses,
+    }
+}
+
+/// Run one scale case through every oracle.
+pub fn run_scale_seed(case: &ScaleCase, ctx: &mut RunContext) -> ScaleReport {
+    let sc = ScaleParams::new(case.tasks, case.machines).generate(case.etc_id, case.dag_id);
+    let losses: Vec<MachineLossEvent> = case
+        .losses
+        .iter()
+        .map(|&(m, at)| MachineLossEvent {
+            machine: MachineId(m),
+            at: Time(at),
+        })
+        .collect();
+
+    let config = SlrhConfig::paper(SlrhVariant::V1, case.weights).with_scale(ScaleMode {
+        clusters: case.clusters,
+        spill_after: case.spill_after,
+    });
+
+    let mut failures = Vec::new();
+    let frontier = run_slrh_churn_in(&sc, &config, &losses, &[], ctx);
+    let metrics = frontier.state.metrics();
+    if metrics.mapped == 0 {
+        failures.push("scale: progress: the frontier run mapped nothing".to_string());
+    }
+    for f in oracle::check_all(&frontier.state, case.weights, Some(&config), &losses, &[]) {
+        failures.push(format!("scale: {f}"));
+    }
+
+    // Exact-mode differential: at k = 1 the frontier is a pure
+    // optimization of the rebuild path and must replay it bit-for-bit.
+    // Bounded to sizes where the rebuild arm is affordable.
+    if case.tasks <= DIFF_MAX_TASKS && case.clusters == 1 {
+        let rebuild_cfg = SlrhConfig::paper(SlrhVariant::V1, case.weights);
+        let rebuild = run_slrh_churn_in(&sc, &rebuild_cfg, &losses, &[], ctx);
+        if dynamic_signature(&frontier, false) != dynamic_signature(&rebuild, false) {
+            failures.push(
+                "scale: differential-frontier: incremental-frontier and rebuild runs diverge"
+                    .to_string(),
+            );
+        }
+        ctx.reclaim(rebuild.state);
+    }
+
+    let clock_steps = frontier.stats.clock_steps;
+    ctx.reclaim(frontier.state);
+    failures.sort();
+    failures.dedup();
+    ScaleReport {
+        case: case.clone(),
+        failures,
+        clock_steps,
+        mapped: metrics.mapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_case() {
+        for s in 0..32 {
+            assert_eq!(generate_scale(s, 4096), generate_scale(s, 4096));
+        }
+    }
+
+    #[test]
+    fn ladder_respects_the_cap() {
+        for s in 0..64 {
+            let c = generate_scale(s, 4096);
+            assert!(c.tasks <= 4096, "seed {s}: {} tasks", c.tasks);
+            assert!(c.machines >= 8 && c.machines <= 1000);
+            assert!(c.losses.len() < c.machines);
+        }
+    }
+
+    #[test]
+    fn a_small_scale_case_runs_green() {
+        // Forced-small campaign: every ladder entry is the 1024 floor, so
+        // this stays fast in debug builds.
+        let mut ctx = RunContext::new();
+        let case = generate_scale(5, 1024);
+        let report = run_scale_seed(&case, &mut ctx);
+        assert!(report.passed(), "{:#?}", report.failures);
+        assert!(report.mapped > 0);
+    }
+}

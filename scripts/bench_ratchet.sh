@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Scale-path performance ratchet: fails when the incremental-frontier
+# path regresses against the pool path or the 65k wall-clock ceiling.
+#
+#   scripts/bench_ratchet.sh           # one interleaved A/B round + 65k smoke
+#   scripts/bench_ratchet.sh --smoke   # 65k smoke only (fast CI lane)
+#
+# The recorded numbers live in BENCH_scale.json; regenerate with
+#   cargo run -p bench --release --bin scale_ab
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="--check"
+if [[ "${1:-}" == "--smoke" ]]; then
+    mode="--smoke"
+fi
+
+cargo build --release -p bench
+exec cargo run -p bench --release --bin scale_ab -- "$mode"

@@ -86,4 +86,4 @@ pub use slrh;
 pub mod cli;
 
 pub use gridsim::MappingOutcome;
-pub use slrh::{run_slrh, ConfigError, SlrhConfig, SlrhConfigBuilder, SlrhVariant};
+pub use slrh::{run_slrh, ConfigError, ScaleMode, SlrhConfig, SlrhConfigBuilder, SlrhVariant};
