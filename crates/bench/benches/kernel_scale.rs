@@ -33,6 +33,11 @@ fn weights() -> Weights {
 /// home-cluster width constant as the grid grows.
 const SIZES: [(usize, usize, u32); 3] = [(1024, 16, 4), (16_384, 64, 8), (65_536, 256, 16)];
 
+/// The ROADMAP design point. One frontier run is ~20 s, so criterion
+/// only touches it when `BENCH_SCALE_100K=1` is set (the scale_ab
+/// binary records it unconditionally).
+const DESIGN_POINT: (usize, usize, u32) = (100_000, 1000, 64);
+
 fn bench_frontier(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernel_scale");
     g.sample_size(10);
@@ -41,7 +46,23 @@ fn bench_frontier(c: &mut Criterion) {
         let cfg = SlrhConfig::paper(SlrhVariant::V1, weights()).with_scale(ScaleMode {
             clusters,
             spill_after: 8,
+            ..ScaleMode::default()
         });
+        g.bench_with_input(
+            BenchmarkId::new("frontier", format!("{tasks}x{machines}")),
+            &sc,
+            |b, sc| b.iter(|| run_slrh(sc, &cfg).metrics()),
+        );
+    }
+    if std::env::var_os("BENCH_SCALE_100K").is_some_and(|v| v == "1") {
+        let (tasks, machines, clusters) = DESIGN_POINT;
+        let sc = ScaleParams::new(tasks, machines).generate(0, 0);
+        let cfg = SlrhConfig::paper(SlrhVariant::V1, weights()).with_scale(ScaleMode {
+            clusters,
+            spill_after: 8,
+            ..ScaleMode::default()
+        });
+        g.sample_size(10);
         g.bench_with_input(
             BenchmarkId::new("frontier", format!("{tasks}x{machines}")),
             &sc,

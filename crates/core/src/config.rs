@@ -195,6 +195,21 @@ pub struct ScaleMode {
     /// Ticks a ready candidate stays visible only to its home cluster
     /// before spilling to every cluster.
     pub spill_after: u64,
+    /// Worker threads for the intra-tick candidate scan. `0` (the
+    /// default) inherits the `compat/rayon` thread count
+    /// (`RAYON_NUM_THREADS` / pool override) at frontier construction.
+    /// Purely an *execution* knob: the scan is chunked so every computed
+    /// value is independent of the chunking, making the committed
+    /// schedule — and even the run stats — bit-identical at any thread
+    /// count.
+    pub scan_threads: u32,
+    /// Serve queries from per-(machine, list) cached bound orders
+    /// (sorted candidate permutations maintained incrementally off the
+    /// delta stream and floor raises) instead of re-filtering and
+    /// re-sorting from scratch each query. Output-identical either way;
+    /// `false` is only useful as a measurement baseline and as the
+    /// differential oracle's reference arm.
+    pub cached_orders: bool,
 }
 
 impl Default for ScaleMode {
@@ -203,6 +218,8 @@ impl Default for ScaleMode {
         ScaleMode {
             clusters: 1,
             spill_after: 8,
+            scan_threads: 0,
+            cached_orders: true,
         }
     }
 }
@@ -483,6 +500,15 @@ impl std::fmt::Display for SlrhConfig {
                 "; frontier=on; clusters={}; spill={}",
                 s.clusters, s.spill_after
             )?;
+            // Newer knobs are emitted only when non-default so every
+            // pre-existing rendering (fixtures, wire frames, checkpoint
+            // fingerprints) stays byte-identical.
+            if s.scan_threads != 0 {
+                write!(f, "; scan={}", s.scan_threads)?;
+            }
+            if !s.cached_orders {
+                write!(f, "; orders=off")?;
+            }
         }
         Ok(())
     }
@@ -513,6 +539,8 @@ impl std::str::FromStr for SlrhConfig {
         let mut frontier_on: Option<bool> = None;
         let mut scale_clusters: Option<u32> = None;
         let mut scale_spill: Option<u64> = None;
+        let mut scale_scan: Option<u32> = None;
+        let mut scale_orders: Option<bool> = None;
         for part in parts {
             if part.is_empty() {
                 continue;
@@ -574,6 +602,14 @@ impl std::str::FromStr for SlrhConfig {
                             .map_err(|e| format!("bad spill {value:?}: {e}"))?,
                     )
                 }
+                "scan" => {
+                    scale_scan = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("bad scan {value:?}: {e}"))?,
+                    )
+                }
+                "orders" => scale_orders = Some(parse_on_off("orders", value)?),
                 other => return Err(format!("unknown SLRH config component {other:?}")),
             }
         }
@@ -613,6 +649,8 @@ impl std::str::FromStr for SlrhConfig {
                 let scale = ScaleMode {
                     clusters: scale_clusters.unwrap_or(defaults.clusters),
                     spill_after: scale_spill.unwrap_or(defaults.spill_after),
+                    scan_threads: scale_scan.unwrap_or(defaults.scan_threads),
+                    cached_orders: scale_orders.unwrap_or(defaults.cached_orders),
                 };
                 scale.check().map_err(|e| e.to_string())?;
                 config.scale = Some(scale);
@@ -623,6 +661,8 @@ impl std::str::FromStr for SlrhConfig {
                 for (key, present) in [
                     ("clusters", scale_clusters.is_some()),
                     ("spill", scale_spill.is_some()),
+                    ("scan", scale_scan.is_some()),
+                    ("orders", scale_orders.is_some()),
                 ] {
                     if present {
                         return Err(format!(
@@ -950,10 +990,26 @@ mod tests {
         c.scale = Some(ScaleMode {
             clusters: 16,
             spill_after: 4,
+            ..ScaleMode::default()
         });
         let text = c.to_string();
         assert!(text.ends_with("; frontier=on; clusters=16; spill=4"), "{text}");
         let back: SlrhConfig = text.parse().expect("scale config parses");
+        assert_eq!(back, c);
+        // Non-default scan/orders knobs round-trip and stay absent at
+        // their defaults (fixture byte-identity).
+        c.scale = Some(ScaleMode {
+            clusters: 16,
+            spill_after: 4,
+            scan_threads: 4,
+            cached_orders: false,
+        });
+        let text = c.to_string();
+        assert!(
+            text.ends_with("; frontier=on; clusters=16; spill=4; scan=4; orders=off"),
+            "{text}"
+        );
+        let back: SlrhConfig = text.parse().expect("scan/orders config parses");
         assert_eq!(back, c);
         // The legacy prefix is untouched.
         assert!(text.starts_with(
@@ -979,6 +1035,8 @@ mod tests {
             "SLRH-1; w=(0.5, 0.3); clusters=4",
             "SLRH-1; w=(0.5, 0.3); spill=2",
             "SLRH-1; w=(0.5, 0.3); frontier=off; clusters=4",
+            "SLRH-1; w=(0.5, 0.3); scan=4",
+            "SLRH-1; w=(0.5, 0.3); orders=off",
         ] {
             let err = s.parse::<SlrhConfig>().unwrap_err();
             assert!(err.contains("requires frontier=on"), "{s}: {err}");
@@ -994,7 +1052,7 @@ mod tests {
         let bad = SlrhConfig::builder(SlrhVariant::V1, w)
             .scale(Some(ScaleMode {
                 clusters: 0,
-                spill_after: 8,
+                ..ScaleMode::default()
             }))
             .build();
         assert_eq!(bad.unwrap_err(), ConfigError::ZeroClusters);

@@ -69,7 +69,8 @@
 //! identity on every generated case; `clusters > 1` intentionally
 //! trades that identity for the ÷k candidate count.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use adhoc_grid::config::MachineId;
 use adhoc_grid::task::{TaskId, Version};
@@ -91,6 +92,124 @@ const ABSENT: u32 = u32::MAX;
 /// for an opt-in scale run; past the cap the cache is disabled (every
 /// probe recomputes, bit-identical results, no memory cliff).
 const FLOOR_CACHE_MAX: usize = 1 << 25;
+
+/// Global cap on live cached-order entries (alive + floor-deferred)
+/// across every per-(machine, list) view, in entries (16 bytes each).
+/// A view whose drain would push the total past the cap is *shed*: its
+/// storage is released and its list is served by the per-query resort
+/// scan until the next epoch, so worst-case memory is bounded without a
+/// correctness cliff — the resort scan is the same bit-exact path the
+/// `cached_orders = false` ablation runs.
+const VIEW_ENTRY_CAP: usize = 1 << 23;
+
+/// Minimum combined upper-bound evaluations per query before the eval
+/// batch is chunked over scan workers; below it the per-thread spawn
+/// cost (~tens of µs) outweighs the arithmetic and the batch runs
+/// inline. Chunking is execution-only: every job computes the same
+/// `(index, task)` result at any worker count.
+const PAR_EVAL_MIN: usize = 2048;
+
+/// One alive candidate in a per-(machine, list) cached bound order:
+/// the §IV-gate-passing, floor-admissible startable task `t` with the
+/// objective upper bound any plan for it could reach on the view's
+/// machine. `gen` is the task's startable generation
+/// ([`Frontier::sgen`]) at entry time; a mismatch means the task left
+/// the frontier (or was re-inserted) and the entry is stale.
+#[derive(Copy, Clone)]
+struct ViewEntry {
+    /// Objective upper bound (same arithmetic as the resort scan).
+    ub: f64,
+    /// Task id (task counts fit u32 at every supported scale).
+    t: u32,
+    /// [`Frontier::sgen`] stamp at entry time.
+    gen: u32,
+    /// Smallest / largest chosen exec duration (ticks) over the
+    /// versions the bound maximises — per-entry drift is evaluated at
+    /// both (the drift is monotone in the duration, so the pair bounds
+    /// every considered version).
+    dlo: u64,
+    dhi: u64,
+    /// The metric basis `ub` was computed at. Per-entry bases make the
+    /// refined drift bound exact-to-ulps for entries evaluated *after*
+    /// the view's last full refresh (log newcomers, lazy write-backs),
+    /// which the view-level snapshot would over-charge by the whole
+    /// drift since the refresh.
+    b_t100: u32,
+    b_tec: f64,
+    b_aet: u64,
+    b_h: u64,
+}
+
+/// A per-(machine, visible-list) cached bound order: the sorted alive
+/// permutation (`entries`, ordered ub desc / task asc), the candidates
+/// excluded because their known start floor sits past the horizon
+/// (`deferred`, revived when the horizon catches up), and the cursor
+/// into the list's append-only startable log. Maintained incrementally
+/// off [`StateDelta`] inserts/removes and floor raises; invalidated
+/// wholesale by an epoch bump (rebuilds, unmap deltas, horizon
+/// regression) and per machine by a §IV gate-row flush.
+struct View {
+    /// Matches [`Frontier::view_epoch`] when structurally valid.
+    epoch: u64,
+    /// [`SimState::revision`] the membership was last reconciled at.
+    struct_rev: u64,
+    /// Consumed prefix of the list's startable log.
+    log_cursor: usize,
+    /// Alive candidates, sorted (ub desc, task asc) after each sync.
+    entries: Vec<ViewEntry>,
+    /// Floor-excluded candidates as `Reverse((floor, task, gen))`:
+    /// popped back into the alive set once `horizon_end ≥ floor`.
+    deferred: BinaryHeap<Reverse<(Time, u32, u32)>>,
+    /// Newcomers accepted this sync, awaiting their ub evaluation.
+    pend: Vec<(u32, u32)>,
+    /// Objective identity behind the cached `ub` values (weights adapt
+    /// online in some modes without a state revision bump). `None`
+    /// marks a view with no valid value snapshot — the next query
+    /// refreshes in full.
+    ub_obj: Option<Objective>,
+    /// `T100` at the last full refresh — drift-bound input.
+    t100_snap: usize,
+    tec_snap: f64,
+    /// `AET` at the last full refresh — drift-bound input.
+    aet_snap: Time,
+    /// Horizon end at the last full refresh — drift-bound input.
+    h_snap: Time,
+    /// Set when the last scan visited enough entries that resetting
+    /// the drift (a full refresh) is cheaper than lazy re-evaluation.
+    refresh: bool,
+    /// Shed by the memory cap: serve this list via the resort scan
+    /// until the next epoch.
+    overflow: bool,
+}
+
+impl Default for View {
+    fn default() -> View {
+        View {
+            epoch: 0,
+            struct_rev: 0,
+            log_cursor: 0,
+            entries: Vec::new(),
+            deferred: BinaryHeap::new(),
+            pend: Vec::new(),
+            ub_obj: None,
+            t100_snap: 0,
+            tec_snap: 0.0,
+            aet_snap: Time::ZERO,
+            h_snap: Time::ZERO,
+            refresh: false,
+            overflow: false,
+        }
+    }
+}
+
+impl View {
+    /// Strict (ub desc, task asc) ordering — the same total order the
+    /// resort scan sorts by, so a two-way merge of per-list slices
+    /// replays the global sort exactly.
+    fn entry_before(a: &ViewEntry, b: &ViewEntry) -> bool {
+        a.ub > b.ub || (a.ub == b.ub && a.t < b.t)
+    }
+}
 
 /// The live candidate frontier: every ready task, partitioned into
 /// per-cluster lists plus the shared spill list. See the module docs.
@@ -195,6 +314,73 @@ pub(crate) struct Frontier {
     /// the same events that clear the start-floor cache. Starts at 1 so
     /// stamp 0 is always stale.
     ptuple_gen: u64,
+
+    // ---- cached-bound-order machinery (ScaleMode::cached_orders) ----
+    /// Query path selector: cached per-(machine, list) bound orders
+    /// (default) vs the per-query resort scan (reference / ablation).
+    cached_orders: bool,
+    /// Resolved intra-query scan worker cap (`ScaleMode::scan_threads`,
+    /// 0 inheriting the compat/rayon thread count). Execution-only: it
+    /// bounds how many workers the eval batch may chunk over and can
+    /// never change a computed value.
+    scan_workers: usize,
+    /// Generation counter for views, logs and per-list startability
+    /// structures; bumped by rebuilds, unmap deltas and (defensively)
+    /// horizon regression. Starts at 1 so every epoch-0 structure is
+    /// born stale.
+    view_epoch: u64,
+    /// Per-task startable generation, bumped on every (re)insert; log,
+    /// waiting and view entries carry the generation they were made at
+    /// and are stale on mismatch.
+    sgen: Vec<u32>,
+    /// The [`Frontier::view_epoch`] each list's log/waiting/fresh
+    /// structures are valid for.
+    list_epoch: Vec<u64>,
+    /// Per-list inserts not yet scored against the horizon
+    /// (`(task, gen)`, drained by [`Frontier::sync_list`]).
+    fresh: Vec<Vec<(TaskId, u32)>>,
+    /// Per-list candidates whose start lower bound still exceeds the
+    /// horizon (`(lb, task, gen)`, sorted lb-descending so the tail is
+    /// the next to become startable). Each candidate is scored once per
+    /// list residence instead of once per tick.
+    waiting: Vec<Vec<(Time, TaskId, u32)>>,
+    /// Per-list append-only startable log (`(task, gen)`): tasks whose
+    /// lb cleared the horizon, in a deterministic arrival order. Views
+    /// consume it through their cursor; cleared on epoch bumps.
+    slog: Vec<Vec<(TaskId, u32)>>,
+    /// Per-(machine, visible-slot) views: `views[2j]` tracks machine
+    /// `j`'s home-cluster list, `views[2j + 1]` the spill list.
+    views: Vec<View>,
+    /// Per-machine idle latch. A query that returns `None` proves both
+    /// views drained empty (every scanned entry was planned, deferred
+    /// past the horizon, or dropped), so the answer stays `None` until
+    /// something that can resurrect a candidate happens: an epoch
+    /// change, a gate-row flush, a new startable-log arrival on either
+    /// visible list, or the horizon reaching the earliest deferred
+    /// floor. The stamp records exactly those inputs —
+    /// `(epoch, slog_len(l0), slog_len(l1), min deferred floor)`.
+    idle: Vec<Option<(u64, usize, usize, Time)>>,
+    /// Live entries (alive + deferred) across all views, for
+    /// [`VIEW_ENTRY_CAP`].
+    view_entries: usize,
+    /// Last horizon end served (horizon regression ⇒ epoch bump).
+    last_horizon: Time,
+    /// First-seen `allow_secondary` (a flip invalidates cached gate
+    /// results and bounds ⇒ epoch bump).
+    last_secondary: Option<bool>,
+    /// Reusable eval-job buffer for the cached query path.
+    eval_jobs: Vec<u32>,
+    /// Reusable scratch bound orders for shed/resort-served lists.
+    scratch_orders: [Vec<ViewEntry>; 2],
+    /// Reusable per-side removal records from the plan loop: entry
+    /// index plus `Some(floor)` to defer (floor past the horizon) or
+    /// `None` to drop outright (stale or gate-dead).
+    defer_buf: [Vec<(u32, Option<Time>)>; 2],
+    /// Scan write-back scratch: `(entry index, exact ub)` per side.
+    /// Lazily evaluated values are written back with the current metric
+    /// basis, so the next query's per-entry drift starts from zero
+    /// instead of re-paying the evaluation.
+    wb_buf: [Vec<(u32, f64)>; 2],
 }
 
 /// One parent's contribution to the start-floor / transfer-energy probe.
@@ -271,6 +457,27 @@ impl Frontier {
             ptuples: vec![Vec::new(); tasks],
             ptuple_stamp: vec![0; tasks],
             ptuple_gen: 1,
+            cached_orders: mode.cached_orders,
+            scan_workers: if mode.scan_threads == 0 {
+                rayon::current_num_threads()
+            } else {
+                mode.scan_threads as usize
+            },
+            view_epoch: 1,
+            sgen: vec![0; tasks],
+            list_epoch: vec![0; clusters + 1],
+            fresh: vec![Vec::new(); clusters + 1],
+            waiting: vec![Vec::new(); clusters + 1],
+            slog: vec![Vec::new(); clusters + 1],
+            views: (0..machines * 2).map(|_| View::default()).collect(),
+            idle: vec![None; machines],
+            view_entries: 0,
+            last_horizon: Time::ZERO,
+            last_secondary: None,
+            eval_jobs: Vec::new(),
+            scratch_orders: [Vec::new(), Vec::new()],
+            defer_buf: [Vec::new(), Vec::new()],
+            wb_buf: [Vec::new(), Vec::new()],
         };
         for &t in state.ready_tasks() {
             frontier.insert(t);
@@ -293,6 +500,12 @@ impl Frontier {
         self.pos[t.0] = self.lists[li].len() as u32;
         self.lists[li].push(t);
         self.lb[t.0] = Time::MAX;
+        // A (re)insert starts a fresh startable generation: any log,
+        // waiting or view entry carrying the old one is now stale.
+        self.sgen[t.0] = self.sgen[t.0].wrapping_add(1);
+        if self.cached_orders {
+            self.fresh[li].push((t, self.sgen[t.0]));
+        }
         // Reinsertion after a parent remap: the parents' placements may
         // have changed, so any cached costing tuples are stale.
         self.ptuple_stamp[t.0] = 0;
@@ -336,6 +549,12 @@ impl Frontier {
         self.list_of[t.0] = spill;
         self.pos[t.0] = self.lists[spill as usize].len() as u32;
         self.lists[spill as usize].push(t);
+        // Same generation, new list: home-list log/view entries go
+        // stale through the list check; the spill list scores the task
+        // through its own fresh queue (the lb is already cached).
+        if self.cached_orders {
+            self.fresh[spill as usize].push((t, self.sgen[t.0]));
+        }
     }
 
     /// Rebuild the lists from the state's ready set (the resync path —
@@ -354,6 +573,11 @@ impl Frontier {
         self.floor_cache.fill(Time::ZERO);
         self.ptuple_gen = self.ptuple_gen.wrapping_add(1);
         self.stamp = self.stamp.wrapping_add(1);
+        // Every cached bound order is rooted in floors and logs that
+        // just went stale — including the floor copies held by deferred
+        // entries, which would otherwise outlive the cleared
+        // floor cache and wrongly exclude churn-reinserted tasks.
+        self.view_epoch = self.view_epoch.wrapping_add(1);
         for &t in state.ready_tasks() {
             self.insert(t);
         }
@@ -381,15 +605,19 @@ impl Frontier {
 
     /// Validate machine `j`'s gate-rejection row against the current
     /// afford limit (flushing it if the limit rose past the watermark —
-    /// see [`Frontier::gate_limit`]) and return the limit.
-    fn gate_row_guard(&mut self, state: &SimState<'_>, j: MachineId) -> f64 {
+    /// see [`Frontier::gate_limit`]) and return the limit plus whether
+    /// a flush happened (a flush revives bit-excluded candidates, so
+    /// the machine's cached bound orders must rebuild from the log).
+    fn gate_row_guard(&mut self, state: &SimState<'_>, j: MachineId) -> (f64, bool) {
         let limit = state.ledger().afford_limit(j);
+        let mut flushed = false;
         if limit > self.gate_limit[j.0] {
             let row = j.0 * self.gate_row_words;
             self.gate_dead[row..row + self.gate_row_words].fill(0);
             self.gate_limit[j.0] = f64::INFINITY;
+            flushed = true;
         }
-        limit
+        (limit, flushed)
     }
 
     /// True when `(t, j)` is known gate-rejected (only meaningful after
@@ -415,6 +643,14 @@ impl Frontier {
             }
             self.gate_dead[row + t.0 / 64] |= 1 << (t.0 % 64);
         }
+        self.gate_limit[j.0] = self.gate_limit[j.0].min(limit);
+    }
+
+    /// Record one candidate's §IV rejection at `limit` — the lazy
+    /// scan's counterpart of [`Frontier::mark_gate_rejections`], same
+    /// dead bit and watermark semantics.
+    fn mark_gate_rejection(&mut self, t: TaskId, j: MachineId, limit: f64) {
+        self.gate_dead[j.0 * self.gate_row_words + t.0 / 64] |= 1 << (t.0 % 64);
         self.gate_limit[j.0] = self.gate_limit[j.0].min(limit);
     }
 
@@ -508,6 +744,11 @@ impl Frontier {
                 if delta.kind == DeltaKind::Unmap {
                     self.floor_cache.fill(Time::ZERO);
                     self.ptuple_gen = self.ptuple_gen.wrapping_add(1);
+                    // Deferred view entries hold floor copies; cached
+                    // ubs and gate results survive (revision-guarded),
+                    // but the epoch bump is the one mechanism that
+                    // reaches every deferred heap.
+                    self.view_epoch = self.view_epoch.wrapping_add(1);
                 }
                 for &t in &delta.invalidated {
                     self.remove(t);
@@ -591,8 +832,39 @@ impl Frontier {
     /// plan. Replays [`crate::pool::build_pool_with`]'s version choice
     /// and [`crate::pool::Pool::first_startable`]'s selection exactly —
     /// see the module docs.
+    ///
+    /// Two implementations produce the same answer: the cached-order
+    /// path (default) serves each query from incrementally maintained
+    /// per-(machine, list) bound orders, and the resort path rebuilds
+    /// and re-sorts the candidate scoreboard per query. The stress
+    /// harness's differential oracles hold them bit-identical —
+    /// including [`RunStats`] whenever the start-floor cache is active
+    /// (below [`FLOOR_CACHE_MAX`]); past the cap the cached path's
+    /// deferred floors prune re-plans the resort path repeats, so only
+    /// `candidates_evaluated` may drop, never the committed schedule.
     #[allow(clippy::too_many_arguments)]
     pub fn best_startable(
+        &mut self,
+        state: &SimState<'_>,
+        objective: &Objective,
+        j: MachineId,
+        now: Time,
+        horizon_end: Time,
+        allow_secondary: bool,
+        stats: &mut RunStats,
+    ) -> Option<MappingPlan> {
+        if self.cached_orders {
+            self.best_startable_cached(state, objective, j, now, horizon_end, allow_secondary, stats)
+        } else {
+            self.best_startable_resort(state, objective, j, now, horizon_end, allow_secondary, stats)
+        }
+    }
+
+    /// The per-query resort scan: collect → prune → gate → bound →
+    /// sort → plan, from scratch each query. Reference arm for the
+    /// cached-order path and the `cached_orders = false` ablation.
+    #[allow(clippy::too_many_arguments)]
+    fn best_startable_resort(
         &mut self,
         state: &SimState<'_>,
         objective: &Objective,
@@ -632,7 +904,7 @@ impl Frontier {
         let mut gate = std::mem::take(&mut self.gate_buf);
         let mut ubs = std::mem::take(&mut self.ub_buf);
         ubs.clear();
-        let limit = self.gate_row_guard(state, j);
+        let (limit, _) = self.gate_row_guard(state, j);
         for li in self.visible_lists(j) {
             cand.clear();
             self.collect_startable(state, li, horizon_end, &mut cand);
@@ -765,6 +1037,941 @@ impl Frontier {
         best.map(|(_, _, plan)| plan)
     }
 
+    /// Bring list `li`'s startability structures up to the horizon:
+    /// score queued inserts against their start lower bound (into the
+    /// startable log or the lb-sorted waiting set), then drain every
+    /// waiting candidate the advancing horizon has reached into the
+    /// log. Each candidate is scored once per list residence instead
+    /// of being rescanned every tick; the log is the deterministic,
+    /// append-only arrival order all of the list's views consume.
+    fn sync_list(&mut self, state: &SimState<'_>, li: usize, horizon_end: Time) {
+        if self.list_epoch[li] != self.view_epoch {
+            self.fresh[li].clear();
+            self.waiting[li].clear();
+            self.slog[li].clear();
+            for k in 0..self.lists[li].len() {
+                let t = self.lists[li][k];
+                self.fresh[li].push((t, self.sgen[t.0]));
+            }
+            self.list_epoch[li] = self.view_epoch;
+        }
+        if !self.fresh[li].is_empty() {
+            let mut waited = false;
+            for k in 0..self.fresh[li].len() {
+                let (t, g) = self.fresh[li][k];
+                if self.sgen[t.0] != g || self.list_of[t.0] != li as u32 {
+                    continue;
+                }
+                let lb = Self::lb_of(&mut self.lb, state, t);
+                if lb <= horizon_end {
+                    self.slog[li].push((t, g));
+                } else {
+                    self.waiting[li].push((lb, t, g));
+                    waited = true;
+                }
+            }
+            self.fresh[li].clear();
+            if waited {
+                // Descending, so the tail is the next candidate the
+                // horizon will reach; full-tuple order keeps equal-lb
+                // drains deterministic.
+                self.waiting[li].sort_unstable_by(|a, b| b.cmp(a));
+            }
+        }
+        while let Some(&(lb, t, g)) = self.waiting[li].last() {
+            if lb > horizon_end {
+                break;
+            }
+            self.waiting[li].pop();
+            if self.sgen[t.0] == g && self.list_of[t.0] == li as u32 {
+                self.slog[li].push((t, g));
+            }
+        }
+    }
+
+    /// Structural half of a view sync: reconcile membership with the
+    /// current revision, re-gate when the afford limit fell, drain new
+    /// log entries and horizon-reached deferrals into `pend` (gated,
+    /// floor-checked, awaiting ub evaluation), and enforce the memory
+    /// cap. Alive entries keep their sorted order throughout — removal
+    /// preserves relative order, so only appended newcomers can dirty
+    /// it.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_view_structural(
+        &mut self,
+        v: &mut View,
+        state: &SimState<'_>,
+        j: MachineId,
+        li: usize,
+        now: Time,
+        horizon_end: Time,
+        limit: f64,
+        gate_version: Version,
+    ) {
+        if v.epoch != self.view_epoch {
+            self.view_entries -= v.entries.len() + v.deferred.len();
+            v.entries.clear();
+            v.deferred.clear();
+            v.pend.clear();
+            v.log_cursor = 0;
+            v.ub_obj = None;
+            v.refresh = false;
+            v.overflow = false;
+            v.epoch = self.view_epoch;
+        }
+        if v.overflow {
+            return;
+        }
+        v.pend.clear();
+        v.struct_rev = state.revision();
+        // Entries whose §IV gate verdict went stale (the afford limit
+        // falls as commits drain energy) are caught lazily, at scan
+        // time, by a per-candidate demand check — a falling limit can
+        // only *remove* candidates, and a removed candidate's stale ub
+        // stays a valid upper bound for the early-exit logic until the
+        // scan reaches and drops it.
+        // Newcomers from the startable log, in arrival order.
+        let log_len = self.slog[li].len();
+        if v.log_cursor < log_len {
+            for k in v.log_cursor..log_len {
+                let (t, g) = self.slog[li][k];
+                if self.sgen[t.0] != g || self.list_of[t.0] != li as u32 {
+                    continue;
+                }
+                if self.gate_dead_bit(t, j) {
+                    continue;
+                }
+                // Admission floor: the *exact* start floor, not the
+                // lazily-raised cache. Most arrivals are data-bound far
+                // past the horizon; deferring them here (the same
+                // verdict the scan's floor stage would reach, so the
+                // schedule is unchanged) skips the whole
+                // gate/eval/scan pipeline for the deferred mass. The
+                // floor only grows with `now`, so an early defer can
+                // only revive early and recheck.
+                let f = self.cached_floor(t, j);
+                if f > horizon_end {
+                    v.deferred.push(Reverse((f, t.0 as u32, g)));
+                    self.view_entries += 1;
+                    continue;
+                }
+                let (f, _) = self.floor_cost(state, t, j, now);
+                if f > horizon_end {
+                    self.raise_floor(t, j, f);
+                    v.deferred.push(Reverse((f, t.0 as u32, g)));
+                    self.view_entries += 1;
+                    continue;
+                }
+                v.pend.push((t.0 as u32, g));
+            }
+            v.log_cursor = log_len;
+        }
+        // Deferred revival: floors are monotone within an epoch, so a
+        // deferral sleeps until the horizon reaches its recorded floor,
+        // then re-checks everything fresh (membership, gate, the floor
+        // itself — which may have been raised meanwhile).
+        while let Some(&Reverse((floor, tu, g))) = v.deferred.peek() {
+            if floor > horizon_end {
+                break;
+            }
+            v.deferred.pop();
+            self.view_entries -= 1;
+            let t = TaskId(tu as usize);
+            if self.sgen[tu as usize] != g || self.list_of[tu as usize] != li as u32 {
+                continue;
+            }
+            if self.gate_dead_bit(t, j) {
+                continue;
+            }
+            let f = self.cached_floor(t, j);
+            if f > horizon_end {
+                v.deferred.push(Reverse((f, tu, g)));
+                self.view_entries += 1;
+                continue;
+            }
+            v.pend.push((tu, g));
+        }
+        // Gate the accepted newcomers at the current limit.
+        if !v.pend.is_empty() {
+            let mut cand = std::mem::take(&mut self.start_buf);
+            cand.clear();
+            cand.extend(v.pend.iter().map(|&(t, _)| TaskId(t as usize)));
+            let mut gate = std::mem::take(&mut self.gate_buf);
+            gate.clear();
+            state.feasible_candidates(&cand, gate_version, j, &mut gate);
+            self.mark_gate_rejections(&cand, &gate, j, limit);
+            if gate.len() != cand.len() {
+                let mut gi = 0usize;
+                v.pend.retain(|&(t, _)| {
+                    if gate.get(gi) == Some(&TaskId(t as usize)) {
+                        gi += 1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+            self.start_buf = cand;
+            self.gate_buf = gate;
+        }
+        if self.view_entries + v.pend.len() > VIEW_ENTRY_CAP {
+            // Shed: release the storage and serve this list through the
+            // resort scan until the next epoch retries.
+            self.view_entries -= v.entries.len() + v.deferred.len();
+            v.entries.clear();
+            v.deferred.clear();
+            v.pend.clear();
+            v.log_cursor = 0;
+            v.ub_obj = None;
+            v.refresh = false;
+            v.overflow = true;
+            return;
+        }
+        self.view_entries += v.pend.len();
+    }
+
+    /// A conservative f64 upper bound on how much *any* alive entry's
+    /// exact ub can have risen since the view's last full refresh.
+    ///
+    /// Within an epoch every metric the bound depends on moves one way:
+    /// `T100` and `TEC` only grow (commits map tasks and spend energy),
+    /// `AET` only grows (schedules only extend), and the horizon end
+    /// only advances (a regression bumps the epoch). Of the three
+    /// objective terms, the `TEC` term only *lowers* the ub as `TEC`
+    /// grows, and the `AET` term only lowers it under the negative-sign
+    /// ablation — so the rise is bounded by the `T100` term's drift
+    /// plus (positive sign only) the `AET` term's drift, the latter
+    /// bounded via the 1-Lipschitz `max`: `Δmax(aet, h+d) ≤ max(Δaet,
+    /// Δh)` exactly, in integer time, for every entry duration `d`.
+    /// Every float op along both bounds is a monotone rounding of a
+    /// monotone real function, so the real-arithmetic bound carries
+    /// over up to a few ULPs of O(1) magnitudes — swamped by the
+    /// `DRIFT_SLOP` margin. Overestimating is safe: the bound is only
+    /// used to *keep* scanning (a too-large drift visits entries the
+    /// exact scan would have skipped, never the reverse).
+    fn drift_bound(
+        v: &View,
+        objective: &Objective,
+        m: &gridsim::metrics::Metrics,
+        horizon_end: Time,
+        positive: bool,
+        tasks_f: f64,
+        tau_s: f64,
+    ) -> f64 {
+        const DRIFT_SLOP: f64 = 1e-9;
+        let w = &objective.weights;
+        let mut d = w.alpha() * ((m.t100 - v.t100_snap) as f64) / tasks_f;
+        // Every entry's TEC term moved by exactly `-β·ΔTEC/TSE` (the
+        // per-candidate exec energy cancels in the difference), so the
+        // uniform pad credits it — commits only consume energy, and
+        // without the credit the pad is loose by the whole drain.
+        d -= w.beta() * (m.tec.units() - v.tec_snap) / m.tse.units();
+        if positive {
+            let da = m.aet.0.saturating_sub(v.aet_snap.0);
+            let dh = horizon_end.0.saturating_sub(v.h_snap.0);
+            d += w.gamma() * Time(da.max(dh)).as_seconds() / tau_s;
+        }
+        (d + d.abs() * DRIFT_SLOP + DRIFT_SLOP).max(0.0)
+    }
+
+    /// Write one view's share of the eval batch back: refresh every
+    /// alive ub on a full pass (resetting the drift snapshot to the
+    /// current metrics), append the evaluated newcomers, then restore
+    /// the sort if anything moved. Newcomers evaluated at *later*
+    /// metrics than the snapshot stay safe under the snapshot's drift
+    /// bound — drift is nonnegative and additive over time. The
+    /// sortedness check is the steady-state fast path: appends usually
+    /// land in bound order.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_eval(
+        v: &mut View,
+        full: bool,
+        res: &[f64],
+        chosen_d: &impl Fn(u32) -> (u64, u64),
+        m: &gridsim::metrics::Metrics,
+        horizon_end: Time,
+        objective: &Objective,
+    ) {
+        let mut it = res.iter();
+        let (b_t100, b_tec, b_aet, b_h) =
+            (m.t100 as u32, m.tec.units(), m.aet.0, horizon_end.0);
+        if full {
+            for e in &mut v.entries {
+                e.ub = *it.next().expect("one result per job");
+                e.b_t100 = b_t100;
+                e.b_tec = b_tec;
+                e.b_aet = b_aet;
+                e.b_h = b_h;
+            }
+            v.t100_snap = m.t100;
+            v.tec_snap = m.tec.units();
+            v.aet_snap = m.aet;
+            v.h_snap = horizon_end;
+            v.ub_obj = Some(*objective);
+            v.refresh = false;
+        }
+        let dirty = full || !v.pend.is_empty();
+        for k in 0..v.pend.len() {
+            let (t, gen) = v.pend[k];
+            let ub = *it.next().expect("one result per job");
+            let (dlo, dhi) = chosen_d(t);
+            v.entries.push(ViewEntry {
+                ub,
+                t,
+                gen,
+                dlo,
+                dhi,
+                b_t100,
+                b_tec,
+                b_aet,
+                b_h,
+            });
+        }
+        v.pend.clear();
+        if dirty {
+            Self::restore_sort(&mut v.entries);
+        }
+    }
+
+    /// Reset one view to its just-born state (gate-row flush: the flush
+    /// revived bit-excluded candidates, so the alive set must rebuild
+    /// from the log; the log itself and the list structures survive).
+    fn reset_view(&mut self, slot: usize) {
+        let held = self.views[slot].entries.len() + self.views[slot].deferred.len();
+        self.view_entries -= held;
+        let v = &mut self.views[slot];
+        v.entries.clear();
+        v.deferred.clear();
+        v.pend.clear();
+        v.log_cursor = 0;
+        v.ub_obj = None;
+        v.refresh = false;
+        v.overflow = false;
+    }
+
+    /// Write lazily evaluated exact ubs back into the alive set with
+    /// the metric basis they were computed at, so the next query's
+    /// per-entry drift bound starts from zero. Runs before the defer
+    /// compaction (indices address the scanned layout); the caller
+    /// restores the sort afterwards.
+    fn apply_writebacks(v: &mut View, wb: &[(u32, f64)], basis: (u32, f64, u64, u64)) {
+        for &(i, ub) in wb {
+            let e = &mut v.entries[i as usize];
+            e.ub = ub;
+            e.b_t100 = basis.0;
+            e.b_tec = basis.1;
+            e.b_aet = basis.2;
+            e.b_h = basis.3;
+        }
+    }
+
+    /// Refold the view-level drift basis to the per-component extremes
+    /// over the alive entries' bases — min `T100`/`AET`/`h`, max `TEC`
+    /// (each the direction that maximises drift), so the uniform
+    /// early-exit pad equals the tightest sound bound on any entry's
+    /// per-entry drift instead of decaying with the age of the last
+    /// full refresh. An empty side snaps to the current metrics (zero
+    /// drift).
+    fn refold_basis(v: &mut View, m: &gridsim::metrics::Metrics, horizon_end: Time, tec_u: f64) {
+        let (mut t100, mut tec, mut aet, mut h) = (m.t100 as u32, tec_u, m.aet.0, horizon_end.0);
+        if let Some((first, rest)) = v.entries.split_first() {
+            t100 = first.b_t100;
+            tec = first.b_tec;
+            aet = first.b_aet;
+            h = first.b_h;
+            for e in rest {
+                t100 = t100.min(e.b_t100);
+                tec = tec.max(e.b_tec);
+                aet = aet.min(e.b_aet);
+                h = h.min(e.b_h);
+            }
+        }
+        v.t100_snap = t100 as usize;
+        v.tec_snap = tec;
+        v.aet_snap = Time(aet);
+        v.h_snap = Time(h);
+    }
+
+    /// Re-establish the (ub desc, task asc) order if an update broke it
+    /// — the early-exit logic of the next scan depends on it.
+    fn restore_sort(entries: &mut [ViewEntry]) {
+        if !entries.windows(2).all(|w| View::entry_before(&w[0], &w[1])) {
+            entries.sort_unstable_by(|a, b| {
+                b.ub.partial_cmp(&a.ub)
+                    .expect("objective bounds are finite")
+                    .then(a.t.cmp(&b.t))
+            });
+        }
+    }
+
+    /// Apply the scan's removals to the alive set: `Some(floor)` moves
+    /// the entry into the deferred heap (floor past the horizon, either
+    /// probed or planned), `None` drops it outright (stale membership
+    /// or gate-dead). Returns how many entries were dropped (the
+    /// caller's storage accounting). Indices arrive ascending (the scan
+    /// consumes each side monotonically), so one compaction pass
+    /// preserves the sort.
+    fn apply_defers(v: &mut View, defers: &[(u32, Option<Time>)]) -> usize {
+        if defers.is_empty() {
+            return 0;
+        }
+        let mut dropped = 0usize;
+        for &(idx, floor) in defers {
+            let e = v.entries[idx as usize];
+            match floor {
+                Some(f) => v.deferred.push(Reverse((f, e.t, e.gen))),
+                None => dropped += 1,
+            }
+        }
+        let mut k = 0usize;
+        let mut w = 0usize;
+        for i in 0..v.entries.len() {
+            if k < defers.len() && defers[k].0 as usize == i {
+                k += 1;
+                continue;
+            }
+            if w != i {
+                v.entries[w] = v.entries[i];
+            }
+            w += 1;
+        }
+        v.entries.truncate(w);
+        dropped
+    }
+
+    /// Build one list's sorted bound order from scratch — the resort
+    /// scan's phase 1 for a single list. Serves lists whose view was
+    /// shed by the memory cap, bit-identical to the cached slice it
+    /// replaces.
+    #[allow(clippy::too_many_arguments)]
+    fn build_scratch(
+        &mut self,
+        state: &SimState<'_>,
+        objective: &Objective,
+        j: MachineId,
+        li: usize,
+        horizon_end: Time,
+        allow_secondary: bool,
+        gate_version: Version,
+        limit: f64,
+        bound_start: Time,
+        out: &mut Vec<ViewEntry>,
+    ) {
+        out.clear();
+        let mut cand = std::mem::take(&mut self.start_buf);
+        cand.clear();
+        self.collect_startable(state, li, horizon_end, &mut cand);
+        cand.retain(|&t| !self.gate_dead_bit(t, j) && self.cached_floor(t, j) <= horizon_end);
+        let mut gate = std::mem::take(&mut self.gate_buf);
+        gate.clear();
+        state.feasible_candidates(&cand, gate_version, j, &mut gate);
+        self.mark_gate_rejections(&cand, &gate, j, limit);
+        let sc = state.scenario();
+        let m = state.metrics();
+        let tasks_f = m.tasks as f64;
+        let tau_s = m.tau.as_seconds();
+        for &t in &gate {
+            let ub_for = |v: Version| {
+                let exec_dur = sc.etc.exec_dur(t, j, v);
+                let exec_energy = sc.grid.machine(j).compute_energy(exec_dur);
+                objective.evaluate(&ObjectiveInputs {
+                    t100_frac: (m.t100 + usize::from(v.is_primary())) as f64 / tasks_f,
+                    tec_frac: (m.tec + exec_energy) / m.tse,
+                    aet_frac: m.aet.max(bound_start + exec_dur).as_seconds() / tau_s,
+                })
+            };
+            let mut ub = ub_for(gate_version);
+            if allow_secondary {
+                ub = ub.max(ub_for(Version::Primary));
+            }
+            debug_assert!(ub.is_finite(), "objective bounds are finite");
+            out.push(ViewEntry {
+                ub,
+                t: t.0 as u32,
+                gen: 0,
+                dlo: 0,
+                dhi: 0,
+                b_t100: 0,
+                b_tec: 0.0,
+                b_aet: 0,
+                b_h: 0,
+            });
+        }
+        self.start_buf = cand;
+        self.gate_buf = gate;
+        out.sort_unstable_by(|a, b| {
+            b.ub.partial_cmp(&a.ub)
+                .expect("objective bounds are finite")
+                .then(a.t.cmp(&b.t))
+        });
+    }
+
+    /// The cached-order query path: serve machine `j` from its two
+    /// per-list views. Structure is reconciled incrementally (log
+    /// drains, deferral revivals, revision-guarded membership); cached
+    /// bound values are refreshed in full only when the scan itself
+    /// signals that lazy re-evaluation got expensive. Between
+    /// refreshes, the scan walks the cached permutations under a
+    /// conservative drift bound ([`Frontier::drift_bound`]): a
+    /// candidate is skipped only when its snapshot bound plus the
+    /// drift sits strictly below the incumbent — and since the true ub
+    /// never exceeds that sum, every skipped candidate's objective is
+    /// strictly below the incumbent's, so the argmax (and its task-id
+    /// tie-break) is exactly the exhaustive scan's. The schedule is
+    /// therefore byte-identical to the `cached_orders = false` resort
+    /// path at any thread count; `candidates_evaluated` may differ
+    /// (the two paths plan different provably-losing candidates).
+    ///
+    /// The refresh eval batch is the one parallel section: chunked
+    /// over at most `scan_threads` compat/rayon workers, each job a
+    /// pure `(index, task) → bound` map re-assembled in index order,
+    /// so any worker count computes identical bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn best_startable_cached(
+        &mut self,
+        state: &SimState<'_>,
+        objective: &Objective,
+        j: MachineId,
+        now: Time,
+        horizon_end: Time,
+        allow_secondary: bool,
+        stats: &mut RunStats,
+    ) -> Option<MappingPlan> {
+        self.resync(state);
+        stats.pool_builds += 1;
+        // Defensive invalidation: a gate-version flip poisons cached
+        // gate results, a horizon regression poisons the lb/floor
+        // deferrals and the drift bound's monotonicity argument.
+        // Neither occurs under the shipped variants.
+        if self.last_secondary != Some(allow_secondary) {
+            if self.last_secondary.is_some() {
+                self.view_epoch = self.view_epoch.wrapping_add(1);
+            }
+            self.last_secondary = Some(allow_secondary);
+        }
+        if horizon_end < self.last_horizon {
+            self.view_epoch = self.view_epoch.wrapping_add(1);
+        }
+        self.last_horizon = horizon_end;
+
+        let gate_version = if allow_secondary {
+            Version::Secondary
+        } else {
+            Version::Primary
+        };
+        let placement = Placement::Append { not_before: now };
+        let (limit, flushed) = self.gate_row_guard(state, j);
+        if flushed {
+            self.reset_view(j.0 * 2);
+            self.reset_view(j.0 * 2 + 1);
+        }
+        let [l0, l1] = self.visible_lists(j);
+        self.sync_list(state, l0, horizon_end);
+        self.sync_list(state, l1, horizon_end);
+        if !flushed {
+            if let Some((ep, n0, n1, floor)) = self.idle[j.0] {
+                if ep == self.view_epoch
+                    && n0 == self.slog[l0].len()
+                    && n1 == self.slog[l1].len()
+                    && floor > horizon_end
+                {
+                    return None;
+                }
+            }
+        }
+        self.idle[j.0] = None;
+
+        let mut va = std::mem::take(&mut self.views[j.0 * 2]);
+        let mut vb = std::mem::take(&mut self.views[j.0 * 2 + 1]);
+        self.sync_view_structural(&mut va, state, j, l0, now, horizon_end, limit, gate_version);
+        self.sync_view_structural(&mut vb, state, j, l1, now, horizon_end, limit, gate_version);
+
+        let sc = state.scenario();
+        let m = state.metrics();
+        let tasks_f = m.tasks as f64;
+        let tau_s = m.tau.as_seconds();
+        let positive = matches!(objective.aet_sign, AetSign::Positive);
+        let bound_start = if positive {
+            horizon_end
+        } else {
+            now.max(state.compute_ready(j))
+        };
+        // The exact bound — the identical expression (and expression
+        // order) the resort scan evaluates, so reused values, refresh
+        // batches and lazy per-visit evaluations are all bit-equal.
+        let eval = |tu: u32| -> f64 {
+            let t = TaskId(tu as usize);
+            let ub_for = |v: Version| {
+                let exec_dur = sc.etc.exec_dur(t, j, v);
+                let exec_energy = sc.grid.machine(j).compute_energy(exec_dur);
+                objective.evaluate(&ObjectiveInputs {
+                    t100_frac: (m.t100 + usize::from(v.is_primary())) as f64 / tasks_f,
+                    tec_frac: (m.tec + exec_energy) / m.tse,
+                    aet_frac: m.aet.max(bound_start + exec_dur).as_seconds() / tau_s,
+                })
+            };
+            let mut ub = ub_for(gate_version);
+            if allow_secondary {
+                ub = ub.max(ub_for(Version::Primary));
+            }
+            debug_assert!(ub.is_finite(), "objective bounds are finite");
+            ub
+        };
+
+        // Full refreshes: a new/reset view, an objective change (online
+        // weight adaptation), or the scan-cost signal from last query.
+        let full_a = !va.overflow && (va.ub_obj != Some(*objective) || va.refresh);
+        let full_b = !vb.overflow && (vb.ub_obj != Some(*objective) || vb.refresh);
+        // A refresh re-evaluates every alive entry, so purge stale
+        // membership first (it is otherwise caught lazily at scan
+        // time) — no point evaluating the dead.
+        if full_a && !va.entries.is_empty() {
+            let before = va.entries.len();
+            let list_of = &self.list_of;
+            let sgen = &self.sgen;
+            va.entries
+                .retain(|e| list_of[e.t as usize] == l0 as u32 && sgen[e.t as usize] == e.gen);
+            self.view_entries -= before - va.entries.len();
+        }
+        if full_b && !vb.entries.is_empty() {
+            let before = vb.entries.len();
+            let list_of = &self.list_of;
+            let sgen = &self.sgen;
+            vb.entries
+                .retain(|e| list_of[e.t as usize] == l1 as u32 && sgen[e.t as usize] == e.gen);
+            self.view_entries -= before - vb.entries.len();
+        }
+        let mut jobs = std::mem::take(&mut self.eval_jobs);
+        jobs.clear();
+        if !va.overflow {
+            if full_a {
+                jobs.extend(va.entries.iter().map(|e| e.t));
+            }
+            jobs.extend(va.pend.iter().map(|&(t, _)| t));
+        }
+        let split = jobs.len();
+        if !vb.overflow {
+            if full_b {
+                jobs.extend(vb.entries.iter().map(|e| e.t));
+            }
+            jobs.extend(vb.pend.iter().map(|&(t, _)| t));
+        }
+        let results: Vec<f64> = if jobs.is_empty() {
+            Vec::new()
+        } else if jobs.len() >= PAR_EVAL_MIN && self.scan_workers > 1 {
+            rayon::map_bounded(std::mem::take(&mut jobs), self.scan_workers, |_, tu| eval(tu))
+        } else {
+            jobs.iter().map(|&tu| eval(tu)).collect()
+        };
+        self.eval_jobs = jobs;
+        let chosen_d = |tu: u32| -> (u64, u64) {
+            let t = TaskId(tu as usize);
+            let d = sc.etc.exec_dur(t, j, gate_version).0;
+            if allow_secondary {
+                let p = sc.etc.exec_dur(t, j, Version::Primary).0;
+                (d.min(p), d.max(p))
+            } else {
+                (d, d)
+            }
+        };
+        let had_pend_a = !va.pend.is_empty();
+        let had_pend_b = !vb.pend.is_empty();
+        if !va.overflow {
+            Self::apply_eval(
+                &mut va, full_a, &results[..split], &chosen_d, &m, horizon_end, objective,
+            );
+        }
+        if !vb.overflow {
+            Self::apply_eval(
+                &mut vb, full_b, &results[split..], &chosen_d, &m, horizon_end, objective,
+            );
+        }
+
+        // Lists whose view was shed get a scratch-built sorted slice —
+        // the same bytes the view would have held.
+        let [mut sa, mut sb] = std::mem::take(&mut self.scratch_orders);
+        if va.overflow {
+            self.build_scratch(
+                state, objective, j, l0, horizon_end, allow_secondary, gate_version, limit,
+                bound_start, &mut sa,
+            );
+        }
+        if vb.overflow {
+            self.build_scratch(
+                state, objective, j, l1, horizon_end, allow_secondary, gate_version, limit,
+                bound_start, &mut sb,
+            );
+        }
+
+        // A side whose values were computed *this query* (refresh or
+        // scratch) needs no lazy re-evaluation and has zero drift.
+        let fresh_a = va.overflow || full_a;
+        let fresh_b = vb.overflow || full_b;
+        let da = if fresh_a {
+            0.0
+        } else {
+            Self::drift_bound(&va, objective, &m, horizon_end, positive, tasks_f, tau_s)
+        };
+        let db = if fresh_b {
+            0.0
+        } else {
+            Self::drift_bound(&vb, objective, &m, horizon_end, positive, tasks_f, tau_s)
+        };
+
+        // Phase 2 — scan the two cached permutations by descending
+        // drift-padded bound, exact-evaluating only the entries the
+        // incumbent cannot already rule out.
+        let [mut defer_a, mut defer_b] = std::mem::take(&mut self.defer_buf);
+        defer_a.clear();
+        defer_b.clear();
+        let [mut wb_a, mut wb_b] = std::mem::take(&mut self.wb_buf);
+        wb_a.clear();
+        wb_b.clear();
+        let tse_u = m.tse.units();
+        let tec_u = m.tec.units();
+        let (mut levals_a, mut levals_b) = (0usize, 0usize);
+        let w_alpha = objective.weights.alpha();
+        let w_beta = objective.weights.beta();
+        let w_gamma = objective.weights.gamma();
+        let mut best: Option<(f64, TaskId, MappingPlan)> = None;
+        {
+            let ea: &[ViewEntry] = if va.overflow { &sa } else { &va.entries };
+            let eb: &[ViewEntry] = if vb.overflow { &sb } else { &vb.entries };
+            let (mut ai, mut bi) = (0usize, 0usize);
+            loop {
+                let (e, from_a, bound) = match (ea.get(ai), eb.get(bi)) {
+                    (None, None) => break,
+                    (Some(x), None) => (*x, true, x.ub + da),
+                    (None, Some(y)) => (*y, false, y.ub + db),
+                    (Some(x), Some(y)) => {
+                        let bx = x.ub + da;
+                        let by = y.ub + db;
+                        if bx > by || (bx == by && x.t < y.t) {
+                            (*x, true, bx)
+                        } else {
+                            (*y, false, by)
+                        }
+                    }
+                };
+                let t = TaskId(e.t as usize);
+                if let Some((best_obj, best_task, _)) = &best {
+                    // Sound early exit: every remaining entry's exact ub
+                    // is at most its drift-padded bound, so nothing left
+                    // can beat (or task-tie-break) the incumbent.
+                    if bound < *best_obj || (bound == *best_obj && t > *best_task) {
+                        break;
+                    }
+                }
+                let (idx, fresh) = if from_a {
+                    let i = ai;
+                    ai += 1;
+                    (i, fresh_a)
+                } else {
+                    let i = bi;
+                    bi += 1;
+                    (i, fresh_b)
+                };
+                // Lazy membership: a committed (or re-homed) task's
+                // entry is dropped when the scan reaches it; until
+                // then its stale ub is a valid upper bound (the task
+                // can no longer win at all).
+                if !fresh
+                    && (self.sgen[e.t as usize] != e.gen
+                        || self.list_of[e.t as usize] != if from_a { l0 } else { l1 } as u32)
+                {
+                    if from_a {
+                        defer_a.push((idx as u32, None));
+                    } else {
+                        defer_b.push((idx as u32, None));
+                    }
+                    continue;
+                }
+                // Per-entry refined bound, checked before the gate —
+                // the drift from an entry's own metric basis is
+                // exact-to-ulps (`T100` and `TEC` deltas are uniform
+                // across candidates; the `AET` term's drift is monotone
+                // in the chosen exec duration, so the stored duration
+                // extremes bound every considered version), so entries
+                // the incumbent already dominates cost no gate probe
+                // and no evaluation.
+                if !fresh {
+                    if let Some((best_obj, best_task, _)) = &best {
+                        let mut dr =
+                            w_alpha * ((m.t100 - e.b_t100 as usize) as f64) / tasks_f;
+                        dr -= w_beta * (tec_u - e.b_tec) / tse_u;
+                        if positive {
+                            let f = |d: u64| {
+                                let cur = m.aet.0.max(horizon_end.0.saturating_add(d));
+                                let old = e.b_aet.max(e.b_h.saturating_add(d));
+                                cur.saturating_sub(old)
+                            };
+                            dr += w_gamma * Time(f(e.dlo).max(f(e.dhi))).as_seconds() / tau_s;
+                        }
+                        let tight = e.ub + (dr + dr.abs() * 1e-9 + 1e-9);
+                        if tight < *best_obj || (tight == *best_obj && t > *best_task) {
+                            continue;
+                        }
+                    }
+                }
+                // Lazy §IV gate: the afford limit falls as commits
+                // drain energy, so a cached pass may have gone stale —
+                // a value refresh does not re-gate. Only scratch sides
+                // (batch-gated at build time this query) may skip.
+                if !if from_a { va.overflow } else { vb.overflow } {
+                    if self.gate_dead_bit(t, j) {
+                        if from_a {
+                            defer_a.push((idx as u32, None));
+                        } else {
+                            defer_b.push((idx as u32, None));
+                        }
+                        continue;
+                    }
+                    if !state.gate_feasible(t, gate_version, j, limit) {
+                        self.mark_gate_rejection(t, j, limit);
+                        if from_a {
+                            defer_a.push((idx as u32, None));
+                        } else {
+                            defer_b.push((idx as u32, None));
+                        }
+                        continue;
+                    }
+                }
+                let fresh_ub = if fresh {
+                    e.ub
+                } else {
+                    let exact = eval(e.t);
+                    if from_a {
+                        levals_a += 1;
+                        wb_a.push((idx as u32, exact));
+                    } else {
+                        levals_b += 1;
+                        wb_b.push((idx as u32, exact));
+                    }
+                    exact
+                };
+                debug_assert!(
+                    fresh_ub <= bound,
+                    "drift bound {bound} below exact ub {fresh_ub} for {t}"
+                );
+                if let Some((best_obj, best_task, _)) = &best {
+                    // Exact-bound skip: this candidate cannot win, but a
+                    // later lower-snapshot entry still might — keep
+                    // scanning without planning it. (The resort scan
+                    // exits here instead; both behaviours plan every
+                    // candidate that could beat the incumbent, so the
+                    // argmax is identical.)
+                    if fresh_ub < *best_obj || (fresh_ub == *best_obj && t > *best_task) {
+                        continue;
+                    }
+                }
+                let (floor, _) = self.floor_cost(state, t, j, now);
+                if floor > horizon_end {
+                    self.raise_floor(t, j, floor);
+                    if from_a {
+                        if !va.overflow {
+                            defer_a.push((idx as u32, Some(floor)));
+                        }
+                    } else if !vb.overflow {
+                        defer_b.push((idx as u32, Some(floor)));
+                    }
+                    continue;
+                }
+                stats.candidates_evaluated += 1;
+                let gated = state.plan_with(t, gate_version, j, placement, &mut self.scratch);
+                let gated_obj = plan_objective(state, objective, &gated);
+                let (obj, plan) = if allow_secondary
+                    && state.version_feasible(t, Version::Primary, j)
+                {
+                    let primary =
+                        state.plan_with(t, Version::Primary, j, placement, &mut self.scratch);
+                    let primary_obj = plan_objective(state, objective, &primary);
+                    if primary_obj >= gated_obj {
+                        (primary_obj, primary)
+                    } else {
+                        (gated_obj, gated)
+                    }
+                } else {
+                    (gated_obj, gated)
+                };
+                debug_assert!(obj.is_finite(), "objective values are finite");
+                self.raise_floor(t, j, plan.start);
+                if plan.start > horizon_end {
+                    if from_a {
+                        if !va.overflow {
+                            defer_a.push((idx as u32, Some(plan.start)));
+                        }
+                    } else if !vb.overflow {
+                        defer_b.push((idx as u32, Some(plan.start)));
+                    }
+                    continue;
+                }
+                debug_assert!(
+                    obj <= fresh_ub,
+                    "upper bound {fresh_ub} below objective {obj} for {t}"
+                );
+                let better = match &best {
+                    None => true,
+                    Some((best_obj, best_task, _)) => {
+                        obj > *best_obj || (obj == *best_obj && t < *best_task)
+                    }
+                };
+                if better {
+                    best = Some((obj, t, plan));
+                }
+            }
+        }
+        // Scan-cost signal: when lazy evaluation (the expensive part of
+        // a visit) ran deep into a cached order, reset its drift with a
+        // full refresh next query.
+        if !fresh_a && levals_a > 8 + va.entries.len() / 4 {
+            va.refresh = true;
+        }
+        if !fresh_b && levals_b > 8 + vb.entries.len() / 4 {
+            vb.refresh = true;
+        }
+        let basis = (m.t100 as u32, tec_u, m.aet.0, horizon_end.0);
+        Self::apply_writebacks(&mut va, &wb_a, basis);
+        Self::apply_writebacks(&mut vb, &wb_b, basis);
+        if !va.overflow {
+            self.view_entries -= Self::apply_defers(&mut va, &defer_a);
+        }
+        if !vb.overflow {
+            self.view_entries -= Self::apply_defers(&mut vb, &defer_b);
+        }
+        if !wb_a.is_empty() {
+            Self::restore_sort(&mut va.entries);
+        }
+        if !wb_b.is_empty() {
+            Self::restore_sort(&mut vb.entries);
+        }
+        if !va.overflow && (full_a || had_pend_a || !defer_a.is_empty() || !wb_a.is_empty()) {
+            Self::refold_basis(&mut va, &m, horizon_end, tec_u);
+        }
+        if !vb.overflow && (full_b || had_pend_b || !defer_b.is_empty() || !wb_b.is_empty()) {
+            Self::refold_basis(&mut vb, &m, horizon_end, tec_u);
+        }
+        if best.is_none() && !va.overflow && !vb.overflow {
+            debug_assert!(
+                va.entries.is_empty() && vb.entries.is_empty(),
+                "an incumbent-free scan consumes every entry"
+            );
+            let fa = va.deferred.peek().map_or(Time(u64::MAX), |&Reverse((f, _, _))| f);
+            let fb = vb.deferred.peek().map_or(Time(u64::MAX), |&Reverse((f, _, _))| f);
+            self.idle[j.0] = Some((
+                self.view_epoch,
+                self.slog[l0].len(),
+                self.slog[l1].len(),
+                fa.min(fb),
+            ));
+        }
+        self.defer_buf = [defer_a, defer_b];
+        self.wb_buf = [wb_a, wb_b];
+        self.scratch_orders = [sa, sb];
+        self.views[j.0 * 2] = va;
+        self.views[j.0 * 2 + 1] = vb;
+        best.map(|(_, _, plan)| plan)
+    }
+
     /// The frozen SLRH-2 walk order for machine `j`: every visible
     /// gate-passing *startable* candidate with its chosen version and
     /// objective, sorted by (objective desc, task asc) — the same
@@ -797,7 +2004,7 @@ impl Frontier {
         out.clear();
         let mut cand = std::mem::take(&mut self.start_buf);
         let mut gate = std::mem::take(&mut self.gate_buf);
-        let limit = self.gate_row_guard(state, j);
+        let (limit, _) = self.gate_row_guard(state, j);
         for li in self.visible_lists(j) {
             cand.clear();
             self.collect_startable(state, li, horizon_end, &mut cand);
@@ -941,7 +2148,7 @@ mod tests {
     fn membership_tracks_the_ready_set() {
         let sc = scenario(24);
         let mut state = SimState::new(&sc);
-        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after: 1 });
+        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after: 1, ..ScaleMode::default() });
         for step in 0..64u64 {
             fr.begin_tick(&state, step);
             let Some(&t) = state.ready_tasks().first() else {
@@ -994,6 +2201,142 @@ mod tests {
         assert_eq!(fr.len(), state.ready_tasks().len());
     }
 
+    /// Regression: a start floor learned for `(t, j)` while `t`'s
+    /// parent sat on another machine must not survive a loss-then-
+    /// arrival churn trace that re-inserts the *same* `TaskId` with a
+    /// cheaper true floor. The floor was raised to the planned start
+    /// (parent finish on the old machine plus a cross-machine
+    /// transfer) and a copy of it sits in a deferred view entry; after
+    /// the parent unmaps and recommits on the queried machine itself,
+    /// both the cache slot and the deferred copy are stale — serving
+    /// either would wrongly exclude `t` from horizons its new
+    /// same-machine floor clears. The unmap delta's floor-cache clear
+    /// plus the view-epoch bump (which is what reaches the deferred
+    /// heaps) must drop both.
+    #[test]
+    fn reinserted_task_is_not_pruned_by_a_stale_floor() {
+        let sc = scenario(24);
+        let mut state = SimState::new(&sc);
+        let obj = objective();
+        let mut fr = Frontier::new(&state, ScaleMode::default());
+        let mut stats = RunStats::default();
+        let m0 = MachineId(0);
+        let m1 = MachineId(1);
+
+        // Commit ready roots on machine 1 — parked ~1000 s out, so any
+        // plan for their children embeds that delay — until some child
+        // becomes ready: that child `t` now has a far-future
+        // cross-machine parent.
+        let park = Time::from_seconds(1000);
+        let mut committed: Vec<TaskId> = Vec::new();
+        let mut child: Option<TaskId> = None;
+        fr.begin_tick(&state, 0);
+        while child.is_none() {
+            let p = *state
+                .ready_tasks()
+                .iter()
+                .find(|t| !committed.contains(t))
+                .expect("scenario has a parent-child pair");
+            let plan = state.plan(
+                p,
+                Version::Secondary,
+                m1,
+                Placement::Append { not_before: park },
+            );
+            let delta = state.commit(&plan);
+            child = delta.newly_ready.first().copied();
+            fr.apply(&delta);
+            committed.push(p);
+        }
+        let t = child.expect("loop exits with a ready child");
+
+        // A wide-horizon query plans every visible candidate — the
+        // planning pass raises (t, m0)'s start floor to a start that
+        // embeds machine 1's parked parent finish plus the transfer.
+        let wide = Time(park.0 * 2);
+        let got = fr.best_startable(&state, &obj, m0, Time::ZERO, wide, true, &mut stats);
+        let reference = crate::pool::build_pool_with(&state, &obj, m0, Time::ZERO, true);
+        assert_eq!(
+            got.as_ref(),
+            reference.first_startable(wide).map(|e| &e.plan),
+            "pre-churn query diverged from the pool"
+        );
+        assert!(
+            fr.cached_floor(t, m0) >= park,
+            "the query learned t's parked cross-machine floor (got {:?})",
+            fr.cached_floor(t, m0)
+        );
+
+        // Loss-then-arrival churn: machine 1 dies, its work unmaps
+        // (t leaves the frontier with its parent), and the parents
+        // recommit on machine 0 at time zero — t re-enters at the same
+        // TaskId with a same-machine floor ~1000 s below the stale one.
+        fr.apply(&state.mark_lost(m1, Time(1)));
+        for &p in committed.iter().rev() {
+            fr.apply(&state.unmap(p));
+        }
+        for &p in &committed {
+            let plan = state.plan(
+                p,
+                Version::Secondary,
+                m0,
+                Placement::Append { not_before: Time::ZERO },
+            );
+            fr.apply(&state.commit(&plan));
+        }
+        assert!(
+            state.ready_tasks().contains(&t),
+            "the churn trace re-inserts the same TaskId"
+        );
+        // Drain every other ready task onto machine 0 so t is the only
+        // candidate left: an over-prune now turns the query's Some into
+        // None instead of hiding behind another winner.
+        while let Some(&r) = state.ready_tasks().iter().find(|&&r| r != t) {
+            let plan = state.plan(
+                r,
+                Version::Secondary,
+                m0,
+                Placement::Append { not_before: Time::ZERO },
+            );
+            fr.apply(&state.commit(&plan));
+        }
+        assert_eq!(state.ready_tasks(), &[t], "t is the sole candidate");
+
+        // Query at exactly t's true start (and a band of horizons far
+        // below the parked stale floor): the frontier must keep
+        // agreeing with the pool, which admits t from its new
+        // same-machine floor on.
+        let true_start = state
+            .plan(
+                t,
+                Version::Secondary,
+                m0,
+                Placement::Append { not_before: Time::ZERO },
+            )
+            .start;
+        assert!(
+            true_start < park,
+            "recommitted parents give t a pre-park floor (got {true_start:?})"
+        );
+        for horizon_end in [true_start, Time(true_start.0 * 2), park] {
+            let got =
+                fr.best_startable(&state, &obj, m0, Time::ZERO, horizon_end, true, &mut stats);
+            let reference = crate::pool::build_pool_with(&state, &obj, m0, Time::ZERO, true);
+            assert_eq!(
+                got.as_ref(),
+                reference.first_startable(horizon_end).map(|e| &e.plan),
+                "post-churn query diverged from the pool at horizon {horizon_end:?}"
+            );
+        }
+        // And the sole candidate is genuinely admitted somewhere in the
+        // band — the agreement above is not a vacuous None == None.
+        let reference = crate::pool::build_pool_with(&state, &obj, m0, Time::ZERO, true);
+        assert!(
+            reference.first_startable(park).is_some(),
+            "the pool admits t below the stale floor, so the ladder has teeth"
+        );
+    }
+
     /// With clusters > 1 every unspilled candidate is visible to exactly
     /// its home cluster, and spills promote after the configured delay.
     #[test]
@@ -1001,7 +2344,7 @@ mod tests {
         let sc = scenario(32);
         let state = SimState::new(&sc);
         let spill_after = 3;
-        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after });
+        let mut fr = Frontier::new(&state, ScaleMode { clusters: 2, spill_after, ..ScaleMode::default() });
         let spill_list = fr.clusters();
         assert!(fr.lists[spill_list].is_empty(), "nothing spilled at birth");
         let total = fr.len();
@@ -1021,8 +2364,8 @@ mod tests {
     fn clustering_is_deterministic_and_clamped() {
         let sc = scenario(16);
         let state = SimState::new(&sc);
-        let a = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8 });
-        let b = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8 });
+        let a = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8, ..ScaleMode::default() });
+        let b = Frontier::new(&state, ScaleMode { clusters: 99, spill_after: 8, ..ScaleMode::default() });
         assert_eq!(a.cluster_of, b.cluster_of);
         assert_eq!(a.clusters(), sc.grid.len(), "clamped to |M|");
         // Every cluster is non-empty under the clamped partition.

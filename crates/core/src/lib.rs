@@ -33,6 +33,7 @@ pub mod config;
 pub mod context;
 pub mod dynamic;
 mod frontier;
+#[doc(hidden)]
 pub mod mapper;
 pub mod pool;
 

@@ -197,8 +197,12 @@ pub struct StateBuffers {
 /// 1.6 GB and its precompute pass would dominate run setup, while the
 /// clustered frontier only ever gates a small slice of it — above the
 /// cap [`SimState::feasibility_demand`] evaluates the same expression
-/// lazily, bit-identically. 2^23 entries = 64 MiB of `f64`.
-const DEMAND_TABLE_MAX: usize = 1 << 23;
+/// lazily, bit-identically. The cap keeps paper-scale runs (1024 × 10,
+/// 20 480 entries) on the table while every scale-kernel size — where
+/// the precompute pass is a triple-digit-millisecond fixed cost that
+/// the clustered frontier's sparse gating never amortises — takes the
+/// lazy path.
+const DEMAND_TABLE_MAX: usize = 1 << 20;
 
 /// Per-revision memo of the ledger's committed-energy sum (`TEC`).
 ///
@@ -732,6 +736,22 @@ impl<'a> SimState<'a> {
                 .copied()
                 .filter(|&t| self.demand[t.0 * stride + base].units() <= limit),
         );
+    }
+
+    /// Single-candidate form of [`SimState::feasible_candidates`]: the
+    /// exact per-candidate demand-vs-`limit` predicate, with liveness
+    /// and the limit hoisted by the caller. The scale kernel's lazy
+    /// gate re-checks individual cached candidates against a fallen
+    /// afford limit with this — accept sets match the batch gate's
+    /// bit for bit.
+    pub fn gate_feasible(&self, t: TaskId, v: Version, j: MachineId, limit: f64) -> bool {
+        if self.demand.is_empty() {
+            let vbit = usize::from(!v.is_primary());
+            return self.demand_ub[t.0 * 2 + vbit].units() <= limit
+                || self.demand_of(t, v, j).units() <= limit;
+        }
+        let stride = self.sc.grid.len() * 2;
+        self.demand[t.0 * stride + j.0 * 2 + usize::from(!v.is_primary())].units() <= limit
     }
 
     /// Whether *any* task of `tasks` passes the `(v, j)` feasibility

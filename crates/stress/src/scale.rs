@@ -14,6 +14,11 @@
 //!   quadratic rebuild path (≤ [`DIFF_MAX_TASKS`] tasks), the
 //!   single-cluster frontier run must match the per-tick rebuild run
 //!   byte-for-byte (schedule, metrics, disruptions);
+//! * **differential, ablation arms** — up to
+//!   [`ABLATION_DIFF_MAX_TASKS`] tasks, the `cached_orders = false`
+//!   resort run and a `scan_threads = 4` run must both replay the main
+//!   run byte-for-byte: the cached bound orders and the chunked scan
+//!   are query-plan/execution optimizations with no output surface;
 //! * **progress** — a scale run must actually map work (a silently empty
 //!   schedule would pass every conservation oracle).
 //!
@@ -41,6 +46,12 @@ pub const STREAM_SCALE: u64 = 0x5CA1E;
 /// rebuild path is O(|U|·|M|) per tick, so the arm is restricted to
 /// sizes where that is still cheap.
 pub const DIFF_MAX_TASKS: usize = 2048;
+
+/// Largest case the scale-mode ablation arms (cached-order-vs-resort,
+/// 1-vs-4 `scan_threads`) run on. Both arms are full frontier runs —
+/// merely a constant factor over the main run — so they cover a far
+/// wider band than the quadratic rebuild differential.
+pub const ABLATION_DIFF_MAX_TASKS: usize = 16_384;
 
 /// One generated scale case.
 #[derive(Clone, PartialEq, Debug)]
@@ -155,6 +166,7 @@ pub fn run_scale_seed(case: &ScaleCase, ctx: &mut RunContext) -> ScaleReport {
     let config = SlrhConfig::paper(SlrhVariant::V1, case.weights).with_scale(ScaleMode {
         clusters: case.clusters,
         spill_after: case.spill_after,
+        ..ScaleMode::default()
     });
 
     let mut failures = Vec::new();
@@ -180,6 +192,47 @@ pub fn run_scale_seed(case: &ScaleCase, ctx: &mut RunContext) -> ScaleReport {
             );
         }
         ctx.reclaim(rebuild.state);
+    }
+
+    // Scale-mode ablation differentials: the cached bound orders and the
+    // chunked scan are pure query-plan/execution optimizations, so both
+    // ablated arms must replay the main run's schedule, metrics and
+    // disruptions byte-for-byte at every clustering. (Run stats such as
+    // `candidates_evaluated` legitimately diverge — the cached path
+    // plans fewer dominated candidates — so the signatures exclude
+    // stats.)
+    if case.tasks <= ABLATION_DIFF_MAX_TASKS {
+        let main_sig = dynamic_signature(&frontier, false);
+        let resort_cfg =
+            SlrhConfig::paper(SlrhVariant::V1, case.weights).with_scale(ScaleMode {
+                clusters: case.clusters,
+                spill_after: case.spill_after,
+                cached_orders: false,
+                ..ScaleMode::default()
+            });
+        let resort = run_slrh_churn_in(&sc, &resort_cfg, &losses, &[], ctx);
+        if main_sig != dynamic_signature(&resort, false) {
+            failures.push(
+                "scale: differential-orders: cached-order and resort runs diverge".to_string(),
+            );
+        }
+        ctx.reclaim(resort.state);
+
+        let scan4_cfg =
+            SlrhConfig::paper(SlrhVariant::V1, case.weights).with_scale(ScaleMode {
+                clusters: case.clusters,
+                spill_after: case.spill_after,
+                scan_threads: 4,
+                ..ScaleMode::default()
+            });
+        let scan4 = run_slrh_churn_in(&sc, &scan4_cfg, &losses, &[], ctx);
+        if main_sig != dynamic_signature(&scan4, false) {
+            failures.push(
+                "scale: differential-scan: scan_threads=4 diverges from the inherited-width run"
+                    .to_string(),
+            );
+        }
+        ctx.reclaim(scan4.state);
     }
 
     let clock_steps = frontier.stats.clock_steps;

@@ -128,7 +128,7 @@ proptest! {
     /// path bit-for-bit through loss cascades, under both pool widths.
     #[test]
     fn frontier_matches_rebuild_under_churn(case in case_strategy()) {
-        let exact = ScaleMode { clusters: 1, spill_after: 8 };
+        let exact = ScaleMode { clusters: 1, spill_after: 8, ..ScaleMode::default() };
         let rebuild = pool(1).install(|| run_case(&case, None));
         let frontier = pool(1).install(|| run_case(&case, Some(exact)));
         prop_assert_eq!(
@@ -150,11 +150,61 @@ proptest! {
         clusters in 2u32..=8,
         spill_after in prop::sample::select(&[1u64, 4, 16]),
     ) {
-        let mode = ScaleMode { clusters, spill_after };
+        let mode = ScaleMode { clusters, spill_after, ..ScaleMode::default() };
         let first = pool(1).install(|| run_case(&case, Some(mode)));
         let again = pool(1).install(|| run_case(&case, Some(mode)));
         prop_assert_eq!(&first, &again, "clustered run is not reproducible");
         let wide = pool(4).install(|| run_case(&case, Some(mode)));
         prop_assert_eq!(&first, &wide, "clustered run differs between 1 and 4 threads");
+    }
+
+    /// `scan_threads` determinism contract: the intra-tick scan is
+    /// chunk-parallel but execution-only, so a 1-worker and a 4-worker
+    /// scan commit byte-identical runs through the same churn cascades —
+    /// at every clustering, and regardless of the ambient pool width
+    /// the scan inherits its default from.
+    #[test]
+    fn scan_threads_one_vs_four_byte_identical(
+        case in case_strategy(),
+        clusters in prop::sample::select(&[1u32, 2, 4, 8]),
+        spill_after in prop::sample::select(&[1u64, 4, 16]),
+    ) {
+        let narrow = ScaleMode {
+            clusters,
+            spill_after,
+            scan_threads: 1,
+            ..ScaleMode::default()
+        };
+        let wide = ScaleMode { scan_threads: 4, ..narrow };
+        let one = pool(1).install(|| run_case(&case, Some(narrow)));
+        let four = pool(1).install(|| run_case(&case, Some(wide)));
+        prop_assert_eq!(
+            &one, &four,
+            "scan_threads=4 diverged from scan_threads=1"
+        );
+        // Same contract when the ambient rayon pool is itself wide (the
+        // sweep embedding: scan threads nested under sweep workers).
+        let four_nested = pool(4).install(|| run_case(&case, Some(wide)));
+        prop_assert_eq!(
+            &one, &four_nested,
+            "nested wide-pool scan diverged from the sequential scan"
+        );
+    }
+
+    /// Cached-bound-order ablation: serving queries from the cached
+    /// per-(machine, list) orders is a query-plan change only — the
+    /// resort ablation replays the same run byte-for-byte through loss
+    /// cascades.
+    #[test]
+    fn cached_orders_match_resort_under_churn(
+        case in case_strategy(),
+        clusters in prop::sample::select(&[1u32, 2, 4, 8]),
+        spill_after in prop::sample::select(&[1u64, 4, 16]),
+    ) {
+        let cached = ScaleMode { clusters, spill_after, ..ScaleMode::default() };
+        let resort = ScaleMode { cached_orders: false, ..cached };
+        let a = pool(1).install(|| run_case(&case, Some(cached)));
+        let b = pool(1).install(|| run_case(&case, Some(resort)));
+        prop_assert_eq!(&a, &b, "cached-order run diverged from the resort ablation");
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Append a commit-stamped measurement round to BENCH_scale.json.
+#
+#   scripts/perf_append.sh             # full interleaved A/B (3 rounds/case) + 100k design point
+#   scripts/perf_append.sh --rounds 5  # more rounds per case
+#
+# The scale_ab binary rewrites the per-case blocks with the fresh
+# numbers but always carries the existing `history` array forward and
+# appends one `{commit, date, case, after_min_ms}` entry per run, so
+# the file accumulates a per-commit performance trail instead of
+# erasing it. CI's regression gate (scripts/bench_ratchet.sh) ratchets
+# against the best after_min_ms across that trail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+exec cargo run -p bench --release --bin scale_ab -- "$@"
