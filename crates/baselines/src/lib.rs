@@ -16,7 +16,10 @@
 //!   mapper in the spirit of Luh & Hoitomt [LuH93] and the authors' own
 //!   prior work [CaS03]: machine time/energy capacities are priced by a
 //!   subgradient dual, and the relaxed selection's marginal costs order a
-//!   precedence-respecting repair pass.
+//!   precedence-respecting repair pass;
+//! * [`dbc`] — the deadline-and-budget-constrained cost/time optimizers
+//!   of the grid-economy literature (Buyya et al.), pricing machine
+//!   seconds in grid-dollars for the open-system mode.
 //!
 //! Every baseline drives the same [`gridsim::SimState`] as the SLRH and is
 //! checked by the same validator.
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dbc;
 pub mod greedy;
 pub mod heft;
 pub mod lr_list;
@@ -31,6 +35,7 @@ pub mod maxmax;
 pub mod outcome;
 pub mod simple;
 
+pub use dbc::{plan_cost, run_dbc, run_dbc_in, DbcMode};
 pub use greedy::{calibrate_tau, run_greedy, run_greedy_in};
 pub use heft::{run_heft, run_heft_in};
 pub use lr_list::{run_lr_list, run_lr_list_in, LrListConfig};

@@ -1,0 +1,193 @@
+//! Commit-stamped history rounds for `BENCH_kernel.json` — the
+//! mapper-kernel counterpart of `scale_ab`'s history treatment.
+//!
+//! The kernel file's `cases` blocks record the one-time pre- vs
+//! post-refactor A/B (two binaries, interleaved rounds); that
+//! measurement is not reproducible from a single checkout, so this
+//! binary never rewrites it. Instead it re-times the same four
+//! workloads — SLRH-1 end-to-end at 1024 subtasks on Cases A/B/C and
+//! the two-loss churn cascade on Case A — with the current code and
+//! splices one `{commit, date, case, after_min_ms}` entry per case into
+//! the file's `history` array (creating the array on first run),
+//! leaving every other byte of the file untouched. The result is the
+//! same per-commit performance trail BENCH_scale.json carries.
+//!
+//! ```text
+//! cargo run -p bench --release --bin kernel_append              # 3 rounds per case
+//! cargo run -p bench --release --bin kernel_append -- --rounds 5
+//! ```
+
+use adhoc_grid::config::{GridCase, MachineId};
+use adhoc_grid::units::Time;
+use adhoc_grid::workload::{Scenario, ScenarioParams};
+use lagrange::weights::Weights;
+use slrh::{run_slrh, run_slrh_dynamic, MachineLossEvent, SlrhConfig, SlrhVariant};
+use std::time::Instant;
+
+fn scenario(case: GridCase) -> Scenario {
+    Scenario::generate(&ScenarioParams::paper_scaled(1024), case, 0, 0)
+}
+
+fn config() -> SlrhConfig {
+    SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.25).expect("static weights"))
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Time the four mapper_kernel workloads for `rounds` rounds each,
+/// interleaved so background-load drift hits every case equally, and
+/// return `(case name, min-of-rounds ms)` per case.
+fn time_cases(rounds: usize) -> Vec<(String, f64)> {
+    let cfg = config();
+    let scenarios: Vec<(String, Scenario)> = GridCase::ALL
+        .into_iter()
+        .map(|case| {
+            (
+                format!("mapper_kernel/slrh1_end_to_end/{}", case.name()),
+                scenario(case),
+            )
+        })
+        .collect();
+    let churn_sc = scenario(GridCase::A);
+    let losses = [
+        MachineLossEvent {
+            machine: MachineId(0),
+            at: Time(churn_sc.tau.0 / 3),
+        },
+        MachineLossEvent {
+            machine: MachineId(2),
+            at: Time(2 * churn_sc.tau.0 / 3),
+        },
+    ];
+    let mut mins: Vec<(String, f64)> = scenarios
+        .iter()
+        .map(|(name, _)| (name.clone(), f64::INFINITY))
+        .collect();
+    mins.push(("mapper_kernel/churn_cascade/1024_case_a".to_string(), f64::INFINITY));
+    for round in 0..rounds {
+        for (i, (name, sc)) in scenarios.iter().enumerate() {
+            let t = Instant::now();
+            let out = run_slrh(sc, &cfg);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            // Under the paper's tight tau not every subtask maps (Case A
+            // settles at 950/1024); the bench only needs the run live.
+            assert!(out.metrics().mapped > 0, "run must map work");
+            eprintln!("{name} round {}: {:.2} ms", round + 1, ms);
+            mins[i].1 = mins[i].1.min(round2(ms));
+        }
+        let t = Instant::now();
+        let out = run_slrh_dynamic(&churn_sc, &cfg, &losses);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(out.metrics().mapped > 0, "churn run must map work");
+        let last = mins.len() - 1;
+        eprintln!("{} round {}: {:.2} ms", mins[last].0, round + 1, ms);
+        mins[last].1 = mins[last].1.min(round2(ms));
+    }
+    mins
+}
+
+fn git_short(args: &[&str], fallback: &str) -> String {
+    std::process::Command::new(args[0])
+        .args(&args[1..])
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| fallback.to_string())
+}
+
+/// Splice `entries` into `text`'s top-level `history` array, creating
+/// the array before the final `}` when the file has none. Every byte
+/// outside the splice point is preserved.
+fn splice_history(text: &str, entries: &[String]) -> String {
+    let block: Vec<String> = entries.iter().map(|e| format!("    {e}")).collect();
+    if let Some(at) = text.find("\"history\"") {
+        // Append inside the existing array: find its closing `]` by
+        // bracket depth (entries are single-line objects, no nesting).
+        let open = at + text[at..].find('[').expect("history is an array");
+        let close = open
+            + text[open..]
+                .find("\n  ]")
+                .expect("history array closes at top level");
+        let had_entries = text[open + 1..close].chars().any(|c| c == '{');
+        let sep = if had_entries { ",\n" } else { "" };
+        format!(
+            "{}{}{}{}",
+            &text[..close],
+            sep,
+            block.join(",\n"),
+            &text[close..]
+        )
+    } else {
+        let close = text.rfind('}').expect("root object closes");
+        let body = text[..close].trim_end();
+        let body = body.strip_suffix(',').unwrap_or(body);
+        format!("{body},\n  \"history\": [\n{}\n  ]\n}}\n", block.join(",\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_string());
+
+    let date = git_short(&["date", "+%Y-%m-%d"], "unknown");
+    let commit = git_short(&["git", "rev-parse", "--short", "HEAD"], "unknown");
+    let mins = time_cases(rounds);
+    let entries: Vec<String> = mins
+        .iter()
+        .map(|(case, ms)| {
+            format!(
+                "{{\"commit\": \"{commit}\", \"date\": \"{date}\", \"case\": \"{case}\", \"after_min_ms\": {ms}}}"
+            )
+        })
+        .collect();
+    let text = std::fs::read_to_string(&out)
+        .unwrap_or_else(|e| panic!("{out} must exist to append history ({e})"));
+    std::fs::write(&out, splice_history(&text, &entries)).expect("BENCH_kernel.json is writable");
+    for (case, ms) in &mins {
+        println!("{case}: {ms:.2} ms (min of {rounds})");
+    }
+    eprintln!("appended {} history entries to {out}", entries.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::splice_history;
+
+    const ENTRY: &str = r#"{"commit": "abc1234", "date": "2026-08-09", "case": "mapper_kernel/x", "after_min_ms": 1.5}"#;
+
+    #[test]
+    fn creates_the_history_array_on_first_run() {
+        let text = "{\n  \"bench\": \"mapper_kernel\",\n  \"cases\": {\n    \"x\": { \"after_min_ms\": 1 }\n  }\n}\n";
+        let spliced = splice_history(text, &[ENTRY.to_string()]);
+        assert!(spliced.contains("\"history\": [\n    {\"commit\": \"abc1234\""));
+        assert!(spliced.starts_with("{\n  \"bench\": \"mapper_kernel\""));
+        assert!(spliced.trim_end().ends_with("]\n}"));
+        // The cases block is untouched.
+        assert!(spliced.contains("\"x\": { \"after_min_ms\": 1 }"));
+    }
+
+    #[test]
+    fn appends_into_an_existing_array_and_accumulates() {
+        let text = "{\n  \"cases\": {},\n  \"history\": [\n    {\"commit\": \"old\", \"case\": \"y\", \"after_min_ms\": 2}\n  ]\n}\n";
+        let spliced = splice_history(text, &[ENTRY.to_string()]);
+        assert!(spliced.contains("\"commit\": \"old\""), "history must accumulate");
+        assert!(spliced.contains("\"commit\": \"abc1234\""));
+        // A second append keeps both prior entries.
+        let again = splice_history(&spliced, &[ENTRY.replace("abc1234", "def5678")]);
+        assert!(again.contains("\"old\"") && again.contains("\"abc1234\"") && again.contains("\"def5678\""));
+    }
+}

@@ -137,6 +137,7 @@ mod tests {
             mean_t100_per_second: 0.0,
             feasible: 2,
             total: 2,
+            mean_cost: None,
         }
     }
 

@@ -11,8 +11,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use adhoc_grid::io::wire::{read_frame, Frame};
 
 use crate::proto::{
-    CampaignRequest, CampaignResponse, Event, MapRequest, MapResponse, Request, ServerMsg,
-    StatusRequest, StatusResponse,
+    CampaignRequest, CampaignResponse, Event, MapRequest, MapResponse, OpenRequest, Request,
+    ServerMsg, StatusRequest, StatusResponse,
 };
 
 /// A client connection to a broker daemon.
@@ -68,6 +68,20 @@ impl Connection {
         mut on_event: impl FnMut(&Event),
     ) -> Result<MapResponse, String> {
         match self.transact(&Request::Map(req.clone()), &mut on_event)? {
+            ServerMsg::Map(resp) => Ok(resp),
+            ServerMsg::Error(e) => Err(e.message),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+
+    /// Submit an open-system streaming job; returns its deterministic
+    /// open report.
+    pub fn submit_open(
+        &mut self,
+        req: &OpenRequest,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<MapResponse, String> {
+        match self.transact(&Request::Open(req.clone()), &mut on_event)? {
             ServerMsg::Map(resp) => Ok(resp),
             ServerMsg::Error(e) => Err(e.message),
             other => Err(format!("unexpected reply {other:?}")),

@@ -19,8 +19,12 @@ use slrh::{
     run_slrh_churn_observed, run_slrh_observed, RunContext, SlrhVariant, TickEvent,
 };
 
+use slrh::open::{run_open_in, OpenOutcome};
+
 use crate::checkpoint::Checkpoint;
-use crate::proto::{CampaignRequest, CampaignResponse, Event, MapRequest, MapResponse};
+use crate::proto::{
+    CampaignRequest, CampaignResponse, Event, MapRequest, MapResponse, OpenRequest,
+};
 
 /// The SLRH variant behind a heuristic, when there is one.
 fn slrh_variant(h: Heuristic) -> Option<SlrhVariant> {
@@ -32,14 +36,18 @@ fn slrh_variant(h: Heuristic) -> Option<SlrhVariant> {
     }
 }
 
-/// Reject a request whose churn trace the churn API would panic on:
-/// out-of-range machines, duplicate machines, losing the whole grid, or
-/// an arrival at/after the same machine's loss.
-fn validate_churn(req: &MapRequest, grid_len: usize) -> Result<(), String> {
-    if req.losses.len() >= grid_len && !req.losses.is_empty() {
+/// Reject a churn trace the churn API would panic on: out-of-range
+/// machines, duplicate machines, losing the whole grid, or an arrival
+/// at/after the same machine's loss.
+fn validate_churn(
+    losses: &[(usize, u64)],
+    arrivals: &[(usize, u64)],
+    grid_len: usize,
+) -> Result<(), String> {
+    if losses.len() >= grid_len && !losses.is_empty() {
         return Err("cannot lose every machine".into());
     }
-    for (list, what) in [(&req.losses, "loss"), (&req.arrivals, "arrival")] {
+    for (list, what) in [(losses, "loss"), (arrivals, "arrival")] {
         for &(machine, _) in list.iter() {
             if machine >= grid_len {
                 return Err(format!("{what} names machine {machine} of {grid_len}"));
@@ -52,8 +60,8 @@ fn validate_churn(req: &MapRequest, grid_len: usize) -> Result<(), String> {
             return Err(format!("duplicate {what} machine"));
         }
     }
-    for &(machine, at) in &req.arrivals {
-        if let Some(&(_, lost)) = req.losses.iter().find(|&&(m, _)| m == machine) {
+    for &(machine, at) in arrivals {
+        if let Some(&(_, lost)) = losses.iter().find(|&&(m, _)| m == machine) {
             if at >= lost {
                 return Err(format!(
                     "machine {machine} lost at {lost} before arriving at {at}"
@@ -148,7 +156,7 @@ pub fn execute_map(
                     req.config.variant, req.heuristic
                 ));
             }
-            validate_churn(req, scenario.grid.len())?;
+            validate_churn(&req.losses, &req.arrivals, scenario.grid.len())?;
             let mut observer = |t: TickEvent| {
                 emit(Event::Tick {
                     job,
@@ -245,6 +253,129 @@ pub fn execute_map(
             )
         }
     };
+    Ok(MapResponse { job, report })
+}
+
+/// Render the deterministic report for a finished open-system run.
+/// Aggregate metrics come first, then one line per job in scheduling
+/// order; every float renders through the workspace's shortest-roundtrip
+/// formatter so equal runs produce equal bytes.
+fn render_open_report(req: &OpenRequest, out: &OpenOutcome, valid: bool) -> String {
+    let m = out.metrics();
+    let mut s = String::new();
+    s.push_str("lrh-grid open report v1\n");
+    s.push_str(&format!("label={}\n", req.label));
+    s.push_str(&format!("config={}\n", req.config));
+    s.push_str(&format!("case={}\n", req.case));
+    s.push_str(&format!("seed=0x{:016x}\n", req.seed));
+    if !req.bg.is_none() {
+        s.push_str(&format!("background={}\n", req.bg.encode()));
+    }
+    s.push_str(&format!("jobs={}\n", m.jobs));
+    s.push_str(&format!("completed={}/{}\n", m.completed, m.jobs));
+    s.push_str(&format!("deadline-hits={}\n", m.deadline_hits));
+    s.push_str(&format!("hit-rate={}\n", kv::format_f64(m.hit_rate())));
+    s.push_str(&format!("throughput={}\n", kv::format_f64(m.throughput())));
+    s.push_str(&format!("total-cost={}\n", kv::format_f64(m.total_cost)));
+    s.push_str(&format!("cost-per-job={}\n", kv::format_f64(m.cost_per_job())));
+    s.push_str(&format!("makespan={}\n", m.makespan.0));
+    s.push_str(&format!("valid={}\n", if valid { "yes" } else { "no" }));
+    s.push_str(&format!("clock-steps={}\n", out.stats.clock_steps));
+    s.push_str(&format!("commits={}\n", out.stats.commits));
+    s.push_str(&format!("candidates={}\n", out.stats.candidates_evaluated));
+    if !out.disruptions.is_empty() {
+        let invalidated: usize = out.disruptions.iter().map(|&(_, n)| n).sum();
+        s.push_str(&format!("disruptions={}\n", out.disruptions.len()));
+        s.push_str(&format!("invalidated={invalidated}\n"));
+    }
+    for r in &out.jobs {
+        let budget = match r.within_budget {
+            Some(true) => "ok",
+            Some(false) => "over",
+            None => "-",
+        };
+        s.push_str(&format!(
+            "job={} at={} kind={} mapped={}/{} finish={} deadline={} hit={} cost={} budget={}\n",
+            r.job.id,
+            r.job.at.0,
+            r.job.kind.label(),
+            r.mapped,
+            r.job.tasks,
+            r.finish.0,
+            r.job.absolute_deadline().0,
+            if r.deadline_hit { "yes" } else { "no" },
+            kv::format_f64(r.cost),
+            budget,
+        ));
+    }
+    s
+}
+
+/// Execute an open-system streaming job, emitting one [`Event::Job`]
+/// per scheduled job (plus [`Event::Disruption`]s for churn losses) and
+/// returning the deterministic open report.
+pub fn execute_open(
+    job: u64,
+    req: &OpenRequest,
+    ctx: &mut RunContext,
+    emit: &mut dyn FnMut(Event),
+) -> Result<MapResponse, String> {
+    if req.config.scale.is_some() {
+        return Err("open-system runs do not support the scale path".into());
+    }
+    if req.jobs.is_empty() {
+        return Err("open-request needs at least one job".into());
+    }
+    let mut ids: Vec<u64> = req.jobs.iter().map(|j| j.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != req.jobs.len() {
+        return Err("duplicate job id in arrival trace".into());
+    }
+    for j in &req.jobs {
+        if j.tasks == 0 {
+            return Err(format!("job {} has no tasks", j.id));
+        }
+        if j.deadline.0 == 0 {
+            return Err(format!("job {} has a zero deadline", j.id));
+        }
+    }
+    if req.bg.max_util_eighths > 6 {
+        return Err("background utilization capped at 6/8".into());
+    }
+    let params = req.open_params();
+    let grid_len = adhoc_grid::config::GridConfig::case(req.case).len();
+    validate_churn(&req.losses, &req.arrivals, grid_len)?;
+
+    let losses = req.loss_events();
+    let arrivals = req.arrival_events();
+    let mut all_valid = true;
+    let out = run_open_in(
+        &params,
+        &req.config,
+        &losses,
+        &arrivals,
+        ctx,
+        Some(&mut |state: &gridsim::state::SimState<'_>, r: &slrh::open::OpenJobReport| {
+            all_valid &= validate(state).is_empty();
+            emit(Event::Job {
+                job,
+                id: r.job.id,
+                mapped: r.mapped,
+                tasks: r.job.tasks,
+                hit: r.deadline_hit,
+                cost: r.cost,
+            });
+        }),
+    );
+    for &(at, invalidated) in &out.disruptions {
+        emit(Event::Disruption {
+            job,
+            at: at.0,
+            invalidated,
+        });
+    }
+    let report = render_open_report(req, &out, all_valid);
     Ok(MapResponse { job, report })
 }
 

@@ -36,10 +36,10 @@ pub mod server;
 
 pub use checkpoint::Checkpoint;
 pub use client::Connection;
-pub use execute::{execute_campaign, execute_map};
+pub use execute::{execute_campaign, execute_map, execute_open};
 pub use proto::{
-    CampaignRequest, CampaignResponse, ErrorResponse, Event, MapRequest, MapResponse, Request,
-    ScenarioSpec, ServerMsg, StatusRequest, StatusResponse,
+    CampaignRequest, CampaignResponse, ErrorResponse, Event, MapRequest, MapResponse, OpenRequest,
+    Request, ScenarioSpec, ServerMsg, StatusRequest, StatusResponse,
 };
 pub use queue::JobQueue;
 pub use server::{serve, BrokerConfig, BrokerHandle};

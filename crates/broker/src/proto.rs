@@ -11,6 +11,7 @@
 //! the weights bit-exactly) — so a value printed on either side of the
 //! wire re-parses to the identical value on the other.
 
+use adhoc_grid::arrival::{BackgroundParams, JobArrival, OpenParams};
 use adhoc_grid::config::{GridCase, MachineId};
 use adhoc_grid::io::kv::{self, KvError};
 use adhoc_grid::io::wire::Frame;
@@ -24,6 +25,8 @@ use slrh::{MachineArrivalEvent, MachineLossEvent, SlrhConfig};
 pub const KIND_MAP_REQUEST: &str = "map-request";
 /// Frame kind of [`CampaignRequest`].
 pub const KIND_CAMPAIGN_REQUEST: &str = "campaign-request";
+/// Frame kind of [`OpenRequest`].
+pub const KIND_OPEN_REQUEST: &str = "open-request";
 /// Frame kind of [`StatusRequest`].
 pub const KIND_STATUS_REQUEST: &str = "status-request";
 /// Frame kind of the shutdown request.
@@ -281,6 +284,154 @@ impl MapRequest {
     }
 }
 
+/// An open-system streaming job: schedule an explicit arrival trace of
+/// deadline/budget-constrained jobs on one shared, churning grid
+/// ([`slrh::open`]). The trace always travels explicitly — clients
+/// expand Poisson parameters *before* submitting — so the daemon's run
+/// is a pure function of the frame and byte-identical to the one-shot
+/// CLI on the same request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OpenRequest {
+    /// Client identity (see [`MapRequest::client`]).
+    pub client: String,
+    /// Client-chosen job label, echoed in the report.
+    pub label: String,
+    /// The SLRH configuration driving every per-job clock loop.
+    pub config: SlrhConfig,
+    /// The shared grid case.
+    pub case: GridCase,
+    /// Master seed for per-job artifact generation.
+    pub seed: u64,
+    /// The arrival trace, in arrival order.
+    pub jobs: Vec<JobArrival>,
+    /// Background-load model parameters.
+    pub bg: BackgroundParams,
+    /// Machine losses (ticks).
+    pub losses: Vec<(usize, u64)>,
+    /// Machine arrivals (ticks).
+    pub arrivals: Vec<(usize, u64)>,
+}
+
+impl OpenRequest {
+    /// The open-system instance this request names.
+    pub fn open_params(&self) -> OpenParams {
+        OpenParams {
+            case: self.case,
+            master_seed: self.seed,
+            jobs: self.jobs.clone(),
+            bg: self.bg,
+        }
+    }
+
+    /// The losses as the churn API's event type.
+    pub fn loss_events(&self) -> Vec<MachineLossEvent> {
+        self.losses
+            .iter()
+            .map(|&(machine, at)| MachineLossEvent {
+                machine: MachineId(machine),
+                at: Time(at),
+            })
+            .collect()
+    }
+
+    /// The arrivals as the churn API's event type.
+    pub fn arrival_events(&self) -> Vec<MachineArrivalEvent> {
+        self.arrivals
+            .iter()
+            .map(|&(machine, at)| MachineArrivalEvent {
+                machine: MachineId(machine),
+                at: Time(at),
+            })
+            .collect()
+    }
+
+    /// Encode to a wire frame. The background key is omitted when the
+    /// model is inert, mirroring how every other optional rides the
+    /// wire.
+    pub fn to_frame(&self) -> Frame {
+        let mut f = Frame::new(KIND_OPEN_REQUEST);
+        f.push("client", self.client.clone())
+            .push("label", self.label.clone())
+            .push("config", self.config.to_string())
+            .push("case", self.case.to_string())
+            .push("seed", format!("0x{:016x}", self.seed));
+        for job in &self.jobs {
+            f.push("job", job.encode());
+        }
+        if !self.bg.is_none() {
+            f.push("background", self.bg.encode());
+        }
+        for &(m, t) in &self.losses {
+            f.push("loss", format!("{m}@{t}"));
+        }
+        for &(m, t) in &self.arrivals {
+            f.push("arrival", format!("{m}@{t}"));
+        }
+        f
+    }
+
+    /// Decode from a wire frame.
+    pub fn from_frame(frame: &Frame) -> Result<OpenRequest, KvError> {
+        expect_kind(frame, KIND_OPEN_REQUEST)?;
+        let config: SlrhConfig = frame
+            .req("config")?
+            .parse()
+            .map_err(|e: String| KvError {
+                line: 0,
+                message: format!("config: {e}"),
+            })?;
+        let case: GridCase = frame
+            .req("case")?
+            .parse()
+            .map_err(|e| KvError { line: 0, message: e })?;
+        let seed = kv::parse_u64(frame.req("seed")?).map_err(|e| KvError {
+            line: 0,
+            message: format!("seed: {e}"),
+        })?;
+        let jobs: Vec<JobArrival> = frame
+            .all("job")
+            .map(|s| {
+                JobArrival::decode(s).map_err(|e| KvError {
+                    line: 0,
+                    message: format!("job: {e}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if jobs.is_empty() {
+            return bad("open-request needs at least one job");
+        }
+        let bg = match frame.get("background") {
+            Some(s) => BackgroundParams::decode(s).map_err(|e| KvError {
+                line: 0,
+                message: format!("background: {e}"),
+            })?,
+            None => BackgroundParams::none(),
+        };
+        let events = |key: &str| -> Result<Vec<(usize, u64)>, KvError> {
+            frame
+                .all(key)
+                .map(|s| {
+                    kv::parse_at_pair(s).map_err(|e| KvError {
+                        line: 0,
+                        message: format!("{key}: {e}"),
+                    })
+                })
+                .collect()
+        };
+        Ok(OpenRequest {
+            client: frame.get("client").unwrap_or("anon").to_string(),
+            label: frame.get("label").unwrap_or("").to_string(),
+            config,
+            case,
+            seed,
+            jobs,
+            bg,
+            losses: events("loss")?,
+            arrivals: events("arrival")?,
+        })
+    }
+}
+
 /// A campaign sweep submitted as a batch job: the full
 /// (heuristic × case) grid over a scenario suite, one checkpointable
 /// unit per cell.
@@ -462,6 +613,23 @@ pub enum Event {
         /// Subtask mappings invalidated.
         invalidated: usize,
     },
+    /// One open-system job finished scheduling. `cost` is a pure
+    /// function of the job's final schedule, so the payload stays
+    /// deterministic; it rides the wire as an exact f64 bit pattern.
+    Job {
+        /// Daemon job id.
+        job: u64,
+        /// Stream job id ([`adhoc_grid::arrival::JobArrival::id`]).
+        id: u64,
+        /// Subtasks mapped (of `tasks`).
+        mapped: usize,
+        /// Subtasks in the job.
+        tasks: usize,
+        /// Completed by its absolute deadline.
+        hit: bool,
+        /// Grid-dollars billed to the job.
+        cost: f64,
+    },
     /// One campaign unit finished.
     Unit {
         /// Job id.
@@ -488,6 +656,7 @@ impl Event {
             | Event::Started { job }
             | Event::Tick { job, .. }
             | Event::Disruption { job, .. }
+            | Event::Job { job, .. }
             | Event::Unit { job, .. }
             | Event::Done { job } => job,
         }
@@ -523,6 +692,21 @@ impl Event {
                 f.push("event", "disruption")
                     .push("at", at.to_string())
                     .push("invalidated", invalidated.to_string());
+            }
+            Event::Job {
+                id,
+                mapped,
+                tasks,
+                hit,
+                cost,
+                ..
+            } => {
+                f.push("event", "job")
+                    .push("id", id.to_string())
+                    .push("mapped", mapped.to_string())
+                    .push("tasks", tasks.to_string())
+                    .push("hit", if *hit { "yes" } else { "no" })
+                    .push("cost", kv::format_f64_bits(*cost));
             }
             Event::Unit {
                 index, total, row, ..
@@ -563,6 +747,21 @@ impl Event {
                 job,
                 at: num("at")?,
                 invalidated: num("invalidated")? as usize,
+            }),
+            "job" => Ok(Event::Job {
+                job,
+                id: num("id")?,
+                mapped: num("mapped")? as usize,
+                tasks: num("tasks")? as usize,
+                hit: match frame.req("hit")? {
+                    "yes" => true,
+                    "no" => false,
+                    other => return bad(format!("bad hit flag {other:?}")),
+                },
+                cost: kv::parse_f64_bits(frame.req("cost")?).map_err(|e| KvError {
+                    line: 0,
+                    message: format!("cost: {e}"),
+                })?,
             }),
             "unit" => Ok(Event::Unit {
                 job,
@@ -754,6 +953,8 @@ pub enum Request {
     Map(MapRequest),
     /// Submit a campaign batch job.
     Campaign(CampaignRequest),
+    /// Submit an open-system streaming job.
+    Open(OpenRequest),
     /// Ask for a status snapshot.
     Status(StatusRequest),
     /// Ask the daemon to shut down.
@@ -766,6 +967,7 @@ impl Request {
         match self {
             Request::Map(r) => r.to_frame(),
             Request::Campaign(r) => r.to_frame(),
+            Request::Open(r) => r.to_frame(),
             Request::Status(r) => r.to_frame(),
             Request::Shutdown => Frame::new(KIND_SHUTDOWN_REQUEST),
         }
@@ -776,6 +978,7 @@ impl Request {
         match frame.kind.as_str() {
             KIND_MAP_REQUEST => MapRequest::from_frame(frame).map(Request::Map),
             KIND_CAMPAIGN_REQUEST => CampaignRequest::from_frame(frame).map(Request::Campaign),
+            KIND_OPEN_REQUEST => OpenRequest::from_frame(frame).map(Request::Open),
             KIND_STATUS_REQUEST => StatusRequest::from_frame(frame).map(Request::Status),
             KIND_SHUTDOWN_REQUEST => Ok(Request::Shutdown),
             other => bad(format!("unknown request kind {other:?}")),
@@ -877,6 +1080,70 @@ mod tests {
         assert_eq!(back, req);
         let rebuilt = back.scenario.build().unwrap();
         assert_eq!(rebuilt.etc, sc.etc);
+    }
+
+    #[test]
+    fn open_request_round_trips() {
+        use adhoc_grid::arrival::{poisson_trace, PoissonParams};
+        let mut req = OpenRequest {
+            client: "cli".into(),
+            label: "stream".into(),
+            config: SlrhConfig::paper(SlrhVariant::V1, Weights::new(0.5, 0.3).unwrap()),
+            case: GridCase::B,
+            seed: 0x1234_5678,
+            jobs: poisson_trace(&PoissonParams {
+                jobs: 5,
+                mean_gap: 700,
+                tasks: (4, 10),
+                bag_in_8: 3,
+                budget_in_8: 5,
+                seed: 9,
+            }),
+            bg: BackgroundParams::none(),
+            losses: vec![(1, 4_000)],
+            arrivals: vec![(2, 100)],
+        };
+        let text = req.to_frame().encode();
+        // An inert background model is omitted from the frame entirely.
+        assert!(!text.contains("background"), "{text}");
+        let back = OpenRequest::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.open_params().jobs, req.jobs);
+
+        req.bg = BackgroundParams {
+            max_offset: 500,
+            max_util_eighths: 3,
+            seed: 77,
+        };
+        let text = req.to_frame().encode();
+        assert!(text.contains("background"), "{text}");
+        let back = OpenRequest::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        // Dispatch through the Request enum.
+        let dispatched = Request::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(dispatched, Request::Open(req.clone()));
+
+        // An empty trace is rejected.
+        req.jobs.clear();
+        assert!(OpenRequest::from_frame(&Frame::decode(&req.to_frame().encode()).unwrap()).is_err());
+    }
+
+    #[test]
+    fn job_event_round_trips_bit_exactly() {
+        let ev = Event::Job {
+            job: 7,
+            id: 3,
+            mapped: 12,
+            tasks: 12,
+            hit: true,
+            cost: 1234.5678901234567,
+        };
+        let text = ev.to_frame().encode();
+        let back = Event::from_frame(&Frame::decode(&text).unwrap()).unwrap();
+        assert_eq!(back, ev);
+        let Event::Job { cost, .. } = back else { unreachable!() };
+        assert_eq!(cost.to_bits(), 1234.5678901234567f64.to_bits());
     }
 
     #[test]

@@ -30,9 +30,10 @@ use std::thread::JoinHandle;
 use adhoc_grid::io::wire::read_frame;
 use slrh::RunContext;
 
-use crate::execute::{execute_campaign, execute_map};
+use crate::execute::{execute_campaign, execute_map, execute_open};
 use crate::proto::{
-    CampaignRequest, ErrorResponse, Event, MapRequest, Request, ServerMsg, StatusResponse,
+    CampaignRequest, ErrorResponse, Event, MapRequest, OpenRequest, Request, ServerMsg,
+    StatusResponse,
 };
 use crate::queue::JobQueue;
 
@@ -57,6 +58,7 @@ impl Default for BrokerConfig {
 
 enum JobBody {
     Map(MapRequest),
+    Open(OpenRequest),
     Campaign(CampaignRequest),
 }
 
@@ -226,6 +228,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
                 let client = req.client.clone();
                 submit(shared, &client, JobBody::Map(req), &mut writer)?;
             }
+            Request::Open(req) => {
+                let client = req.client.clone();
+                submit(shared, &client, JobBody::Open(req), &mut writer)?;
+            }
             Request::Campaign(req) => {
                 let client = req.client.clone();
                 submit(shared, &client, JobBody::Campaign(req), &mut writer)?;
@@ -283,6 +289,9 @@ fn worker_loop(shared: &Arc<Shared>) {
         let outcome = match &body {
             JobBody::Map(req) => {
                 execute_map(id, req, &mut ctx, &mut emit).map(ServerMsg::Map)
+            }
+            JobBody::Open(req) => {
+                execute_open(id, req, &mut ctx, &mut emit).map(ServerMsg::Map)
             }
             JobBody::Campaign(req) => {
                 execute_campaign(id, req, &mut emit).map(ServerMsg::Campaign)

@@ -33,6 +33,7 @@ pub mod config;
 pub mod context;
 pub mod dynamic;
 mod frontier;
+pub mod open;
 #[doc(hidden)]
 pub mod mapper;
 pub mod pool;
@@ -42,4 +43,5 @@ pub use config::{Adaptation, ConfigError, MachineOrder, ScaleMode, SlrhConfig, S
 pub use context::RunContext;
 pub use dynamic::{run_slrh_churn, run_slrh_churn_in, run_slrh_churn_observed, run_slrh_dynamic, DynamicOutcome, MachineArrivalEvent, MachineLossEvent};
 pub use mapper::{run_slrh, run_slrh_in, run_slrh_observed, RunStats, SlrhOutcome, TickEvent};
+pub use open::{run_open, run_open_in, JobHook, OpenJobReport, OpenMetrics, OpenOutcome};
 pub use pool::{build_pool, build_pool_with, Pool, PoolCache, PoolEntry};

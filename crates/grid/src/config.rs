@@ -150,6 +150,20 @@ impl GridConfig {
         (0..self.machines.len()).map(MachineId)
     }
 
+    /// Drain each machine's battery by the energy already spent on it
+    /// (clamped at zero) — how the open-system mode carries battery
+    /// depletion across the jobs sharing one grid. A machine drained to
+    /// zero stays in the grid but fails every energy-feasibility gate.
+    ///
+    /// # Panics
+    /// Panics when `spent` does not cover every machine.
+    pub fn drain_batteries(&mut self, spent: &[Energy]) {
+        assert_eq!(spent.len(), self.machines.len(), "one drain per machine");
+        for (m, &e) in self.machines.iter_mut().zip(spent) {
+            m.battery = Energy((m.battery.units() - e.units()).max(0.0));
+        }
+    }
+
     /// Total system energy `TSE = Σ_j B(j)` (§IV).
     pub fn total_system_energy(&self) -> Energy {
         self.machines.iter().map(|m| m.battery).sum()

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod config;
 pub mod dag;
 pub mod dag_gen;
@@ -41,6 +42,9 @@ pub mod task;
 pub mod units;
 pub mod workload;
 
+pub use arrival::{
+    poisson_trace, Background, BackgroundParams, JobArrival, JobKind, OpenParams, PoissonParams,
+};
 pub use config::{GridCase, GridConfig, MachineId};
 pub use dag::Dag;
 pub use data::DataSizes;

@@ -94,6 +94,21 @@ impl MachineSpec {
         Energy(self.compute_power * d.as_seconds())
     }
 
+    /// Price of one second of this machine's time, in grid-dollars —
+    /// the cost dimension of the open-system mode and the DBC
+    /// (deadline-and-budget-constrained, Buyya et al.) heuristics.
+    /// Notebook-class machines rent at 16 G$/s, PDA-class machines at
+    /// 1 G$/s. Fast machines run subtasks roughly ten times faster, so
+    /// the slow machines are ~1.6x cheaper *per unit of work* — the
+    /// classic grid-economy trade-off where meeting a tight deadline
+    /// costs real money and a slack one lets the scheduler save it.
+    pub fn price_rate(&self) -> f64 {
+        match self.class {
+            MachineClass::Fast => 16.0,
+            MachineClass::Slow => 1.0,
+        }
+    }
+
     /// Energy consumed by *transmitting* for `d` on this machine: `C(j) · d`.
     /// Receiving is free (§III assumption (a)).
     pub fn transmit_energy(&self, d: Dur) -> Energy {

@@ -1,0 +1,153 @@
+//! Property tests for the open-system arrival layer: the seeded
+//! Poisson process is a pure function of its parameters, the arrival
+//! trace and background codecs round-trip bit-exactly (budgets ride as
+//! `f64` bit patterns through the shared `io::kv` helpers), and the
+//! background model respects its envelope.
+
+use adhoc_grid::arrival::{
+    poisson_trace, Background, BackgroundParams, JobArrival, JobKind, PoissonParams,
+};
+use adhoc_grid::units::{Dur, Time};
+use proptest::prelude::*;
+
+fn params(
+    jobs: u32,
+    mean_gap: u64,
+    tasks: (usize, usize),
+    bag_in_8: u8,
+    budget_in_8: u8,
+    seed: u64,
+) -> PoissonParams {
+    PoissonParams {
+        jobs,
+        mean_gap,
+        tasks,
+        bag_in_8,
+        budget_in_8,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed ⇒ the identical trace, bit for bit; arrivals strictly
+    /// advance; sizes stay inside the requested range; deadlines are
+    /// positive; budgets appear exactly as often as the rate demands at
+    /// the extremes.
+    #[test]
+    fn poisson_trace_is_deterministic_and_in_envelope(
+        jobs in 1u32..40,
+        mean_gap in 1u64..5_000,
+        lo in 1usize..12,
+        extra in 0usize..20,
+        bag_in_8 in 0u8..=8,
+        budget_in_8 in 0u8..=8,
+        seed in any::<u64>(),
+    ) {
+        let p = params(jobs, mean_gap, (lo, lo + extra), bag_in_8, budget_in_8, seed);
+        let a = poisson_trace(&p);
+        let b = poisson_trace(&p);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), jobs as usize);
+        let mut prev = Time::ZERO;
+        for (i, j) in a.iter().enumerate() {
+            prop_assert_eq!(j.id, i as u64);
+            prop_assert!(j.at > prev, "arrivals must strictly advance");
+            prev = j.at;
+            prop_assert!(j.tasks >= lo && j.tasks <= lo + extra);
+            prop_assert!(j.deadline > Dur(0));
+            if budget_in_8 == 0 {
+                prop_assert!(j.budget.is_none());
+            }
+            if budget_in_8 == 8 {
+                prop_assert!(j.budget.is_some());
+            }
+            if bag_in_8 == 0 {
+                prop_assert_eq!(j.kind, JobKind::Dag);
+            }
+            if bag_in_8 == 8 {
+                prop_assert_eq!(j.kind, JobKind::Bag);
+            }
+        }
+    }
+
+    /// A different seed yields a different trace (collisions over a full
+    /// exponential-gap stream would require an astronomically unlikely
+    /// seed-stream collision).
+    #[test]
+    fn poisson_trace_varies_with_the_seed(seed in any::<u64>()) {
+        let p = params(8, 500, (4, 12), 3, 4, seed);
+        let q = PoissonParams { seed: seed ^ 1, ..p };
+        prop_assert_ne!(poisson_trace(&p), poisson_trace(&q));
+    }
+
+    /// The job-arrival one-liner round-trips bit-exactly, budgets
+    /// included.
+    #[test]
+    fn job_arrival_codec_round_trips(
+        id in any::<u64>(),
+        at in any::<u64>(),
+        bag in any::<bool>(),
+        tasks in 1usize..100_000,
+        deadline in 1u64..u64::MAX,
+        has_budget in any::<bool>(),
+        budget_value in -1e12f64..1e12,
+    ) {
+        let budget = has_budget.then_some(budget_value);
+        let job = JobArrival {
+            id,
+            at: Time(at),
+            kind: if bag { JobKind::Bag } else { JobKind::Dag },
+            tasks,
+            deadline: Dur(deadline),
+            budget,
+        };
+        let decoded = JobArrival::decode(&job.encode()).expect("decode");
+        prop_assert_eq!(decoded, job);
+        if let (Some(b), Some(d)) = (budget, decoded.budget) {
+            prop_assert_eq!(b.to_bits(), d.to_bits());
+        }
+    }
+
+    /// The background-model one-liner round-trips exactly, and the
+    /// materialized model stays inside its envelope deterministically.
+    #[test]
+    fn background_codec_and_envelope(
+        max_offset in 0u64..1_000_000,
+        max_util_eighths in 0u8..=6,
+        seed in any::<u64>(),
+        machines in 1usize..64,
+    ) {
+        let p = BackgroundParams { max_offset, max_util_eighths, seed };
+        prop_assert_eq!(BackgroundParams::decode(&p.encode()).expect("decode"), p);
+
+        let a = Background::generate(machines, &p);
+        let b = Background::generate(machines, &p);
+        prop_assert_eq!(a.offset.clone(), b.offset.clone());
+        for m in 0..machines {
+            prop_assert!(a.offset[m] <= Time(max_offset));
+            // Inflation is monotone in the busy time and zero when the
+            // machine carries no background utilization.
+            let small = a.inflate(m, Dur(10));
+            let large = a.inflate(m, Dur(1_000));
+            prop_assert!(small <= large);
+            if max_util_eighths == 0 {
+                prop_assert_eq!(large, Dur(0));
+            }
+        }
+    }
+
+    /// A near-miss background line either errors cleanly or decodes to
+    /// a value whose canonical form round-trips; never a panic.
+    #[test]
+    fn background_decode_rejects_garbage(
+        picks in prop::collection::vec(0usize..16, 0..24),
+    ) {
+        const CHARS: &[u8] = b"0123456789;x@ab";
+        let s: String = picks.iter().map(|&i| CHARS[i % CHARS.len()] as char).collect();
+        if let Ok(p) = BackgroundParams::decode(&s) {
+            prop_assert_eq!(BackgroundParams::decode(&p.encode()).expect("canonical"), p);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod ledger;
 pub mod metrics;
 pub mod outcome;
@@ -45,6 +46,7 @@ pub mod timeline;
 pub mod trace;
 pub mod validate;
 
+pub use cost::schedule_cost;
 pub use ledger::EnergyLedger;
 pub use metrics::Metrics;
 pub use outcome::MappingOutcome;

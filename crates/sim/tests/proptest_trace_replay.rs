@@ -186,3 +186,112 @@ proptest! {
         prop_assert_eq!(a.schedule().transfers(), b.schedule().transfers());
     }
 }
+
+/// Drive a state where machine arrivals are *interleaved* with losses
+/// and commits mid-sequence (the open-system regime: a machine may join
+/// after other machines have already been lost), rather than all rolled
+/// up front. `BlockUntil` must still precede any work on its machine,
+/// so commits skip machines whose arrival has not been rolled yet.
+fn drive_interleaved<'a>(sc: &'a Scenario, decisions: &[u8]) -> (SimState<'a>, EventTrace) {
+    let mut st = SimState::new(sc);
+    let mut rec = EventTrace::new();
+    let mut d = decisions.iter().copied().cycle();
+    let mut next = move || d.next().unwrap();
+
+    // Machines 1.. start "pending": they join only when the loop rolls
+    // their arrival. Machine 0 is available immediately so the schedule
+    // is never empty-handed.
+    let mut pending: Vec<MachineId> = sc.grid.ids().skip(1).collect();
+    let mut alive = sc.grid.len();
+    let mut budget = decisions.len() * 4;
+    while budget > 0 {
+        budget -= 1;
+        match next() % 16 {
+            0..=9 => {
+                let ready = st.ready_tasks();
+                if ready.is_empty() {
+                    continue;
+                }
+                let t = ready[next() as usize % ready.len()];
+                let j = MachineId(next() as usize % sc.grid.len());
+                if pending.contains(&j) {
+                    continue;
+                }
+                let v = if next() % 3 == 0 {
+                    Version::Primary
+                } else {
+                    Version::Secondary
+                };
+                if !st.version_feasible(t, v, j) {
+                    continue;
+                }
+                let plan = st.plan(t, v, j, Placement::Append {
+                    not_before: Time::ZERO,
+                });
+                rec.record_commit(&plan);
+                st.commit(&plan);
+            }
+            // Mid-sequence arrival: an untouched machine joins now,
+            // possibly after losses elsewhere.
+            10..=12 => {
+                if pending.is_empty() {
+                    continue;
+                }
+                let j = pending.swap_remove(next() as usize % pending.len());
+                let at = Time(10 + u64::from(next()) % 190);
+                rec.record(ReplayOp::BlockUntil(j, at));
+                st.block_until(j, at);
+            }
+            // Lose an arrived machine, keeping at least one alive.
+            13 | 14 => {
+                if alive <= 1 {
+                    continue;
+                }
+                let j = MachineId(next() as usize % sc.grid.len());
+                if !st.is_alive(j) || pending.contains(&j) {
+                    continue;
+                }
+                let at = Time(u64::from(next()) % 200);
+                rec.record(ReplayOp::MarkLost(j, at));
+                st.mark_lost(j, at);
+                alive -= 1;
+            }
+            _ => {}
+        }
+    }
+    (st, rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replay reproduces a sequence in which arrivals land between
+    /// commits and losses, not only before them.
+    #[test]
+    fn replay_handles_arrivals_interleaved_with_losses(
+        decisions in prop::collection::vec(any::<u8>(), 48..220),
+        case_idx in 0usize..3,
+        dag_id in 0usize..3,
+    ) {
+        let case = GridCase::ALL[case_idx];
+        let sc = Scenario::generate(&ScenarioParams::paper_scaled(20), case, 1, dag_id);
+        let (original, rec) = drive_interleaved(&sc, &decisions);
+        prop_assert_eq!(original.revision(), rec.len() as u64);
+
+        let replayed = rec.replay(&sc);
+        prop_assert_eq!(replayed.revision(), original.revision());
+        prop_assert_eq!(replayed.metrics(), original.metrics());
+        prop_assert_eq!(
+            replayed.schedule().assignments().collect::<Vec<_>>(),
+            original.schedule().assignments().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            replayed.schedule().transfers(),
+            original.schedule().transfers()
+        );
+        for j in sc.grid.ids() {
+            prop_assert_eq!(replayed.lost_at(j), original.lost_at(j));
+        }
+        prop_assert_eq!(replayed.ledger().check_invariants(), Ok(()));
+    }
+}

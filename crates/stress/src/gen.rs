@@ -8,6 +8,7 @@
 //! are in flight), a loss and an arrival landing on the same tick, and
 //! late arrivals combined with tight deadlines.
 
+use adhoc_grid::arrival::{poisson_trace, BackgroundParams, PoissonParams};
 use adhoc_grid::config::GridCase;
 use adhoc_grid::seed;
 use adhoc_grid::workload::ScenarioParams;
@@ -17,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slrh::Adaptation;
 
-use crate::spec::{CaseSpec, ChurnEvent};
+use crate::spec::{CaseSpec, ChurnEvent, OpenSpec};
 
 /// Seed-stream tag for the fuzz generator (distinct from the workload
 /// generators' ETC/DAG/DATA streams).
@@ -63,6 +64,10 @@ pub fn generate(fuzz_seed: u64) -> CaseSpec {
     // corpus and any recorded reproducer stay meaningful.
     let adaptation = gen_adaptation(&mut rng);
 
+    // Open-system sampling comes last, for the same reason: seeds that
+    // predate the open mode keep their exact cases.
+    let open = gen_open(&mut rng);
+
     let spec = CaseSpec {
         seed: fuzz_seed,
         tasks,
@@ -78,9 +83,38 @@ pub fn generate(fuzz_seed: u64) -> CaseSpec {
         losses,
         arrivals,
         adaptation,
+        open,
     };
     debug_assert_eq!(spec.check(), Ok(()));
     spec
+}
+
+/// Sample an open-system block for about a third of the cases: a short
+/// Poisson trace spanning saturated (tight mean gap) through sparse
+/// arrival regimes, mixed DAG/bag populations, per-job budgets, and a
+/// live background model on half of those cases.
+fn gen_open(rng: &mut StdRng) -> Option<OpenSpec> {
+    if !rng.gen_bool(1.0 / 3.0) {
+        return None;
+    }
+    let jobs = poisson_trace(&PoissonParams {
+        jobs: rng.gen_range(2u32..=5),
+        mean_gap: *[50u64, 200, 800, 3_000].get(rng.gen_range(0usize..4)).unwrap(),
+        tasks: (3, rng.gen_range(6usize..=10)),
+        bag_in_8: rng.gen_range(0u8..=8),
+        budget_in_8: rng.gen_range(0u8..=8),
+        seed: rng.gen_range(0u64..u64::MAX),
+    });
+    let bg = if rng.gen_bool(0.5) {
+        BackgroundParams::none()
+    } else {
+        BackgroundParams {
+            max_offset: rng.gen_range(0u64..=2_000),
+            max_util_eighths: rng.gen_range(1u8..=5),
+            seed: rng.gen_range(0u64..u64::MAX),
+        }
+    };
+    Some(OpenSpec { jobs, bg })
 }
 
 /// Sample the adaptive mode for about half the cases, covering every
@@ -211,6 +245,18 @@ mod tests {
     }
 
     #[test]
+    fn generated_specs_round_trip_the_corpus_codec() {
+        // Bit-exact through encode/decode for every generated case,
+        // open-system blocks (budgets as f64 bit patterns) included.
+        for s in 0..128 {
+            let spec = generate(s);
+            let decoded = CaseSpec::decode(&spec.encode())
+                .unwrap_or_else(|e| panic!("seed {s}: {e}"));
+            assert_eq!(decoded, spec, "seed {s}");
+        }
+    }
+
+    #[test]
     fn generation_covers_the_adversarial_regimes() {
         let specs: Vec<CaseSpec> = (0..512).map(generate).collect();
         // Off-lattice losses (mid-transfer regime).
@@ -262,5 +308,24 @@ mod tests {
         assert!(specs
             .iter()
             .any(|s| matches!(s.adaptation, Some(Adaptation { every, .. }) if every > 1)));
+        // Open-system blocks: present and absent, with and without a
+        // live background model, budgeted and unbudgeted jobs, and both
+        // job kinds show up.
+        use adhoc_grid::arrival::JobKind;
+        let opens: Vec<_> = specs.iter().filter_map(|s| s.open.as_ref()).collect();
+        assert!(!opens.is_empty());
+        assert!(specs.iter().any(|s| s.open.is_none()));
+        assert!(opens.iter().any(|o| o.bg.is_none()));
+        assert!(opens.iter().any(|o| !o.bg.is_none()));
+        assert!(opens.iter().any(|o| o.jobs.iter().any(|j| j.budget.is_some())));
+        assert!(opens.iter().any(|o| o.jobs.iter().all(|j| j.budget.is_none())));
+        for kind in [JobKind::Dag, JobKind::Bag] {
+            assert!(opens.iter().any(|o| o.jobs.iter().any(|j| j.kind == kind)));
+        }
+        // Open cases co-occur with churn: losses hit the shared grid
+        // while the job stream is live.
+        assert!(specs
+            .iter()
+            .any(|s| s.open.is_some() && !s.losses.is_empty()));
     }
 }

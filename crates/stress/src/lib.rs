@@ -47,6 +47,18 @@
 //! typed messages must round-trip bit-exactly through their encodings
 //! (the fixpoint the daemon's byte-identity guarantee rides on), and
 //! mutated/truncated/garbage frames must never panic a decoder.
+//!
+//! About a third of the generated cases additionally carry an
+//! **open-system block** ([`spec::OpenSpec`]): a seeded Poisson job
+//! trace with per-job deadlines and budgets plus a background-load
+//! model, streamed through `slrh::open::run_open_in` on the shared grid
+//! under the same churn trace. Each job's final state passes the full
+//! invariant battery plus open-specific oracles (no work before the
+//! job's arrival; the report's cost/deadline/budget claims recomputed
+//! bit-exactly from the schedule; the multi-job energy ledger conserved
+//! across the stream), and differential arms pin fresh-vs-reused
+//! contexts, 1-vs-4-thread pools, and the one-job-at-zero degenerate
+//! case against the closed-system driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,5 +75,5 @@ pub use gen::generate;
 pub use runner::{run_seed, RunReport};
 pub use scale::{generate_scale, run_scale_seed, ScaleCase, ScaleReport};
 pub use shrink::shrink;
-pub use spec::{CaseSpec, ChurnEvent};
+pub use spec::{CaseSpec, ChurnEvent, OpenSpec};
 pub use wire::{fuzz_wire, WireReport};

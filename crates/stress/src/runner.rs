@@ -29,17 +29,22 @@
 
 use std::fmt::Write as _;
 
+use adhoc_grid::arrival::{BackgroundParams, JobArrival, OpenParams};
+use adhoc_grid::units::{Energy, Time};
 use grid_baselines::{
     run_greedy, run_greedy_in, run_heft, run_heft_in, run_lr_list, run_lr_list_in, run_maxmax,
     run_maxmax_in, run_mct, run_mct_in, run_minmin, run_minmin_in, run_olb, run_olb_in,
     LrListConfig, StaticOutcome,
 };
 use grid_sweep::heuristic::Heuristic;
+use gridsim::cost::schedule_cost;
 use gridsim::metrics::Metrics;
 use gridsim::schedule::Schedule;
+use gridsim::state::SimState;
 use lagrange::step::StepRule;
 use lagrange::weights::Objective;
 use rayon::prelude::*;
+use slrh::open::{run_open, run_open_in, OpenJobReport, OpenOutcome, COST_EPS};
 use slrh::{
     run_slrh_churn, run_slrh_churn_in, Adaptation, DynamicOutcome, RunContext, RunStats,
     SlrhVariant,
@@ -208,6 +213,184 @@ pub fn run_seed(spec: &CaseSpec, ctx: &mut RunContext) -> RunReport {
             );
         }
         fingerprint.update(&single);
+    }
+
+    // --- open-system arms -------------------------------------------------
+    // When the case carries an open block, stream its job trace through
+    // the open driver under the case's churn trace, with per-job
+    // invariant oracles on every final state and differential arms
+    // around the whole outcome.
+    if let Some(params) = spec.open_params() {
+        let tag = "open-V1";
+        let config = spec.config(SlrhVariant::V1);
+        let machines = crate::gen::grid_len(spec.case);
+
+        // Per-job oracles, observed through the driver's hook before
+        // each job's state buffers are recycled: the independent
+        // validator, the churn validators, battery conservation, the
+        // horizon gate, the arrival floor (a job cannot occupy the grid
+        // before it exists), and the report's cost/deadline/budget
+        // claims recomputed bit-exactly from the final state alone. The
+        // hook also rebuilds the shared-grid energy ledger in the
+        // driver's own accumulation order.
+        let mut job_failures: Vec<String> = Vec::new();
+        let mut ledger = vec![Energy::ZERO; machines];
+        let mut hook = |state: &SimState<'_>, r: &OpenJobReport| {
+            let jtag = format!("{tag}: job {}", r.job.id);
+            for f in oracle::check_validator(state)
+                .into_iter()
+                .chain(oracle::check_churn(state, &losses, &arrivals))
+                .chain(oracle::check_battery(state))
+                .chain(oracle::check_horizon_gate(state, &config))
+            {
+                job_failures.push(format!("{jtag}: {f}"));
+            }
+            let schedule = state.schedule();
+            if schedule
+                .assignments()
+                .map(|a| a.start)
+                .chain(schedule.transfers().iter().map(|t| t.start))
+                .any(|s| s < r.job.at)
+            {
+                job_failures.push(format!("{jtag}: work scheduled before the job arrived"));
+            }
+            let cost = schedule_cost(state.scenario(), schedule);
+            if cost.to_bits() != r.cost.to_bits() {
+                job_failures.push(format!(
+                    "{jtag}: reported cost {} != recomputed {cost}",
+                    r.cost
+                ));
+            }
+            let completed = state.all_mapped();
+            let hit = completed && state.aet() <= state.scenario().tau;
+            if r.completed != completed || r.deadline_hit != hit {
+                job_failures.push(format!(
+                    "{jtag}: completion/deadline flags disagree with the final state"
+                ));
+            }
+            if r.within_budget != r.job.budget.map(|b| cost <= b + COST_EPS) {
+                job_failures.push(format!(
+                    "{jtag}: budget verdict disagrees with the recomputed cost"
+                ));
+            }
+            for a in schedule.assignments() {
+                ledger[a.machine.0] += a.energy;
+            }
+            for t in schedule.transfers() {
+                ledger[t.from.0] += t.energy;
+            }
+        };
+        let fresh = run_open_in(
+            &params,
+            &config,
+            &losses,
+            &arrivals,
+            &mut RunContext::new(),
+            Some(&mut hook),
+        );
+        failures.extend(job_failures);
+
+        // Multi-job ledger conservation: the outcome's final per-machine
+        // drain must equal the sum of every job's schedule, bit for bit.
+        let spent_bits = |v: &[Energy]| -> Vec<u64> {
+            v.iter().map(|e| e.units().to_bits()).collect()
+        };
+        if spent_bits(&fresh.final_spent) != spent_bits(&ledger) {
+            failures.push(format!(
+                "{tag}: ledger: final spent energies diverge from the per-job schedules"
+            ));
+        }
+
+        // Fresh vs campaign-long-lived context, on full outcome equality
+        // (reports, stats, disruptions and the energy ledger).
+        let reused = run_open_in(&params, &config, &losses, &arrivals, ctx, None);
+        if fresh != reused {
+            failures.push(format!(
+                "{tag}: differential-context: fresh and reused-context open runs diverge"
+            ));
+        }
+
+        // 1-thread vs 4-thread forced rayon pools.
+        let open_under = |threads: usize| -> OpenOutcome {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            pool.install(|| run_open(&params, &config, &losses, &arrivals))
+        };
+        if open_under(1) != open_under(4) {
+            failures.push(format!(
+                "{tag}: differential-threads: 1-thread and 4-thread open runs diverge"
+            ));
+        }
+
+        // Degenerate differential: one job arriving at t = 0 with an
+        // inert background on an unchurned grid IS the closed system.
+        let first = JobArrival {
+            at: Time::ZERO,
+            ..params.jobs[0]
+        };
+        let degenerate = OpenParams {
+            jobs: vec![first],
+            bg: BackgroundParams::none(),
+            ..params.clone()
+        };
+        let open_one = run_open_in(&degenerate, &config, &[], &[], ctx, None);
+        let sc_one = degenerate.job_scenario(&first);
+        let closed = run_slrh_churn_in(&sc_one, &config, &[], &[], ctx);
+        let r = &open_one.jobs[0];
+        let m = closed.state.metrics();
+        if r.mapped != m.mapped
+            || r.t100 != m.t100
+            || r.finish != m.aet
+            || r.cost.to_bits() != schedule_cost(&sc_one, closed.state.schedule()).to_bits()
+            || open_one.stats.commits != closed.stats.commits
+            || open_one.stats.clock_steps != closed.stats.clock_steps
+        {
+            failures.push(format!(
+                "{tag}: differential-closed: the one-job-at-zero open run diverges from the \
+                 closed system"
+            ));
+        }
+        ctx.reclaim(closed.state);
+
+        let mut sig = String::new();
+        for r in &fresh.jobs {
+            let _ = write!(
+                sig,
+                "j:{} at={} mapped={}/{} t100={} fin={} cost={:016x} comp={} hit={} wb={:?} \
+                 inval={} ",
+                r.job.id,
+                r.job.at.0,
+                r.mapped,
+                r.job.tasks,
+                r.t100,
+                r.finish.0,
+                r.cost.to_bits(),
+                r.completed,
+                r.deadline_hit,
+                r.within_budget,
+                r.invalidated,
+            );
+        }
+        for (at, n) in &fresh.disruptions {
+            let _ = write!(sig, "d:{}@{} ", n, at.0);
+        }
+        for e in &fresh.final_spent {
+            let _ = write!(sig, "e:{:016x} ", e.units().to_bits());
+        }
+        let met = fresh.metrics();
+        let _ = write!(
+            sig,
+            "met:{}/{}/{} cost={:016x} mk={} ",
+            met.completed,
+            met.deadline_hits,
+            met.jobs,
+            met.total_cost.to_bits(),
+            met.makespan.0,
+        );
+        clock_steps += fresh.stats.clock_steps;
+        fingerprint.update(&sig);
     }
 
     // --- static baselines: fresh vs reused state buffers -----------------
@@ -439,6 +622,17 @@ mod tests {
         let report = run_seed(&spec, &mut ctx);
         assert!(report.passed(), "{:#?}", report.failures);
         assert!(report.clock_steps > 0);
+    }
+
+    #[test]
+    fn an_open_case_runs_green() {
+        let seed = (0..64)
+            .find(|&s| generate(s).open.is_some())
+            .expect("an open case within 64 seeds");
+        let spec = generate(seed);
+        let mut ctx = RunContext::new();
+        let report = run_seed(&spec, &mut ctx);
+        assert!(report.passed(), "seed {seed}: {:#?}", report.failures);
     }
 
     #[test]

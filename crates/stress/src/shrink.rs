@@ -3,6 +3,10 @@
 //! Classic greedy delta-debugging to a fixpoint. Candidate reductions,
 //! in order of how much they simplify the reproducer:
 //!
+//! 0. drop the open-system block outright, then one open job at a time
+//!    (keeping at least one), then neutralize its background model —
+//!    most failures a closed-system arm can reproduce shed the whole
+//!    stream in one step;
 //! 1. drop one churn event (losses first, then arrivals);
 //! 2. walk the task count down a ladder — the workload generator derives
 //!    the DAG from `|T|`, so shrinking the task count prunes DAG
@@ -44,6 +48,50 @@ pub fn shrink(spec: &CaseSpec, budget: usize) -> CaseSpec {
     'outer: loop {
         if evals >= budget {
             break;
+        }
+
+        // 0. Drop the open block outright.
+        if best.open.is_some() {
+            let mut candidate = best.clone();
+            candidate.open = None;
+            if evals >= budget {
+                break 'outer;
+            }
+            if still_fails(&candidate, &mut evals) {
+                best = candidate;
+                continue 'outer;
+            }
+        }
+
+        // 0b. Drop one open job (keeping at least one — an empty trace
+        // fails the precondition check and would be rejected anyway).
+        let n_open_jobs = best.open.as_ref().map_or(0, |o| o.jobs.len());
+        if n_open_jobs > 1 {
+            for i in 0..n_open_jobs {
+                let mut candidate = best.clone();
+                candidate.open.as_mut().unwrap().jobs.remove(i);
+                if evals >= budget {
+                    break 'outer;
+                }
+                if still_fails(&candidate, &mut evals) {
+                    best = candidate;
+                    continue 'outer;
+                }
+            }
+        }
+
+        // 0c. Neutralize the background model.
+        if best.open.as_ref().is_some_and(|o| !o.bg.is_none()) {
+            let mut candidate = best.clone();
+            candidate.open.as_mut().unwrap().bg =
+                adhoc_grid::arrival::BackgroundParams::none();
+            if evals >= budget {
+                break 'outer;
+            }
+            if still_fails(&candidate, &mut evals) {
+                best = candidate;
+                continue 'outer;
+            }
         }
 
         // 1. Drop one loss.

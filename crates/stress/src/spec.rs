@@ -10,6 +10,7 @@
 //! under `corpus/` diff cleanly in review. Floats are stored as exact
 //! `f64` bit patterns (hex), so a decoded spec re-runs bit-identically.
 
+use adhoc_grid::arrival::{BackgroundParams, JobArrival, OpenParams};
 use adhoc_grid::config::{GridCase, MachineId};
 use adhoc_grid::io::kv;
 use adhoc_grid::units::{Dur, Time};
@@ -24,6 +25,17 @@ pub struct ChurnEvent {
     pub machine: usize,
     /// Event time, in ticks.
     pub at: u64,
+}
+
+/// The open-system portion of a fuzz case: a job-arrival trace plus a
+/// background-load model, scheduled on the spec's grid case under the
+/// spec's churn trace and SLRH knobs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OpenSpec {
+    /// The job-arrival trace, in arrival order.
+    pub jobs: Vec<JobArrival>,
+    /// The background-load model.
+    pub bg: BackgroundParams,
 }
 
 /// A fully-specified fuzz case.
@@ -60,6 +72,11 @@ pub struct CaseSpec {
     /// `None` (and absent from the corpus encoding, so pre-existing
     /// reproducers decode unchanged) runs the legacy fixed-weight path.
     pub adaptation: Option<Adaptation>,
+    /// Open-system block, when the case streams a job trace through the
+    /// shared grid. `None` (and absent from the corpus encoding, so
+    /// pre-existing reproducers decode unchanged) keeps the case
+    /// closed-system.
+    pub open: Option<OpenSpec>,
 }
 
 impl CaseSpec {
@@ -116,6 +133,19 @@ impl CaseSpec {
             .collect()
     }
 
+    /// The open-system instance the case names, when it carries one.
+    /// Shares the spec's grid case and master seed, so each job's
+    /// scenario artifacts derive from the same streams as the closed
+    /// system's.
+    pub fn open_params(&self) -> Option<OpenParams> {
+        self.open.as_ref().map(|o| OpenParams {
+            case: self.case,
+            master_seed: self.master_seed,
+            jobs: o.jobs.clone(),
+            bg: o.bg,
+        })
+    }
+
     /// Serialize to the corpus text format.
     pub fn encode(&self) -> String {
         let mut s = String::new();
@@ -170,6 +200,15 @@ impl CaseSpec {
                 ));
             }
         }
+        if let Some(open) = &self.open {
+            // Jobs and background ride their own one-line codecs
+            // (budgets as exact f64 bit patterns), one `open_job=` per
+            // job plus exactly one `open_bg=` closing the block.
+            for j in &open.jobs {
+                s.push_str(&format!("open_job={}\n", j.encode()));
+            }
+            s.push_str(&format!("open_bg={}\n", open.bg.encode()));
+        }
         s
     }
 
@@ -195,6 +234,8 @@ impl CaseSpec {
         let mut adapt_amin = None;
         let mut adapt_lmax = None;
         let mut adapt_warm = None;
+        let mut open_jobs = Vec::new();
+        let mut open_bg = None;
 
         for (no, line) in kv::Lines::new(text) {
             let (key, value) = kv::split_pair(no, line).map_err(|e| e.to_string())?;
@@ -227,6 +268,8 @@ impl CaseSpec {
                 "adapt_every" => adapt_every = Some(kv::parse_u64(value).map_err(ctx)?),
                 "adapt_amin" => adapt_amin = Some(kv::parse_f64_bits(value).map_err(ctx)?),
                 "adapt_lmax" => adapt_lmax = Some(kv::parse_f64_bits(value).map_err(ctx)?),
+                "open_job" => open_jobs.push(JobArrival::decode(value).map_err(ctx)?),
+                "open_bg" => open_bg = Some(BackgroundParams::decode(value).map_err(ctx)?),
                 "adapt_warm" => {
                     let (a, b) = value.split_once(',').ok_or_else(|| {
                         format!("line {no}: adapt_warm: expected ALPHA_BITS,BETA_BITS")
@@ -268,6 +311,12 @@ impl CaseSpec {
                 None
             }
         };
+        let open = match (open_jobs.is_empty(), open_bg) {
+            (false, Some(bg)) => Some(OpenSpec { jobs: open_jobs, bg }),
+            (true, None) => None,
+            (false, None) => return Err("open_job lines require open_bg".into()),
+            (true, Some(_)) => return Err("open_bg requires open_job lines".into()),
+        };
         Ok(CaseSpec {
             seed: req("seed", seed)?,
             tasks: req("tasks", tasks)?,
@@ -283,6 +332,7 @@ impl CaseSpec {
             losses,
             arrivals,
             adaptation,
+            open,
         })
     }
 
@@ -305,6 +355,28 @@ impl CaseSpec {
         }
         if let Some(ad) = &self.adaptation {
             ad.check().map_err(|e| format!("adaptation: {e}"))?;
+        }
+        if let Some(open) = &self.open {
+            if open.jobs.is_empty() {
+                return Err("open block carries no jobs".into());
+            }
+            let mut ids: Vec<u64> = open.jobs.iter().map(|j| j.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.len() != open.jobs.len() {
+                return Err("duplicate open job id".into());
+            }
+            for j in &open.jobs {
+                if j.tasks == 0 {
+                    return Err(format!("open job {} has no subtasks", j.id));
+                }
+                if j.deadline == Dur(0) {
+                    return Err(format!("open job {} has a zero deadline", j.id));
+                }
+            }
+            if open.bg.max_util_eighths > 6 {
+                return Err("open background utilization capped at 6/8".into());
+            }
         }
         if self.losses.len() >= grid_len {
             return Err("cannot lose every machine".into());
@@ -367,6 +439,36 @@ mod tests {
             losses: vec![ChurnEvent { machine: 1, at: 333 }],
             arrivals: vec![ChurnEvent { machine: 2, at: 333 }],
             adaptation: None,
+            open: None,
+        }
+    }
+
+    fn sample_open() -> OpenSpec {
+        use adhoc_grid::arrival::JobKind;
+        OpenSpec {
+            jobs: vec![
+                JobArrival {
+                    id: 0,
+                    at: Time(40),
+                    kind: JobKind::Dag,
+                    tasks: 6,
+                    deadline: Dur(9_000),
+                    budget: Some(0.1 + 0.2),
+                },
+                JobArrival {
+                    id: 1,
+                    at: Time(512),
+                    kind: JobKind::Bag,
+                    tasks: 4,
+                    deadline: Dur(7_500),
+                    budget: None,
+                },
+            ],
+            bg: BackgroundParams {
+                max_offset: 64,
+                max_util_eighths: 3,
+                seed: 0x0B5E_55ED,
+            },
         }
     }
 
@@ -414,6 +516,55 @@ mod tests {
         let mut bad = sample();
         bad.adaptation = Some(Adaptation { every: 0, ..Adaptation::default() });
         assert!(bad.check().unwrap_err().contains("adaptation"));
+    }
+
+    #[test]
+    fn open_codec_round_trips_exactly() {
+        let mut spec = sample();
+        spec.open = Some(sample_open());
+        let decoded = CaseSpec::decode(&spec.encode()).expect("decode");
+        assert_eq!(decoded, spec);
+        // The budget rides as an exact bit pattern (0.1 + 0.2 is not
+        // representable as a short literal).
+        let open = decoded.open.unwrap();
+        assert_eq!(
+            open.jobs[0].budget.unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        assert_eq!(open.bg.seed, 0x0B5E_55ED);
+        // And the spec names a runnable open-system instance.
+        let params = spec.open_params().unwrap();
+        assert_eq!(params.case, spec.case);
+        assert_eq!(params.jobs.len(), 2);
+    }
+
+    #[test]
+    fn orphan_open_keys_are_rejected() {
+        let spec = sample();
+        let jobs_only = format!("{}open_job=0@5;dag;4;100;-\n", spec.encode());
+        assert!(CaseSpec::decode(&jobs_only)
+            .unwrap_err()
+            .contains("require open_bg"));
+        let bg_only = format!("{}open_bg=0;0;0x0000000000000000\n", spec.encode());
+        assert!(CaseSpec::decode(&bg_only)
+            .unwrap_err()
+            .contains("requires open_job"));
+    }
+
+    #[test]
+    fn check_catches_open_preconditions() {
+        let mut spec = sample();
+        spec.open = Some(sample_open());
+        assert_eq!(spec.check(), Ok(()));
+        let mut dup = spec.clone();
+        dup.open.as_mut().unwrap().jobs[1].id = 0;
+        assert!(dup.check().unwrap_err().contains("duplicate open job"));
+        let mut empty = spec.clone();
+        empty.open.as_mut().unwrap().jobs.clear();
+        assert!(empty.check().unwrap_err().contains("no jobs"));
+        let mut zero = spec.clone();
+        zero.open.as_mut().unwrap().jobs[0].deadline = Dur(0);
+        assert!(zero.check().unwrap_err().contains("zero deadline"));
     }
 
     #[test]

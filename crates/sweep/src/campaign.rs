@@ -100,6 +100,10 @@ pub struct CaseRow {
     pub feasible: usize,
     /// Total scenarios attempted.
     pub total: usize,
+    /// Mean schedule cost in grid-dollars over compliant scenarios —
+    /// `Some` only for the cost-pricing heuristics
+    /// ([`Heuristic::prices_cost`]), so legacy rows stay byte-identical.
+    pub mean_cost: Option<f64>,
 }
 
 impl CaseRow {
@@ -109,10 +113,16 @@ impl CaseRow {
     /// on the `f64` fields is shortest-roundtrip, so equal values render
     /// to equal bytes.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}|{}|t100={:?}|ub_frac={:?}|feasible={}/{}",
             self.heuristic, self.case, self.mean_t100, self.mean_ub_fraction, self.feasible, self.total
-        )
+        );
+        // Cost-pricing heuristics carry a trailing cost column; every
+        // other row keeps the legacy five-field form byte for byte.
+        if let Some(c) = self.mean_cost {
+            line.push_str(&format!("|cost={c:?}"));
+        }
+        line
     }
 
     /// Parse a [`CaseRow::canonical`] line back into a row — the inverse
@@ -145,6 +155,22 @@ impl CaseRow {
         let (feasible, total) = feas
             .split_once('/')
             .ok_or_else(|| format!("bad feasible field {feas:?}"))?;
+        // The optional trailing cost column (cost-pricing heuristics
+        // only — its presence must match the heuristic or canonical()
+        // would not round-trip).
+        let mean_cost = match parts.next() {
+            None => None,
+            Some(part) => Some(
+                field(part, "cost")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad cost: {e}"))?,
+            ),
+        };
+        if mean_cost.is_some() != heuristic.prices_cost() {
+            return Err(format!(
+                "cost column mismatch for {heuristic} in canonical row {line:?}"
+            ));
+        }
         if parts.next().is_some() {
             return Err(format!("trailing fields in canonical row {line:?}"));
         }
@@ -157,6 +183,7 @@ impl CaseRow {
             mean_t100_per_second: 0.0,
             feasible: feasible.parse().map_err(|e| format!("bad feasible: {e}"))?,
             total: total.parse().map_err(|e| format!("bad total: {e}"))?,
+            mean_cost,
         })
     }
 }
@@ -239,6 +266,7 @@ pub fn run_case_unit(
     let mut ub_fracs = Vec::new();
     let mut walls = Vec::new();
     let mut rates = Vec::new();
+    let mut costs = Vec::new();
     for (&(e, d), weights) in ids.iter().zip(&tuned) {
         let Some(w) = weights else { continue };
         let sc = cfg.set.scenario(case, e, d);
@@ -249,6 +277,9 @@ pub fn run_case_unit(
         ub_fracs.push(r.metrics.t100 as f64 / ub.t100.max(1) as f64);
         walls.push(r.wall);
         rates.push(r.t100_per_second());
+        if let Some(c) = r.cost {
+            costs.push(c);
+        }
     }
 
     let n = t100s.len();
@@ -262,6 +293,7 @@ pub fn run_case_unit(
             mean_t100_per_second: 0.0,
             feasible: 0,
             total: ids.len(),
+            mean_cost: h.prices_cost().then_some(0.0),
         };
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -274,6 +306,7 @@ pub fn run_case_unit(
         mean_t100_per_second: mean(&rates),
         feasible: n,
         total: ids.len(),
+        mean_cost: h.prices_cost().then(|| mean(&costs)),
     }
 }
 
@@ -371,8 +404,40 @@ mod tests {
             "NOSUCH|Case A|t100=1.0|ub_frac=0.5|feasible=2/2",
             "SLRH-1|Case Z|t100=1.0|ub_frac=0.5|feasible=2/2",
             "SLRH-1|Case A|t100=nope|ub_frac=0.5|feasible=2/2",
+            // The cost column belongs to cost-pricing heuristics only,
+            // and they must always carry it.
+            "SLRH-1|Case A|t100=1.0|ub_frac=0.5|feasible=2/2|cost=3.0",
+            "DBC-Cost|Case A|t100=1.0|ub_frac=0.5|feasible=2/2",
+            "DBC-Cost|Case A|t100=1.0|ub_frac=0.5|feasible=2/2|cost=3.0|extra",
+            "DBC-Cost|Case A|t100=1.0|ub_frac=0.5|feasible=2/2|cost=nope",
         ] {
             assert!(CaseRow::parse_canonical(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// Cost-pricing heuristics produce rows with the trailing cost
+    /// column; the column round-trips through the canonical codec.
+    #[test]
+    fn dbc_rows_carry_the_cost_column() {
+        let set = ScenarioSet::new(ScenarioParams::paper_scaled(24), 1, 1);
+        let cfg = CampaignConfig {
+            set,
+            heuristics: vec![Heuristic::DbcCost, Heuristic::DbcTime],
+            cases: vec![GridCase::A],
+            coarse: 0.25,
+            fine: 0.25,
+            searcher: SearcherKind::Grid,
+        };
+        let rows = run_campaign(&cfg);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let cost = row.mean_cost.expect("DBC rows price cost");
+            assert!(cost > 0.0, "{}", row.heuristic);
+            let line = row.canonical();
+            assert!(line.contains("|cost="), "{line}");
+            let parsed = CaseRow::parse_canonical(&line).expect("parses");
+            assert_eq!(parsed.canonical(), line);
+            assert_eq!(parsed.mean_cost.unwrap().to_bits(), cost.to_bits());
         }
     }
 }

@@ -4,8 +4,8 @@ use std::time::{Duration, Instant};
 
 use adhoc_grid::workload::Scenario;
 use grid_baselines::{
-    run_greedy_in, run_heft_in, run_lr_list_in, run_maxmax_in, run_minmin_in, run_olb_in,
-    LrListConfig,
+    run_dbc_in, run_greedy_in, run_heft_in, run_lr_list_in, run_maxmax_in, run_minmin_in,
+    run_olb_in, DbcMode, LrListConfig,
 };
 use gridsim::metrics::Metrics;
 use gridsim::MappingOutcome;
@@ -33,6 +33,12 @@ pub enum Heuristic {
     Heft,
     /// Static Lagrangian relaxation + list scheduling.
     LrList,
+    /// Deadline-and-budget-constrained cost optimization (Buyya et al.):
+    /// cheapest placement that still meets τ.
+    DbcCost,
+    /// Deadline-and-budget-constrained time optimization: fastest
+    /// placement, cheaper machine on ties.
+    DbcTime,
 }
 
 impl Heuristic {
@@ -50,7 +56,7 @@ impl Heuristic {
         [Heuristic::Slrh1, Heuristic::Slrh3, Heuristic::MaxMax];
 
     /// Every heuristic in the workspace.
-    pub const ALL: [Heuristic; 9] = [
+    pub const ALL: [Heuristic; 11] = [
         Heuristic::Slrh1,
         Heuristic::Slrh2,
         Heuristic::Slrh3,
@@ -60,6 +66,8 @@ impl Heuristic {
         Heuristic::MinMin,
         Heuristic::Heft,
         Heuristic::LrList,
+        Heuristic::DbcCost,
+        Heuristic::DbcTime,
     ];
 
     /// Display name.
@@ -74,6 +82,8 @@ impl Heuristic {
             Heuristic::MinMin => "Min-Min",
             Heuristic::Heft => "HEFT",
             Heuristic::LrList => "LR-List",
+            Heuristic::DbcCost => "DBC-Cost",
+            Heuristic::DbcTime => "DBC-Time",
         }
     }
 
@@ -90,7 +100,15 @@ impl Heuristic {
             Heuristic::MinMin => "minmin",
             Heuristic::Heft => "heft",
             Heuristic::LrList => "lrlist",
+            Heuristic::DbcCost => "dbccost",
+            Heuristic::DbcTime => "dbctime",
         }
+    }
+
+    /// True when the heuristic prices machine time in grid-dollars —
+    /// its campaign rows carry a mean-cost column.
+    pub fn prices_cost(self) -> bool {
+        matches!(self, Heuristic::DbcCost | Heuristic::DbcTime)
     }
 
     /// True when the heuristic's behaviour depends on the objective
@@ -120,6 +138,7 @@ impl Heuristic {
     /// carries capacity, never content.
     pub fn run_in(self, scenario: &Scenario, weights: Weights, ctx: &mut RunContext) -> RunResult {
         let start = Instant::now();
+        let mut cost = None;
         // Each arm runs, times the mapping, snapshots the outcome and
         // hands the state's buffers back to the context. The outcome
         // types differ per arm (and own their state), so the snapshot
@@ -177,12 +196,25 @@ impl Heuristic {
                 ctx.reclaim(out.state);
                 snap
             }
+            Heuristic::DbcCost | Heuristic::DbcTime => {
+                let mode = if self == Heuristic::DbcCost {
+                    DbcMode::Cost
+                } else {
+                    DbcMode::Time
+                };
+                let out = run_dbc_in(scenario, mode, ctx.buffers_mut());
+                let snap = snapshot(&out, start);
+                cost = Some(gridsim::cost::schedule_cost(scenario, out.state.schedule()));
+                ctx.reclaim(out.state);
+                snap
+            }
         };
         RunResult {
             metrics,
             wall,
             work,
             valid,
+            cost,
         }
     }
 }
@@ -232,6 +264,10 @@ pub struct RunResult {
     pub work: u64,
     /// True when the independent validator accepted the schedule.
     pub valid: bool,
+    /// Total schedule cost in grid-dollars — `Some` only for the
+    /// cost-pricing heuristics ([`Heuristic::prices_cost`]), so legacy
+    /// rows and fingerprints stay byte-identical.
+    pub cost: Option<f64>,
 }
 
 impl RunResult {

@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use lrh_grid::broker::proto::{Event, MapRequest};
 use lrh_grid::broker::server::{serve, BrokerConfig};
-use lrh_grid::broker::{execute_map, Connection};
-use lrh_grid::cli::{self, Addr, Command, Export, Job, Remote, Serve, Tune};
+use lrh_grid::broker::{execute_map, execute_open, Connection};
+use lrh_grid::cli::{self, Addr, Command, Export, Job, OpenJob, Remote, RemoteJob, Serve, Tune};
 use lrh_grid::grid::io;
 use lrh_grid::sim::trace::Trace;
 use lrh_grid::slrh::{run_slrh, RunContext, SlrhConfig, SlrhVariant};
@@ -33,6 +33,7 @@ fn main() {
     };
     let code = match command {
         Command::Run(job) | Command::Replay(job) | Command::Churn(job) => run_local(&job),
+        Command::Open(job) => run_open_local(&job),
         Command::Tune(tune) => run_tune(&tune),
         Command::Export(export) => run_export(&export),
         Command::Serve(serve) => run_serve(&serve),
@@ -73,6 +74,33 @@ fn run_local(job: &Job) -> i32 {
             if job.gantt {
                 render_gantt(&job.request);
             }
+            0
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// Execute an open-system streaming job locally through the same code
+/// path the daemon workers use.
+fn run_open_local(job: &OpenJob) -> i32 {
+    let started = Instant::now();
+    let mut ctx = RunContext::new();
+    let mut jobs = 0usize;
+    let mut invalidated = 0usize;
+    let outcome = execute_open(0, &job.request, &mut ctx, &mut |event| match event {
+        Event::Job { .. } => jobs += 1,
+        Event::Disruption {
+            invalidated: n, ..
+        } => invalidated += n,
+        _ => {}
+    });
+    match outcome {
+        Ok(resp) => {
+            print!("{}", resp.report);
+            eprintln!(
+                "scheduled {jobs} jobs in {:?} ({invalidated} mappings invalidated)",
+                started.elapsed()
+            );
             0
         }
         Err(msg) => fail(&msg),
@@ -199,11 +227,15 @@ fn run_submit(remote: &Remote, narrate: bool) -> i32 {
         Err(e) => return fail(&format!("connecting to {}: {e}", remote.addr)),
     };
     let started = Instant::now();
-    let outcome = conn.submit_map(&remote.job.request, |event| {
+    let mut on_event = |event: &Event| {
         if narrate {
             narrate_event(event);
         }
-    });
+    };
+    let outcome = match &remote.job {
+        RemoteJob::Map(job) => conn.submit_map(&job.request, &mut on_event),
+        RemoteJob::Open(job) => conn.submit_open(&job.request, &mut on_event),
+    };
     match outcome {
         Ok(resp) => {
             print!("{}", resp.report);
@@ -233,6 +265,17 @@ fn narrate_event(event: &Event) {
             at,
             invalidated,
         } => eprintln!("[job {job}] disruption at clock {at}: {invalidated} mappings invalidated"),
+        Event::Job {
+            job,
+            id,
+            mapped,
+            tasks,
+            hit,
+            cost,
+        } => eprintln!(
+            "[job {job}] arrival {id}: {mapped}/{tasks} mapped, deadline {}, cost {cost}",
+            if *hit { "hit" } else { "missed" }
+        ),
         Event::Unit {
             job, index, total, ..
         } => eprintln!("[job {job}] campaign unit {}/{total} done", index + 1),

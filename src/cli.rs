@@ -15,9 +15,10 @@
 use std::fmt;
 use std::str::FromStr;
 
+use adhoc_grid::arrival::{poisson_trace, BackgroundParams, JobArrival, PoissonParams};
 use adhoc_grid::config::GridCase;
 use adhoc_grid::units::Dur;
-use grid_broker::proto::{MapRequest, ScenarioSpec};
+use grid_broker::proto::{MapRequest, OpenRequest, ScenarioSpec};
 use grid_sweep::heuristic::Heuristic;
 use grid_sweep::{AnnealConfig, SearcherKind};
 use lagrange::step::StepRule;
@@ -53,6 +54,20 @@ adaptation options (run, replay, churn, submit, watch; SLRH only):
   --adapt-lmax X      multiplier cap of the projection (default 8)
   --adapt-warm A,B    start from these weights instead of --alpha/--beta
 
+open-system options (open; submit/watch with --open):
+  --case A|B|C        shared grid case (default A)
+  --seed S            master seed for per-job artifacts and draws
+  --jobs N            Poisson trace length in jobs (default 8)
+  --mean-gap T        mean inter-arrival gap in ticks (default 500)
+  --tasks-min N       smallest job size (default 4)
+  --tasks-max N       largest job size (default 12)
+  --bags-in-8 N       bag (task-farming) jobs out of 8 (default 2)
+  --budgets-in-8 N    budget-carrying jobs out of 8 (default 4)
+  --job SPEC          explicit arrival `id@at;kind;tasks;deadline;budget`
+                      (repeatable; replaces the Poisson draw)
+  --bg SPEC           background model `max_offset;max_util_eighths;seed`
+  --alpha/--beta/--dt/--horizon/--lose/--join/--label as above
+
 commands:
   run      map the workload locally; deterministic report on stdout
   tune     search the compliant (alpha, beta) maximizing T100
@@ -64,7 +79,9 @@ commands:
   churn    run --heuristic slrh1 with churn events and a Gantt chart
   serve    start the broker daemon
            [--addr HOST:PORT (default 127.0.0.1:7171), --workers N (default 2)]
+  open     run an open-system streaming workload locally
   submit   send the job to a daemon; identical stdout to `run`
+           (with --open: identical stdout to `open`)
            [--addr HOST:PORT, --client NAME]
   watch    submit, narrating queue/tick/disruption events to stderr
   status   print the daemon's queue/worker counters
@@ -99,6 +116,8 @@ impl CliError {
 pub enum Command {
     /// Map a workload locally.
     Run(Job),
+    /// Run an open-system streaming workload locally.
+    Open(OpenJob),
     /// Weight search.
     Tune(Tune),
     /// Write a generated workload to a file.
@@ -128,13 +147,32 @@ pub struct Job {
     pub gantt: bool,
 }
 
+/// An open-system streaming job. The request always carries an
+/// explicit arrival trace: Poisson flags are expanded at parse time, so
+/// a submitted open job is a pure function of the frame — the daemon
+/// never re-draws the process.
+#[derive(Debug, PartialEq)]
+pub struct OpenJob {
+    /// The request — the same type the wire protocol carries.
+    pub request: OpenRequest,
+}
+
 /// A job addressed to a daemon.
 #[derive(Debug, PartialEq)]
 pub struct Remote {
     /// Daemon address.
     pub addr: String,
     /// The job.
-    pub job: Job,
+    pub job: RemoteJob,
+}
+
+/// What a `submit`/`watch` invocation carries.
+#[derive(Debug, PartialEq)]
+pub enum RemoteJob {
+    /// A closed-system mapping job.
+    Map(Job),
+    /// An open-system streaming job (`--open`).
+    Open(OpenJob),
 }
 
 /// `tune` arguments.
@@ -199,20 +237,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "tune" => parse_tune(rest).map(Command::Tune),
         "export" => parse_export(rest).map(Command::Export),
         "serve" => parse_serve(rest).map(Command::Serve),
-        "submit" => {
-            let parsed = parse_job("submit", rest, true)?;
-            Ok(Command::Submit(Remote {
-                addr: parsed.addr,
-                job: parsed.job,
-            }))
-        }
-        "watch" => {
-            let parsed = parse_job("watch", rest, true)?;
-            Ok(Command::Watch(Remote {
-                addr: parsed.addr,
-                job: parsed.job,
-            }))
-        }
+        "open" => Ok(Command::Open(parse_open("open", rest, false)?.job)),
+        "submit" => parse_remote("submit", rest).map(Command::Submit),
+        "watch" => parse_remote("watch", rest).map(Command::Watch),
         "status" => parse_addr("status", rest).map(Command::Status),
         "stop" => parse_addr("stop", rest).map(Command::Stop),
         other => Err(CliError::new(format!("unknown command {other:?}"))),
@@ -348,6 +375,154 @@ impl WorkloadFlags {
 struct ParsedJob {
     job: Job,
     addr: String,
+}
+
+/// `submit`/`watch`: `--open` anywhere in the argument list switches
+/// the whole invocation to the open-system parse path; otherwise the
+/// flags build a [`MapRequest`] exactly as `run` does.
+fn parse_remote(cmd: &str, argv: &[String]) -> Result<Remote, CliError> {
+    if argv.iter().any(|a| a == "--open") {
+        let parsed = parse_open(cmd, argv, true)?;
+        Ok(Remote {
+            addr: parsed.addr,
+            job: RemoteJob::Open(parsed.job),
+        })
+    } else {
+        let parsed = parse_job(cmd, argv, true)?;
+        Ok(Remote {
+            addr: parsed.addr,
+            job: RemoteJob::Map(parsed.job),
+        })
+    }
+}
+
+struct ParsedOpen {
+    job: OpenJob,
+    addr: String,
+}
+
+fn parse_open(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedOpen, CliError> {
+    let mut cursor = Cursor::new(argv);
+    let mut case = GridCase::A;
+    let mut seed: Option<u64> = None;
+    let mut jobs: Option<u32> = None;
+    let mut mean_gap = 500u64;
+    let mut tasks_min = 4usize;
+    let mut tasks_max = 12usize;
+    let mut bags_in_8 = 2u8;
+    let mut budgets_in_8 = 4u8;
+    let mut explicit: Vec<JobArrival> = Vec::new();
+    let mut bg = BackgroundParams::none();
+    let mut alpha = 0.5f64;
+    let mut beta = 0.3f64;
+    let mut dt: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    let mut losses: Vec<(usize, u64)> = Vec::new();
+    let mut arrivals: Vec<(usize, u64)> = Vec::new();
+    let mut label: Option<String> = None;
+    let mut client: Option<String> = None;
+    let mut addr: Option<String> = None;
+
+    while let Some(flag) = cursor.next_flag()? {
+        match flag {
+            "--case" => case = typed(flag, cursor.value(flag)?)?,
+            "--seed" => seed = Some(parse_seed(flag, cursor.value(flag)?)?),
+            "--jobs" => jobs = Some(typed(flag, cursor.value(flag)?)?),
+            "--mean-gap" => mean_gap = typed(flag, cursor.value(flag)?)?,
+            "--tasks-min" => tasks_min = typed(flag, cursor.value(flag)?)?,
+            "--tasks-max" => tasks_max = typed(flag, cursor.value(flag)?)?,
+            "--bags-in-8" => bags_in_8 = typed(flag, cursor.value(flag)?)?,
+            "--budgets-in-8" => budgets_in_8 = typed(flag, cursor.value(flag)?)?,
+            "--job" => explicit.push(
+                JobArrival::decode(cursor.value(flag)?)
+                    .map_err(|e| CliError::new(format!("bad value for --job: {e}")))?,
+            ),
+            "--bg" => {
+                bg = BackgroundParams::decode(cursor.value(flag)?)
+                    .map_err(|e| CliError::new(format!("bad value for --bg: {e}")))?
+            }
+            "--alpha" => alpha = typed(flag, cursor.value(flag)?)?,
+            "--beta" => beta = typed(flag, cursor.value(flag)?)?,
+            "--dt" => dt = Some(typed(flag, cursor.value(flag)?)?),
+            "--horizon" => horizon = Some(typed(flag, cursor.value(flag)?)?),
+            "--lose" => losses.push(parse_event(flag, cursor.value(flag)?)?),
+            "--join" => arrivals.push(parse_event(flag, cursor.value(flag)?)?),
+            "--label" => label = Some(cursor.value(flag)?.to_string()),
+            "--open" if remote => {} // the mode marker itself
+            "--client" if remote => client = Some(cursor.value(flag)?.to_string()),
+            "--addr" if remote => addr = Some(cursor.value(flag)?.to_string()),
+            other => {
+                return Err(CliError::new(format!("unknown flag {other:?} for {cmd}")));
+            }
+        }
+    }
+
+    let master_seed = seed.unwrap_or(adhoc_grid::seed::MASTER_SEED);
+    let trace = if explicit.is_empty() {
+        if !(1..=tasks_max).contains(&tasks_min) {
+            return Err(CliError::new(
+                "--tasks-min must be at least 1 and at most --tasks-max",
+            ));
+        }
+        if mean_gap == 0 {
+            return Err(CliError::new("--mean-gap must be positive"));
+        }
+        if bags_in_8 > 8 || budgets_in_8 > 8 {
+            return Err(CliError::new("--bags-in-8/--budgets-in-8 are rates out of 8"));
+        }
+        let n = jobs.unwrap_or(8);
+        if n == 0 {
+            return Err(CliError::new("--jobs must be positive"));
+        }
+        poisson_trace(&PoissonParams {
+            jobs: n,
+            mean_gap,
+            tasks: (tasks_min, tasks_max),
+            bag_in_8: bags_in_8,
+            budget_in_8: budgets_in_8,
+            seed: master_seed,
+        })
+    } else {
+        if jobs.is_some() {
+            return Err(CliError::new(
+                "--job lists an explicit trace; it cannot be combined with --jobs",
+            ));
+        }
+        explicit
+    };
+
+    let weights =
+        Weights::new(alpha, beta).map_err(|e| CliError::new(format!("invalid weights: {e}")))?;
+    let mut config = SlrhConfig::paper(SlrhVariant::V1, weights);
+    if let Some(dt) = dt {
+        if dt == 0 {
+            return Err(CliError::new("--dt must be positive"));
+        }
+        config.dt = Dur(dt);
+    }
+    if let Some(h) = horizon {
+        if h == 0 {
+            return Err(CliError::new("--horizon must be positive"));
+        }
+        config.horizon = Dur(h);
+    }
+
+    Ok(ParsedOpen {
+        job: OpenJob {
+            request: OpenRequest {
+                client: client.unwrap_or_else(|| "cli".into()),
+                label: label.unwrap_or_else(|| "open".into()),
+                config,
+                case,
+                seed: master_seed,
+                jobs: trace,
+                bg,
+                losses,
+                arrivals,
+            },
+        },
+        addr: addr.unwrap_or_else(|| DEFAULT_ADDR.into()),
+    })
 }
 
 fn parse_job(cmd: &str, argv: &[String], remote: bool) -> Result<ParsedJob, CliError> {
@@ -613,9 +788,10 @@ mod tests {
         let Command::Submit(remote) = parse(&args(&format!("submit {flags}"))).unwrap() else {
             panic!()
         };
+        let RemoteJob::Map(job) = remote.job else { panic!() };
         // `client` is transport identity, not job identity; everything
         // the report depends on must be identical.
-        let mut submitted = remote.job.request.clone();
+        let mut submitted = job.request.clone();
         submitted.client = local.request.client.clone();
         assert_eq!(submitted, local.request);
         assert_eq!(local.request.losses, vec![(1, 400)]);
@@ -740,6 +916,76 @@ mod tests {
         // And invalid blocks are rejected before a request is built.
         assert!(parse(&args("run --adapt constant(0.25) --adapt-every 0")).is_err());
         assert!(parse(&args("run --adapt nosuch(1.0)")).is_err());
+    }
+
+    #[test]
+    fn open_and_submit_open_build_the_same_request() {
+        let flags = "--case B --seed 0x2a --jobs 5 --mean-gap 300 --tasks-min 3 \
+                     --tasks-max 9 --bags-in-8 4 --budgets-in-8 8 \
+                     --alpha 0.4 --beta 0.4 --dt 5 --horizon 50 --lose 1@400";
+        let Command::Open(local) = parse(&args(&format!("open {flags}"))).unwrap() else {
+            panic!()
+        };
+        let Command::Submit(remote) =
+            parse(&args(&format!("submit --open {flags}"))).unwrap()
+        else {
+            panic!()
+        };
+        let RemoteJob::Open(submitted) = remote.job else { panic!() };
+        let mut req = submitted.request.clone();
+        req.client = local.request.client.clone();
+        assert_eq!(req, local.request);
+
+        // Poisson expansion happened at parse time: the request carries
+        // an explicit trace, every job draw already materialized.
+        assert_eq!(local.request.jobs.len(), 5);
+        assert_eq!(local.request.case, GridCase::B);
+        assert_eq!(local.request.seed, 0x2a);
+        assert_eq!(local.request.config.dt, Dur(5));
+        assert_eq!(local.request.losses, vec![(1, 400)]);
+        assert!(local.request.jobs.iter().all(|j| j.budget.is_some()));
+    }
+
+    #[test]
+    fn open_explicit_jobs_replace_the_poisson_draw() {
+        let argv: Vec<String> = [
+            "open",
+            "--job",
+            "0@10;dag;6;2000;-",
+            "--job",
+            "1@50;bag;4;1500;4093480000000000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Open(job) = parse(&argv).unwrap() else { panic!() };
+        assert_eq!(job.request.jobs.len(), 2);
+        assert_eq!(job.request.jobs[0].id, 0);
+        assert_eq!(job.request.jobs[1].budget, Some(1234.0));
+
+        // Explicit traces and Poisson knobs are mutually exclusive.
+        let mut bad = argv.clone();
+        bad.extend(["--jobs".to_string(), "4".to_string()]);
+        assert!(parse(&bad).unwrap_err().message.contains("cannot be combined"));
+    }
+
+    #[test]
+    fn open_rejects_malformed_flags() {
+        for bad in [
+            "open --jobs 0",
+            "open --mean-gap 0",
+            "open --tasks-min 0",
+            "open --tasks-min 9 --tasks-max 4",
+            "open --bags-in-8 9",
+            "open --bg 1;7;0x0",
+            "open --job nonsense",
+            "open --dt 0",
+            "open --heuristic slrh1", // closed-system flag
+            "open --addr x",          // remote-only flag on a local command
+            "run --open",             // open marker on a closed-system command
+        ] {
+            assert!(parse(&args(bad)).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]
